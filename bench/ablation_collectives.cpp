@@ -1,0 +1,98 @@
+// Ablation: collective algorithm (flat vs binomial tree) under the
+// control-message-dominated CAM workload.
+//
+// The paper's CAM traffic profile (Table 1: 63% headers) is a property of
+// the MPI library's collective algorithms as much as of the application.
+// Real MPICH moved from flat to tree collectives over time; this ablation
+// shows how the choice reshapes the traffic (root concentration, message
+// counts), the runtime, and the message-region fault sensitivity.
+#include <cstdio>
+
+#include "apps/app.hpp"
+#include "bench_util.hpp"
+
+using namespace fsim;
+
+namespace {
+
+struct Shape {
+  double header_pct = 0;
+  std::uint64_t root_msgs = 0;
+  std::uint64_t mean_msgs = 0;
+  std::uint64_t instructions = 0;
+  double msg_error_rate = 0;
+};
+
+Shape measure(simmpi::CollectiveAlgorithm algo, int runs,
+              std::uint64_t seed) {
+  apps::App app = apps::make_atmo();
+  app.world.collectives = algo;
+  const core::Golden golden = core::run_golden(app);
+
+  Shape s;
+  s.instructions = golden.instructions;
+  {
+    const svm::Program program = app.link();
+    simmpi::World world(program, app.world);
+    world.run(golden.hang_budget);
+    std::uint64_t header = 0, payload = 0, total_msgs = 0;
+    for (int r = 0; r < world.size(); ++r) {
+      const auto& st = world.process(r).channel().stats();
+      header += st.header_bytes;
+      payload += st.payload_bytes;
+      total_msgs += st.total_messages();
+    }
+    s.header_pct = 100.0 * static_cast<double>(header) /
+                   static_cast<double>(header + payload);
+    s.root_msgs = world.process(0).channel().stats().total_messages();
+    s.mean_msgs = total_msgs / static_cast<std::uint64_t>(world.size());
+  }
+
+  int errors = 0;
+  for (int i = 0; i < runs; ++i) {
+    const core::RunOutcome out = core::run_injected(
+        app, golden, core::Region::kMessage, nullptr,
+        util::hash_seed({seed, static_cast<std::uint64_t>(algo),
+                         static_cast<std::uint64_t>(i)}));
+    errors += out.manifestation != core::Manifestation::kCorrect;
+  }
+  s.msg_error_rate = 100.0 * errors / runs;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv, 120);
+
+  std::printf("=== Ablation: flat vs binomial-tree collectives (atmo) ===\n\n");
+
+  const Shape flat =
+      measure(simmpi::CollectiveAlgorithm::kFlat, args.runs, args.seed);
+  const Shape tree = measure(simmpi::CollectiveAlgorithm::kBinomialTree,
+                             args.runs, args.seed);
+
+  util::Table t("Traffic shape and sensitivity (" + std::to_string(args.runs) +
+                " message injections each)");
+  t.header({"Metric", "flat", "binomial tree"});
+  t.row({"header bytes (% of received)", util::fmt_fixed(flat.header_pct, 1),
+         util::fmt_fixed(tree.header_pct, 1)});
+  t.row({"messages received by rank 0", std::to_string(flat.root_msgs),
+         std::to_string(tree.root_msgs)});
+  t.row({"mean messages per rank", std::to_string(flat.mean_msgs),
+         std::to_string(tree.mean_msgs)});
+  t.row({"golden instructions", std::to_string(flat.instructions),
+         std::to_string(tree.instructions)});
+  t.row({"message fault error rate (%)",
+         util::fmt_fixed(flat.msg_error_rate, 1),
+         util::fmt_fixed(tree.msg_error_rate, 1)});
+  std::printf("%s\n", t.ascii().c_str());
+
+  std::printf(
+      "The tree spreads the collective load off rank 0 (the flat root\n"
+      "receives an O(P) token storm per barrier) while keeping semantics\n"
+      "identical; the paper's CAM header-dominance and message sensitivity\n"
+      "are properties of the collective *pattern*, which the library's\n"
+      "algorithm choice reshapes.\n");
+  return 0;
+}

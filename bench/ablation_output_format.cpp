@@ -1,0 +1,83 @@
+// Ablation (§6.2): output representation vs silent-corruption visibility.
+// Wavetoy's plain-text output at a handful of significant digits hides
+// small payload perturbations; "a binary output format would detect more
+// cases of incorrect output". We run identical message and heap campaigns
+// against text-output and full-precision (binary) output variants.
+#include <cstdio>
+
+#include "apps/app.hpp"
+#include "bench_util.hpp"
+
+using namespace fsim;
+
+namespace {
+
+struct FormatResult {
+  int incorrect = 0;
+  int errors = 0;
+  int runs = 0;
+};
+
+FormatResult campaign(const apps::App& app, core::Region region, int runs,
+                      std::uint64_t seed) {
+  FormatResult r;
+  const core::Golden golden = core::run_golden(app);
+  const svm::Program program = app.link();
+  util::Rng drng(util::hash_seed({seed, 0xd1}));
+  std::unique_ptr<core::FaultDictionary> dict;
+  if (region == core::Region::kData || region == core::Region::kBss ||
+      region == core::Region::kText) {
+    dict = std::make_unique<core::FaultDictionary>(program, region, drng);
+  }
+  for (int i = 0; i < runs; ++i) {
+    const core::RunOutcome out = core::run_injected(
+        app, golden, region, dict.get(),
+        util::hash_seed({seed, static_cast<std::uint64_t>(region),
+                         static_cast<std::uint64_t>(i)}));
+    ++r.runs;
+    r.errors += out.manifestation != core::Manifestation::kCorrect;
+    r.incorrect += out.manifestation == core::Manifestation::kIncorrect;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv, 150);
+
+  std::printf(
+      "=== Ablation: plain-text vs binary output (wavetoy, Sec 6.2) ===\n\n");
+
+  apps::WavetoyConfig text_cfg;      // default: %.4g text
+  apps::WavetoyConfig binary_cfg;
+  binary_cfg.binary_output = true;   // full-precision hex dump
+  apps::WavetoyConfig coarse_cfg;
+  coarse_cfg.out_digits = 2;         // even lower precision masks more
+
+  util::Table t("Silent-corruption visibility by output format");
+  t.header({"Region", "Format", "Errors", "Incorrect (of runs)"});
+  for (core::Region region : {core::Region::kMessage, core::Region::kHeap}) {
+    struct Variant {
+      const char* name;
+      const apps::WavetoyConfig* cfg;
+    } variants[] = {{"text %.2g", &coarse_cfg},
+                    {"text %.4g (default)", &text_cfg},
+                    {"binary (all 64 bits)", &binary_cfg}};
+    for (const auto& v : variants) {
+      const FormatResult r = campaign(apps::make_wavetoy(*v.cfg), region,
+                                      args.runs, args.seed);
+      t.row({core::region_name(region), v.name, util::fmt_pct(r.errors, r.runs),
+             util::fmt_pct(r.incorrect, r.runs)});
+    }
+    t.separator();
+  }
+  std::printf("%s\n", t.ascii().c_str());
+
+  std::printf(
+      "Paper: \"for Cactus Wavetoy, [plain text] hides small changes in low\n"
+      "order decimal digits... A binary output format would detect more\n"
+      "cases of incorrect output.\" Visibility should rise monotonically\n"
+      "from %%.2g text to the full-precision dump.\n");
+  return 0;
+}

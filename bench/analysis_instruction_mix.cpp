@@ -1,0 +1,31 @@
+// Workload characterisation: instruction mix and hot spots of the benchmark
+// suite. Context for the sensitivity tables — e.g. the FPU share explains
+// why FP-register faults are rarer but NaN-productive, and the hot-symbol
+// concentration explains the text working sets of Tables 5-7.
+#include <cstdio>
+
+#include "apps/app.hpp"
+#include "simmpi/world.hpp"
+#include "trace/mix.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fsim;
+  util::Cli cli(argc, argv);
+  const int rank = static_cast<int>(cli.num("rank", 1));
+
+  std::printf("=== Workload characterisation: instruction mix ===\n\n");
+  for (const auto& name : apps::app_names()) {
+    apps::App app = apps::make_app(name);
+    svm::Program program = app.link();
+    simmpi::World world(program, app.world);
+    trace::InstructionMixProfiler mix(program, world.machine(rank));
+    if (world.run(2'000'000'000ull) != simmpi::JobStatus::kCompleted) {
+      std::printf("%s: run failed\n", name.c_str());
+      return 1;
+    }
+    std::printf("--- %s (rank %d) ---\n%s\n", name.c_str(), rank,
+                mix.format().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared helpers for the experiment-regeneration binaries.
+//
+// Every bench accepts:
+//   --runs=N     injections per region (default varies; paper used 400-500)
+//   --seed=S     campaign seed
+//   --csv        additionally emit CSV rows
+//   --quiet      suppress the progress ticker
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "core/sampling.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace fsim::bench {
+
+struct BenchArgs {
+  int runs = 200;
+  std::uint64_t seed = 0xfa;
+  bool csv = false;
+  bool json = false;
+  bool quiet = false;
+};
+
+inline BenchArgs parse_args(int argc, char** argv, int default_runs) {
+  util::Cli cli(argc, argv);
+  BenchArgs a;
+  a.runs = static_cast<int>(cli.num("runs", default_runs));
+  a.seed = static_cast<std::uint64_t>(cli.num("seed", 0xfa));
+  a.csv = cli.flag("csv");
+  a.json = cli.flag("json");
+  a.quiet = cli.flag("quiet");
+  for (const auto& name : cli.unused())
+    std::fprintf(stderr, "warning: unused option --%s\n", name.c_str());
+  return a;
+}
+
+inline core::CampaignConfig campaign_config(const BenchArgs& a) {
+  core::CampaignConfig cfg;
+  cfg.runs_per_region = a.runs;
+  cfg.seed = a.seed;
+  if (!a.quiet) {
+    cfg.progress = [](core::Region region, int done, int total) {
+      if (done == 1 || done == total || done % 50 == 0)
+        std::fprintf(stderr, "\r  %-13s %4d/%d", core::region_name(region),
+                     done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+  }
+  return cfg;
+}
+
+/// Optional machine-readable emission shared by the table benches.
+inline void emit_exports(const BenchArgs& a, const core::CampaignResult& res) {
+  if (a.csv) std::printf("\n%s", core::campaign_csv(res).c_str());
+  if (a.json) std::printf("\n%s\n", core::campaign_json(res).c_str());
+}
+
+inline void print_sampling_note(int runs) {
+  const double d = core::estimation_error(0.05, static_cast<std::uint64_t>(runs));
+  std::printf(
+      "(%d injections/region; 95%% confidence estimation error d = %.1f%% "
+      "by Cochran oversampling, paper Sec 4.3)\n\n",
+      runs, 100.0 * d);
+}
+
+/// Paper reference rows for side-by-side comparison: {region, error%, note}.
+struct PaperRow {
+  const char* region;
+  const char* errors;
+  const char* manifest;  // crash/hang/incorrect/appdet/mpidet summary
+};
+
+inline void print_reference(const char* title,
+                            const std::vector<PaperRow>& rows) {
+  util::Table t(title);
+  t.header({"Region", "Errors (%)", "Manifestations (paper)"});
+  for (const auto& r : rows) t.row({r.region, r.errors, r.manifest});
+  std::printf("%s\n", t.ascii().c_str());
+}
+
+}  // namespace fsim::bench

@@ -1,0 +1,135 @@
+// google-benchmark micro set: throughput of the laboratory's building
+// blocks. These are not paper experiments; they document the cost envelope
+// of the simulator (instructions/second, channel throughput, injection
+// latency) so campaign sizes can be budgeted.
+#include <benchmark/benchmark.h>
+
+#include "apps/app.hpp"
+#include "core/dictionary.hpp"
+#include "core/injector.hpp"
+#include "core/run.hpp"
+#include "simmpi/world.hpp"
+#include "svm/assembler.hpp"
+#include "svm/env.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fsim;
+
+void BM_RngDraw(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_RngDraw);
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  // Tight integer loop: measures raw decode/execute speed.
+  svm::Program p = svm::assemble(R"(
+.text
+main:
+    ldi r1, 0
+    lui r2, 0x7fff
+loop:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    ret
+)");
+  svm::Machine m(p, {});
+  svm::BasicEnv env(m);
+  for (auto _ : state) {
+    const std::uint64_t done = m.step(100000);
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(m.instructions()));
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void BM_FpuKernelThroughput(benchmark::State& state) {
+  svm::Program p = svm::assemble(R"(
+.text
+main:
+    ldi r1, 0
+    lui r2, 0x7fff
+    la r3, v
+loop:
+    fld [r3]
+    fld1
+    faddp
+    fst [r3]
+    addi r1, r1, 1
+    blt r1, r2, loop
+    ret
+.data
+v: .f64 0.5
+)");
+  svm::Machine m(p, {});
+  svm::BasicEnv env(m);
+  for (auto _ : state) benchmark::DoNotOptimize(m.step(100000));
+  state.SetItemsProcessed(static_cast<std::int64_t>(m.instructions()));
+}
+BENCHMARK(BM_FpuKernelThroughput);
+
+void BM_AssembleWavetoy(benchmark::State& state) {
+  apps::App app = apps::make_wavetoy();
+  for (auto _ : state) {
+    svm::Program p = app.link();
+    benchmark::DoNotOptimize(p.symbols().size());
+  }
+}
+BENCHMARK(BM_AssembleWavetoy);
+
+void BM_ChannelRoundTrip(benchmark::State& state) {
+  simmpi::Channel ch;
+  simmpi::MsgHeader h;
+  h.kind = static_cast<std::uint32_t>(simmpi::MsgKind::kData);
+  h.payload_len = 256;
+  std::vector<std::byte> payload(256, std::byte{7});
+  for (auto _ : state) {
+    ch.enqueue(simmpi::serialize_packet(h, payload));
+    benchmark::DoNotOptimize(ch.drain());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 304);
+}
+BENCHMARK(BM_ChannelRoundTrip);
+
+void BM_RegisterInjection(benchmark::State& state) {
+  apps::App app = apps::make_wavetoy();
+  svm::Program p = app.link();
+  simmpi::World world(p, app.world);
+  for (int i = 0; i < 50; ++i) world.advance();
+  core::Injector inj(core::Region::kRegularReg);
+  util::Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(inj.inject(world, rng));
+}
+BENCHMARK(BM_RegisterInjection);
+
+void BM_DictionaryBuild(benchmark::State& state) {
+  apps::App app = apps::make_wavetoy();
+  svm::Program p = app.link();
+  for (auto _ : state) {
+    util::Rng rng(4);
+    core::FaultDictionary dict(p, core::Region::kText, rng, 4096);
+    benchmark::DoNotOptimize(dict.size());
+  }
+}
+BENCHMARK(BM_DictionaryBuild);
+
+void BM_GoldenWavetoyRun(benchmark::State& state) {
+  apps::WavetoyConfig cfg;
+  cfg.ranks = 4;
+  cfg.columns = 8;
+  cfg.rows = 8;
+  cfg.steps = 6;
+  apps::App app = apps::make_wavetoy(cfg);
+  svm::Program p = app.link();
+  for (auto _ : state) {
+    simmpi::World world(p, app.world);
+    benchmark::DoNotOptimize(world.run(1'000'000'000ull));
+  }
+}
+BENCHMARK(BM_GoldenWavetoyRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+#include "apps/app.hpp"
+
+#include "simmpi/stubs.hpp"
+#include "svm/assembler.hpp"
+#include "util/status.hpp"
+
+namespace fsim::apps {
+
+svm::Program App::link() const {
+  return svm::assemble_units({user_asm, simmpi::stub_library_asm()});
+}
+
+App make_app(const std::string& name) {
+  if (name == "wavetoy") return make_wavetoy();
+  if (name == "minimd") return make_minimd();
+  if (name == "atmo") return make_atmo();
+  if (name == "jacobi") return make_jacobi();
+  throw util::SetupError("unknown app '" + name +
+                         "' (expected wavetoy|minimd|atmo|jacobi)");
+}
+
+std::vector<std::string> app_names() { return {"wavetoy", "minimd", "atmo"}; }
+
+}  // namespace fsim::apps

@@ -1,0 +1,556 @@
+// Atmo: the CAM analogue (§4.2.3).
+//
+// Column physics with a communication pattern dominated by *control*
+// traffic: two barriers and several tiny reductions/broadcasts per step, so
+// most received bytes are headers (CAM's Table 1 profile is 63% header).
+// State lives in Fortran-style static arrays: a large climatology table in
+// BSS that is written once at startup and then never touched again, which
+// is why BSS injections rarely manifest (§6.1.2).
+//
+// CAM's defensive checks are modelled as the paper describes (§6.2): "any
+// moisture value below a minimum threshold can trigger a warning and abort
+// the application", plus NaN detection on key variables; both print to the
+// console and abort (App Detected). An MPI error handler is registered.
+#include <sstream>
+
+#include "apps/app.hpp"
+#include "apps/coldcode.hpp"
+#include "util/status.hpp"
+
+namespace fsim::apps {
+
+App make_atmo(const AtmoConfig& cfg) {
+  FSIM_CHECK(cfg.ranks >= 2 && cfg.columns >= 1 && cfg.steps >= 1);
+  const int cb = cfg.columns * 8;  // column block bytes
+
+  std::ostringstream os;
+  os << "; atmo (generated): ranks=" << cfg.ranks
+     << " columns=" << cfg.columns << " steps=" << cfg.steps
+     << " moisture_check=" << cfg.moisture_check << "\n";
+  os << R"(.text
+main:
+    enter 160
+    call MPI_Init
+    call MPI_Comm_rank
+    mov r9, r1
+    la r5, myrank
+    stw [r5], r9
+    call MPI_Comm_size
+    la r5, nprocs
+    stw [r5], r1
+    ldi r1, 1
+    call MPI_Errhandler_set
+    ; work arena: allocated once, essentially never touched again
+)";
+  os << "    li r1, " << cfg.cold_heap_bytes << "\n";
+  os << R"(    sys 8
+    la r5, work_p
+    stw [r5], r1
+    ; mean-moisture history (heap-resident, partially live)
+)";
+  os << "    li r1, " << cfg.steps * 8 << "\n";
+  os << R"(    sys 8
+    la r5, hist_p
+    stw [r5], r1
+    ; surface-flux array: heap-resident state read and rewritten every step
+    li r1, 512
+    sys 8
+    la r5, flux_p
+    stw [r5], r1
+    mov r6, r1
+    li r7, 512
+    add r7, r6, r7
+fxzero:
+    fldz
+    fst [r6]
+    addi r6, r6, 8
+    bltu r6, r7, fxzero
+    call init_state
+    ldi r5, 0
+    la r6, stepno
+    stw [r6], r5
+steploop:
+    call MPI_Barrier
+    call physics
+    call reductions
+    call forcing_bcast
+    call partner_exchange
+    call MPI_Barrier
+    la r5, stepno
+    ldw r6, [r5]
+    addi r6, r6, 1
+    stw [r5], r6
+)";
+  os << "    ldi r7, " << cfg.steps << "\n    blt r6, r7, steploop\n";
+
+  // Output: rank 0 gathers moisture fields and writes them as text.
+  os << R"(    ldi r5, 0
+    bne r9, r5, send_q
+    la r1, banner
+    ldi r2, 12
+    sys 3
+    ; trailing moisture history (reads the hot tail of the heap array)
+    la r5, hist_p
+    ldw r5, [r5]
+)";
+  os << "    li r6, " << (cfg.steps - 4) * 8 << "\n";
+  os << R"(    add r5, r5, r6
+    stw [fp-8], r5
+    ldi r5, 0
+    stw [fp-12], r5
+histloop:
+    ldw r1, [fp-8]
+    ldi r2, 6
+    sys 4
+    la r1, nl
+    ldi r2, 1
+    sys 3
+    ldw r5, [fp-8]
+    addi r5, r5, 8
+    stw [fp-8], r5
+    ldw r5, [fp-12]
+    addi r5, r5, 1
+    stw [fp-12], r5
+    ldi r6, 4
+    blt r5, r6, histloop
+    la r1, q
+    call write_q
+    ldi r5, 1
+    stw [fp-4], r5
+agather:
+    la r1, pbuf
+)";
+  os << "    li r2, " << cb << "\n";
+  os << R"(    ldw r3, [fp-4]
+    ldi r4, 9
+    call MPI_Recv
+    la r1, pbuf
+    call write_q
+    ldw r5, [fp-4]
+    addi r5, r5, 1
+    stw [fp-4], r5
+    la r6, nprocs
+    ldw r6, [r6]
+    blt r5, r6, agather
+    jmp afin
+send_q:
+    la r1, q
+)";
+  os << "    li r2, " << cb << "\n";
+  os << R"(    ldi r3, 0
+    ldi r4, 9
+    call MPI_Send
+afin:
+    call MPI_Finalize
+    ldi r1, 0
+    leave
+    ret
+
+; --- init_state: q ~ 0.1, T ~ 280; climatology written once ---
+init_state:
+    enter 48
+    ldi r2, 0
+isloop:
+)";
+  os << "    muli r3, r9, " << cfg.columns << "\n";
+  os << R"(    add r3, r3, r2
+    ; q = 0.1 + 0.01 * sin(0.5 * gcol)
+    i2f r3
+    la r5, chalf
+    fld [r5]
+    fmulp
+    fsin
+    la r5, c001
+    fld [r5]
+    fmulp
+    la r5, cq0
+    fld [r5]
+    faddp
+    la r5, q
+    muli r6, r2, 8
+    add r5, r5, r6
+    fst [r5]
+    ; T = 280 + sin(0.3 * gcol)
+    i2f r3
+    la r5, c03
+    fld [r5]
+    fmulp
+    fsin
+    la r5, ct0
+    fld [r5]
+    faddp
+    la r5, t
+    add r5, r5, r6
+    fst [r5]
+    addi r2, r2, 1
+)";
+  os << "    ldi r5, " << cfg.columns << "\n    blt r2, r5, isloop\n";
+  os << R"(    ; touch the first 64 climatology entries; the rest stay cold
+    la r5, climatology
+    ldi r6, 0
+clloop:
+    fld1
+    fst [r5]
+    addi r5, r5, 8
+    addi r6, r6, 1
+    ldi r7, 64
+    blt r6, r7, clloop
+    leave
+    ret
+
+; --- physics: relaxation + moisture source per column, with checks ---
+physics:
+    enter 96
+    la r10, t
+    la r11, q
+    la r6, teq
+    fld [r6]         ; Teq stays FPU-resident across the column sweep
+    la r12, flux_p
+    ldw r12, [r12]   ; heap-resident flux state
+    ldi r2, 0
+phloop:
+    stw [fp-4], r2
+    muli r3, r2, 8
+    add r4, r10, r3
+    add r5, r11, r3
+    ; T += 0.05 * (Teq - T)
+    fdup 0
+    fld [r4]
+    fsubp            ; Teq - T   (leaves the resident Teq below)
+    la r6, c005
+    fld [r6]
+    fmulp
+    fld [r4]
+    faddp            ; newT
+    fstnp [r4]
+    ; q = 0.99*q + 0.001*(1 + sin(0.01 * newT))
+    la r6, c001s
+    fld [r6]
+    fmulp            ; 0.01 * newT
+    fsin
+    fld1
+    faddp
+    la r6, c0001
+    fld [r6]
+    fmulp            ; source term
+    fld [r5]
+    la r6, c099
+    fld [r6]
+    fmulp
+    faddp            ; new q
+    ; couple in the heap-resident flux from the previous step, then store
+    ; the updated moisture back into the flux slot (surface feedback)
+    andi r6, r2, 63
+    shli r6, r6, 3
+    add r6, r12, r6
+    fld [r6]
+    la r7, c1em6
+    fld [r7]
+    fmulp
+    faddp            ; q += 0.01 * flux[col % 64]
+    fstnp [r5]
+    fstnp [r6]
+)";
+  if (cfg.moisture_check) {
+    os << R"(    ; NaN check on q (propagates T corruption through sin)
+    fdup 0
+    fcmp r6
+    fpop
+    ldi r7, 2
+    beq r6, r7, ph_nan
+    ; lower-bound check: abort when q < qmin
+    la r6, qmin
+    fld [r6]
+    fcmp r7
+    fpop
+    fpop
+    ldi r6, 1
+    beq r7, r6, ph_low
+)";
+  } else {
+    os << "    fpop\n";
+  }
+  os << R"(    ldw r2, [fp-4]
+    addi r2, r2, 1
+)";
+  os << "    ldi r5, " << cfg.columns << "\n    blt r2, r5, phloop\n";
+  os << R"(    fpop
+    leave
+    ret
+)";
+  if (cfg.moisture_check) {
+    os << R"(ph_nan:
+    la r1, nanmsg
+    ldi r2, 23
+    sys 11
+    leave
+    ret
+ph_low:
+    la r1, lowmsg
+    ldi r2, 28
+    sys 11
+    leave
+    ret
+)";
+  }
+
+  os << R"(
+; --- reductions: global sums (tiny payloads, header-heavy traffic) ---
+reductions:
+    enter 64
+    ; sumbuf = [sum q, sum T]
+    fldz
+    ldi r2, 0
+r1loop:
+    muli r3, r2, 8
+    la r4, q
+    add r4, r4, r3
+    fld [r4]
+    faddp
+    addi r2, r2, 1
+)";
+  os << "    ldi r5, " << cfg.columns << "\n    blt r2, r5, r1loop\n";
+  os << R"(    la r5, sumbuf
+    fst [r5]
+    fldz
+    ldi r2, 0
+r2loop:
+    muli r3, r2, 8
+    la r4, t
+    add r4, r4, r3
+    fld [r4]
+    faddp
+    addi r2, r2, 1
+)";
+  os << "    ldi r5, " << cfg.columns << "\n    blt r2, r5, r2loop\n";
+  os << R"(    la r5, sumbuf
+    fst [r5+8]
+    la r1, sumbuf
+    la r2, resbuf
+    ldi r3, 2
+    call MPI_Allreduce_sum
+    ; append the global moisture sum to the history array
+    la r5, hist_p
+    ldw r5, [r5]
+    la r6, stepno
+    ldw r6, [r6]
+    shli r6, r6, 3
+    add r5, r5, r6
+    la r6, resbuf
+    fld [r6]
+    fst [r5]
+    ; second reduction: sum of q^2 (variance monitor)
+    fldz
+    ldi r2, 0
+r3loop:
+    muli r3, r2, 8
+    la r4, q
+    add r4, r4, r3
+    fld [r4]
+    fdup 0
+    fmulp
+    faddp
+    addi r2, r2, 1
+)";
+  os << "    ldi r5, " << cfg.columns << "\n    blt r2, r5, r3loop\n";
+  os << R"(    la r5, sumbuf
+    fst [r5]
+    la r1, sumbuf
+    la r2, var
+    ldi r3, 1
+    call MPI_Allreduce_sum
+    ; third reduction: sum of T^2
+    fldz
+    ldi r2, 0
+r4loop:
+    muli r3, r2, 8
+    la r4, t
+    add r4, r4, r3
+    fld [r4]
+    fdup 0
+    fmulp
+    faddp
+    addi r2, r2, 1
+)";
+  os << "    ldi r5, " << cfg.columns << "\n    blt r2, r5, r4loop\n";
+  os << R"(    la r5, sumbuf
+    fst [r5]
+    la r1, sumbuf
+    la r2, tvar
+    ldi r3, 1
+    call MPI_Allreduce_sum
+    leave
+    ret
+
+; --- forcing_bcast: rank 0 derives a forcing pair and broadcasts it ---
+forcing_bcast:
+    enter 48
+    ldi r5, 0
+    bne r9, r5, fb_recv
+    la r5, stepno
+    ldw r5, [r5]
+    i2f r5
+    la r6, c07
+    fld [r6]
+    fmulp
+    fsin
+    la r6, c00001
+    fld [r6]
+    fmulp
+    la r6, forcing
+    fst [r6]
+    fldz
+    la r6, forcing
+    fst [r6+8]
+fb_recv:
+    la r1, forcing
+    ldi r2, 16
+    ldi r3, 0
+    call MPI_Bcast
+    ; apply: T[i] += forcing[0]
+    ldi r2, 0
+fbloop:
+    muli r3, r2, 8
+    la r4, t
+    add r4, r4, r3
+    la r5, forcing
+    fld [r5]
+    fld [r4]
+    faddp
+    fst [r4]
+    addi r2, r2, 1
+)";
+  os << "    ldi r5, " << cfg.columns << "\n    blt r2, r5, fbloop\n";
+  os << R"(    leave
+    ret
+
+; --- partner_exchange: blend moisture with the paired rank ---
+partner_exchange:
+    enter 48
+    ; exchange runs every 4th step only (keeps traffic header-dominated)
+    la r5, stepno
+    ldw r5, [r5]
+    andi r5, r5, 3
+    ldi r6, 0
+    bne r5, r6, pe_done
+    xori r5, r9, 1
+    la r6, nprocs
+    ldw r6, [r6]
+    bge r5, r6, pe_done   ; odd world size: last rank has no partner
+    la r1, q
+)";
+  os << "    li r2, " << cb << "\n";
+  os << R"(    xori r3, r9, 1
+    ldi r4, 4
+    call MPI_Send
+    la r1, pbuf
+)";
+  os << "    li r2, " << cb << "\n";
+  os << R"(    xori r3, r9, 1
+    ldi r4, 4
+    call MPI_Recv
+    ; q = 0.98*q + 0.02*q_partner
+    ldi r2, 0
+peloop:
+    muli r3, r2, 8
+    la r4, q
+    add r4, r4, r3
+    la r5, pbuf
+    add r5, r5, r3
+    fld [r4]
+    la r6, c098
+    fld [r6]
+    fmulp
+    fld [r5]
+    la r6, c002
+    fld [r6]
+    fmulp
+    faddp
+    fst [r4]
+    addi r2, r2, 1
+)";
+  os << "    ldi r5, " << cfg.columns << "\n    blt r2, r5, peloop\n";
+  os << R"(pe_done:
+    leave
+    ret
+
+; --- write_q(r1): emit one moisture block as text ---
+write_q:
+    enter 64
+    stw [fp-4], r1
+)";
+  os << "    li r5, " << cb << "\n";
+  os << R"(    add r5, r1, r5
+    stw [fp-8], r5
+wqloop:
+    ldw r1, [fp-4]
+)";
+  os << "    ldi r2, " << cfg.out_digits << "\n    sys 4\n";
+  os << R"(    la r1, nl
+    ldi r2, 1
+    sys 3
+    ldw r5, [fp-4]
+    addi r5, r5, 8
+    stw [fp-4], r5
+    ldw r6, [fp-8]
+    bltu r5, r6, wqloop
+    leave
+    ret
+
+)";
+  os << cold_code_asm("at", cfg.cold_functions);
+  os << R"(
+.data
+teq: .f64 285.0
+c005: .f64 0.05
+c001: .f64 0.01
+c001s: .f64 0.01
+c0001: .f64 0.001
+c00001: .f64 0.0001
+c099: .f64 0.99
+c098: .f64 0.98
+c002: .f64 0.02
+c03: .f64 0.3
+c07: .f64 0.7
+chalf: .f64 0.5
+cq0: .f64 0.1
+ct0: .f64 280.0
+qmin: .f64 1e-9
+c1em6: .f64 0.01
+)";
+  os << cold_table_asm("clim_coeffs", 128);
+  os << R"(banner: .asciz "ATMO OUTPUT\n"
+nl: .asciz "\n"
+nanmsg: .asciz "NaN in moisture/physics"
+lowmsg: .asciz "moisture below minimum abort"
+.bss
+nprocs: .space 4
+myrank: .space 4
+stepno: .space 4
+work_p: .space 4
+hist_p: .space 4
+flux_p: .space 4
+.align 8
+)";
+  os << "q: .space " << cb << "\n";
+  os << "t: .space " << cb << "\n";
+  os << "pbuf: .space " << cb << "\n";
+  os << R"(sumbuf: .space 16
+resbuf: .space 16
+forcing: .space 16
+var: .space 8
+tvar: .space 8
+)";
+  os << "climatology: .space " << cfg.bss_table_bytes << "\n";
+
+  App app;
+  app.name = "atmo";
+  app.user_asm = os.str();
+  app.world.nranks = cfg.ranks;
+  app.world.quantum = 192;
+  app.world.quantum_jitter = 0;
+  app.baseline = BaselineStream::kOutputFile;
+  return app;
+}
+
+}  // namespace fsim::apps

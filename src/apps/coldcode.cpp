@@ -1,0 +1,75 @@
+#include "apps/coldcode.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace fsim::apps {
+
+std::string cold_code_asm(const std::string& prefix, int count) {
+  static const char* kNames[] = {
+      "parse_options",   "print_usage",      "read_config",
+      "write_checkpoint","restore_checkpoint","format_error",
+      "dump_state",      "validate_input",   "log_message",
+      "open_logfile",    "close_logfile",    "parse_env",
+      "init_timers",     "report_timers",    "broadcast_params",
+      "free_buffers",    "resize_grid",      "refine_mesh",
+      "load_table",      "interp_coeffs",    "apply_bc_periodic",
+      "apply_bc_dirichlet","compute_norm",   "write_restart",
+      "read_restart",    "print_banner",     "check_license",
+      "query_topology",  "setup_decomposition","migrate_cells",
+      "balance_load",    "gather_statistics","print_statistics",
+      "abort_run",       "warn_user",        "flush_output",
+      "hash_params",     "seed_random",      "shuffle_indices",
+      "sort_particles",
+  };
+  constexpr int kNumNames = static_cast<int>(sizeof(kNames) / sizeof(*kNames));
+
+  std::ostringstream os;
+  os << "; cold utility code (" << count << " functions, never executed)\n";
+  for (int i = 0; i < count; ++i) {
+    os << prefix << "_" << kNames[i % kNumNames];
+    if (i >= kNumNames) os << i / kNumNames;
+    os << ":\n"
+       << "    enter 32\n"
+       << "    ldi r5, " << (i * 7 + 3) % 255 << "\n"
+       << "    stw [fp-4], r5\n"
+       << "    ldi r6, " << (i * 13 + 1) % 255 << "\n"
+       << "    stw [fp-8], r6\n"
+       << "    ldw r5, [fp-4]\n"
+       << "    ldw r6, [fp-8]\n"
+       << "    add r7, r5, r6\n"
+       << "    xori r7, r7, 0x" << std::hex << ((i * 37 + 5) & 0xffff)
+       << std::dec << "\n"
+       << "    shli r8, r7, 3\n"
+       << "    sub r8, r8, r7\n"
+       << "    stw [fp-12], r8\n"
+       << "    ldw r5, [fp-12]\n"
+       << "    srai r5, r5, 1\n"
+       << "    andi r5, r5, 0x7fff\n"
+       << "    stw [fp-16], r5\n"
+       << "    ldi r6, 0\n"
+       << "    ldi r7, 4\n"
+       << prefix << "_cl" << i << ":\n"
+       << "    addi r6, r6, 1\n"
+       << "    muli r5, r5, 3\n"
+       << "    blt r6, r7, " << prefix << "_cl" << i << "\n"
+       << "    mov r1, r5\n"
+       << "    leave\n"
+       << "    ret\n";
+  }
+  return os.str();
+}
+
+std::string cold_table_asm(const std::string& label, int doubles) {
+  std::ostringstream os;
+  os << label << ":";
+  for (int i = 0; i < doubles; ++i) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", 0.5 + 0.001 * i - 0.0005 * (i % 7));
+    os << (i % 8 == 0 ? "\n  .f64 " : ", ") << buf;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace fsim::apps

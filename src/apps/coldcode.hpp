@@ -1,0 +1,26 @@
+// Cold-code and cold-data filler for the benchmark applications.
+//
+// Real scientific codes are dominated by code and data that a production
+// run never touches: option parsing, checkpoint writers, error formatters,
+// rarely-taken physics branches. The paper's working-set analysis (§6.1.2)
+// shows computation-phase text working sets of 8-13% and data working sets
+// mostly under 10% — and attributes the low memory-fault error rates to
+// exactly this coldness. The generators below produce plausible, fully
+// assembled utility functions and coefficient tables that are linked into
+// the image (and therefore enter the fault dictionary) but are never
+// executed or read during a run.
+#pragma once
+
+#include <string>
+
+namespace fsim::apps {
+
+/// `count` cold utility functions (~25 instructions each) for .text.
+/// Symbol names cycle through a list of realistic helper names, prefixed to
+/// stay unique per app.
+std::string cold_code_asm(const std::string& prefix, int count);
+
+/// A cold coefficient table of `doubles` f64 entries for .data.
+std::string cold_table_asm(const std::string& label, int doubles);
+
+}  // namespace fsim::apps

@@ -1,0 +1,282 @@
+// Jacobi: a naturally fault-tolerant iterative solver (paper §8.2).
+//
+// Solves -u'' = 1 on (0,1) with zero boundaries by weighted-average Jacobi
+// sweeps over a block-distributed grid, exchanging single-value halos with
+// MPI_Isend/MPI_Irecv/MPI_Wait and checking global convergence with a
+// periodic allreduce of the squared update norm. Because the iteration is a
+// contraction toward the fixed point, a bit flip in the solution vector is
+// *absorbed*: the run takes extra sweeps and still produces the correct
+// output — unless the flip creates NaN/Inf, which can never converge.
+// This is the behaviour the paper cites from Geist/Engelmann and Baudet:
+// "a small error or lost data only slows convergence rather than leading
+// to wrong results".
+#include <cmath>
+#include <sstream>
+
+#include "apps/app.hpp"
+#include "util/status.hpp"
+
+namespace fsim::apps {
+
+namespace {
+
+std::string f64(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+App make_jacobi(const JacobiConfig& cfg) {
+  FSIM_CHECK(cfg.ranks >= 2 && cfg.cells >= 1 && cfg.max_iterations >= 1);
+  FSIM_CHECK((cfg.check_every & (cfg.check_every - 1)) == 0 &&
+             "check_every must be a power of two");
+  const int n = cfg.cells;
+  const int total = cfg.ranks * n;
+  const double h = 1.0 / (total + 1);
+  const double csrc = 0.5 * h * h;  // 0.5 * h^2 * f with f = 1
+  const int noff = n * 8;           // byte offset of u[n]
+  const int n1off = (n + 1) * 8;    // byte offset of the right ghost
+  const int intb = n * 8;
+
+  std::ostringstream os;
+  os << "; jacobi (generated): ranks=" << cfg.ranks << " cells=" << n
+     << " tol=" << cfg.tolerance << "\n";
+  os << R"(.text
+main:
+    enter 64
+    call MPI_Init
+    call MPI_Comm_rank
+    mov r9, r1
+    la r5, myrank
+    stw [r5], r9
+    call MPI_Comm_size
+    la r5, nprocs
+    stw [r5], r1
+    la r10, ubuf
+    la r11, unbuf
+    ldi r5, 0
+    la r6, iter
+    stw [r6], r5
+steploop:
+    call halo_exchange
+    call update_sweep
+    ; swap the roles of u and unew
+    mov r5, r10
+    mov r10, r11
+    mov r11, r5
+    la r6, iter
+    ldw r5, [r6]
+    addi r5, r5, 1
+    stw [r6], r5
+)";
+  os << "    andi r7, r5, " << cfg.check_every - 1 << "\n";
+  os << R"(    ldi r6, 0
+    bne r7, r6, no_check
+    ; periodic convergence test: allreduce the squared update norm
+    la r1, localres
+    la r2, gres
+    ldi r3, 1
+    call MPI_Allreduce_sum
+    la r5, gres
+    fld [r5]
+    la r6, tol
+    fld [r6]
+    fcmp r7
+    fpop
+    fpop
+    ldi r6, 1
+    beq r7, r6, converged    ; tol > gres
+no_check:
+    la r6, iter
+    ldw r5, [r6]
+)";
+  os << "    li r6, " << cfg.max_iterations << "\n";
+  os << R"(    blt r5, r6, steploop
+converged:
+    ; console: the iteration count (varies under faults; not part of the
+    ; compared output)
+    la r1, itmsg
+    ldi r2, 6
+    sys 1
+    la r5, iter
+    ldw r1, [r5]
+    sys 2
+    la r1, nl
+    ldi r2, 1
+    sys 1
+    ; output: collective gather of the interior blocks to rank 0
+    mov r1, r10
+    addi r1, r1, 8
+)";
+  os << "    li r2, " << intb << "\n";
+  os << R"(    la r3, gatherbuf
+    ldi r4, 0
+    call MPI_Gather
+    ldi r5, 0
+    bne r9, r5, jfin
+    la r1, banner
+    ldi r2, 14
+    sys 3
+    la r1, gatherbuf
+    call write_u
+jfin:
+    call MPI_Finalize
+    ldi r1, 0
+    leave
+    ret
+
+; --- halo_exchange: single-value halos via Isend/Irecv/Wait ---
+halo_exchange:
+    enter 32
+    ldi r5, 0
+    stw [fp-4], r5
+    stw [fp-8], r5
+    stw [fp-12], r5
+    stw [fp-16], r5
+    ; left neighbour
+    beq r9, r5, he_right
+    addi r1, r10, 8      ; &u[1]
+    ldi r2, 8
+    addi r3, r9, -1
+    ldi r4, 1
+    call MPI_Isend
+    stw [fp-4], r1
+    mov r1, r10          ; &u[0] (left ghost)
+    ldi r2, 8
+    addi r3, r9, -1
+    ldi r4, 2
+    call MPI_Irecv
+    stw [fp-8], r1
+he_right:
+    la r5, nprocs
+    ldw r5, [r5]
+    addi r5, r5, -1
+    bge r9, r5, he_wait
+)";
+  os << "    addi r1, r10, " << noff << "\n";
+  os << R"(    ldi r2, 8
+    addi r3, r9, 1
+    ldi r4, 2
+    call MPI_Isend
+    stw [fp-12], r1
+)";
+  os << "    addi r1, r10, " << n1off << "\n";
+  os << R"(    ldi r2, 8
+    addi r3, r9, 1
+    ldi r4, 1
+    call MPI_Irecv
+    stw [fp-16], r1
+he_wait:
+    ldw r1, [fp-4]
+    ldi r5, 0
+    beq r1, r5, hw2
+    call MPI_Wait
+hw2:
+    ldw r1, [fp-8]
+    ldi r5, 0
+    beq r1, r5, hw3
+    call MPI_Wait
+hw3:
+    ldw r1, [fp-12]
+    ldi r5, 0
+    beq r1, r5, hw4
+    call MPI_Wait
+hw4:
+    ldw r1, [fp-16]
+    ldi r5, 0
+    beq r1, r5, hw5
+    call MPI_Wait
+hw5:
+    leave
+    ret
+
+; --- update_sweep: unew[i] = (u[i-1]+u[i+1])/2 + h^2/2; residual in FPU ---
+update_sweep:
+    enter 16
+    fldz                 ; running squared update norm
+    ldi r2, 1
+juloop:
+    muli r3, r2, 8
+    add r4, r10, r3
+    add r5, r11, r3
+    fld [r4-8]
+    fld [r4+8]
+    faddp
+    la r6, half
+    fld [r6]
+    fmulp
+    la r6, csrc
+    fld [r6]
+    faddp                ; (unew_i, res)
+    fstnp [r5]
+    fld [r4]             ; (u_i, unew_i, res)
+    fsubp                ; (unew_i - u_i, res)
+    fdup 0
+    fmulp
+    faddp                ; res += d^2
+    addi r2, r2, 1
+)";
+  os << "    ldi r6, " << n << "\n    ble r2, r6, juloop\n";
+  os << R"(    la r5, localres
+    fst [r5]
+    leave
+    ret
+
+; --- write_u(r1): emit the gathered solution as text ---
+write_u:
+    enter 16
+    stw [fp-4], r1
+)";
+  os << "    li r5, " << cfg.ranks * intb << "\n";
+  os << R"(    add r5, r1, r5
+    stw [fp-8], r5
+jwloop:
+    ldw r1, [fp-4]
+)";
+  os << "    ldi r2, " << cfg.out_digits << "\n    sys 4\n";
+  os << R"(    la r1, nl
+    ldi r2, 1
+    sys 3
+    ldw r5, [fp-4]
+    addi r5, r5, 8
+    stw [fp-4], r5
+    ldw r6, [fp-8]
+    bltu r5, r6, jwloop
+    leave
+    ret
+
+.data
+half: .f64 0.5
+)";
+  os << "csrc: .f64 " << f64(csrc) << "\n";
+  os << "tol: .f64 " << f64(cfg.tolerance) << "\n";
+  os << R"(banner: .asciz "JACOBI OUTPUT\n"
+itmsg: .asciz "ITERS "
+nl: .asciz "\n"
+.bss
+nprocs: .space 4
+myrank: .space 4
+iter: .space 4
+.align 8
+localres: .space 8
+gres: .space 8
+)";
+  os << "ubuf: .space " << (n + 2) * 8 << "\n";
+  os << "unbuf: .space " << (n + 2) * 8 << "\n";
+  os << "gatherbuf: .space " << cfg.ranks * intb << "\n";
+
+  App app;
+  app.name = "jacobi";
+  app.user_asm = os.str();
+  app.world.nranks = cfg.ranks;
+  app.world.quantum = 192;
+  app.baseline = BaselineStream::kOutputFile;
+  // Recovery from absorbed faults costs extra sweeps; give the classifier
+  // enough budget to distinguish "slower" from "hung".
+  app.hang_budget_factor = 6.0;
+  return app;
+}
+
+}  // namespace fsim::apps

@@ -1,0 +1,567 @@
+// MiniMD: the NAMD analogue (§4.2.2).
+//
+// Soft-sphere particle dynamics: each rank owns `atoms` particles, computes
+// local pair forces, ring-exchanges its position block every step and adds
+// neighbour forces, then integrates. NAMD's defensive machinery is modelled
+// directly:
+//   * application-level checksums over message *payloads* (not headers),
+//     verified on receive and costing time proportional to message volume;
+//   * NaN consistency checks on the reduced total energy and bound checks
+//     on positions, both aborting with a console message (App Detected);
+//   * a registered MPI error handler (§5.1 "MPI Detected");
+//   * per-step console energy output at limited precision — the only
+//     reproducible output, because scheduler jitter makes the reduction
+//     order (and thus low-order floating-point bits) nondeterministic.
+#include <sstream>
+
+#include "apps/app.hpp"
+#include "apps/coldcode.hpp"
+#include "util/status.hpp"
+
+namespace fsim::apps {
+
+App make_minimd(const MinimdConfig& cfg) {
+  FSIM_CHECK(cfg.ranks >= 2 && cfg.atoms >= 2 && cfg.steps >= 1);
+  const int a16 = cfg.atoms * 16;  // position block bytes
+  // Wire record = positions (checksummed, consumed) + an auxiliary block of
+  // velocities/metadata that the receiver never reads and the checksum does
+  // not cover — like NAMD's full atom records, it makes a large share of
+  // payload bits inconsequential (Table 3's 38% message error rate).
+  const int msg_len = 3 * a16 + (cfg.checksums ? 8 : 0);
+
+  std::ostringstream os;
+  os << "; minimd (generated): ranks=" << cfg.ranks << " atoms=" << cfg.atoms
+     << " steps=" << cfg.steps << " checksums=" << cfg.checksums
+     << " nan_checks=" << cfg.nan_checks << "\n";
+  os << R"(.text
+main:
+    enter 160
+    call MPI_Init
+    call MPI_Comm_rank
+    mov r9, r1
+    la r5, myrank
+    stw [r5], r9
+    call MPI_Comm_size
+    la r5, nprocs
+    stw [r5], r1
+    ldi r1, 1
+    call MPI_Errhandler_set
+)";
+  // Heap allocations: positions, velocities, forces, send/recv blocks.
+  os << "    li r1, " << a16 << "\n    sys 8\n    mov r10, r1\n";  // pos
+  os << "    li r1, " << a16 << "\n    sys 8\n    mov r11, r1\n";  // vel
+  os << "    li r1, " << a16 << "\n    sys 8\n    mov r12, r1\n";  // frc
+  os << "    li r1, " << msg_len << "\n    sys 8\n"
+     << "    la r5, sendbuf_p\n    stw [r5], r1\n";
+  os << "    li r1, " << msg_len << "\n    sys 8\n"
+     << "    la r5, recvbuf_p\n    stw [r5], r1\n";
+  // Cold heap: trajectory/neighbour-list buffers that stay unread (§6.1.2).
+  os << "    li r1, " << cfg.cold_heap_bytes << "\n    sys 8\n"
+     << "    la r5, traj_p\n    stw [r5], r1\n";
+  os << R"(    call init_atoms
+    ldi r5, 0
+    la r6, stepno
+    stw [r6], r5
+steploop:
+    call zero_forces
+    call local_forces
+    call comm_exchange
+    call neighbor_forces
+    call integrate
+)";
+  if (cfg.nan_checks) os << "    call bound_checks\n";
+  os << "    call energy_report\n";
+  os << R"(    la r5, stepno
+    ldw r6, [r5]
+    addi r6, r6, 1
+    stw [r5], r6
+)";
+  os << "    ldi r7, " << cfg.steps << "\n    blt r6, r7, steploop\n";
+  os << R"(    call MPI_Finalize
+    ldi r1, 0
+    leave
+    ret
+
+; --- init_atoms: deterministic positions/velocities from the global id ---
+init_atoms:
+    enter 48
+    ldi r2, 0            ; a
+ialoop:
+)";
+  os << "    muli r3, r9, " << cfg.atoms << "\n";
+  os << R"(    add r3, r3, r2
+    ; x = gid * 0.7
+    i2f r3
+    la r5, c07
+    fld [r5]
+    fmulp
+    muli r4, r2, 16
+    add r5, r10, r4
+    fst [r5]
+    ; y = 2 * sin(gid)
+    i2f r3
+    fsin
+    la r6, two
+    fld [r6]
+    fmulp
+    add r5, r10, r4
+    fst [r5+8]
+    ; vx = 0.1 * sin(1.3 * gid)
+    i2f r3
+    la r6, c13
+    fld [r6]
+    fmulp
+    fsin
+    la r6, tenth
+    fld [r6]
+    fmulp
+    add r5, r11, r4
+    fst [r5]
+    ; vy = 0.1 * cos(0.9 * gid)
+    i2f r3
+    la r6, c09
+    fld [r6]
+    fmulp
+    fcos
+    la r6, tenth
+    fld [r6]
+    fmulp
+    add r5, r11, r4
+    fst [r5+8]
+    addi r2, r2, 1
+)";
+  os << "    ldi r5, " << cfg.atoms << "\n    blt r2, r5, ialoop\n"
+     << "    leave\n    ret\n";
+
+  os << R"(
+; --- zero_forces ---
+zero_forces:
+    enter 0
+    mov r5, r12
+)";
+  os << "    li r6, " << a16 << "\n";
+  os << R"(    add r6, r5, r6
+zfloop:
+    fldz
+    fst [r5]
+    addi r5, r5, 8
+    bltu r5, r6, zfloop
+    leave
+    ret
+
+; --- pair_force(r2 = &pos_a, r3 = &pos_b, r4 = &frc_a, r7 = &frc_b or 0):
+;     soft-sphere force, Newton's third law applied when r7 != 0 ---
+pair_force:
+    enter 32
+    fld [r2]
+    fld [r3]
+    fsubp            ; dx
+    fld [r2+8]
+    fld [r3+8]
+    fsubp            ; dy          (dy, dx)
+    fdup 1           ; (dx, dy, dx)
+    fdup 0
+    fmulp            ; (dx2, dy, dx)
+    fdup 1           ; (dy, dx2, dy, dx)
+    fdup 0
+    fmulp            ; (dy2, dx2, dy, dx)
+    faddp            ; (r2', dy, dx)
+    la r5, eps
+    fld [r5]
+    faddp            ; r2 += eps
+    la r5, gconst
+    fld [r5]         ; (g, r2, dy, dx)
+    fxch 1           ; (r2, g, dy, dx)
+    fdivp            ; (inv, dy, dx)
+    fdup 0           ; (inv, inv, dy, dx)
+    fxch 2           ; (dy, inv, inv, dx)
+    fmulp            ; (fy, inv, dx)
+    fxch 2           ; (dx, inv, fy)
+    fmulp            ; (fx, fy)
+    ; frc_a += (fx, fy)
+    fld [r4]
+    fdup 1
+    faddp
+    fst [r4]
+    fld [r4+8]
+    fdup 2           ; fy is ST(2) while fx still on stack
+    faddp
+    fst [r4+8]
+    ; frc_b -= (fx, fy) when requested
+    ldi r5, 0
+    beq r7, r5, pf_skip
+    fld [r7]
+    fdup 1
+    fsubp
+    fst [r7]
+    fld [r7+8]
+    fdup 2
+    fsubp
+    fst [r7+8]
+pf_skip:
+    fpop
+    fpop
+    leave
+    ret
+)";
+
+  os << R"(
+; --- local_forces: all pairs within the rank ---
+local_forces:
+    enter 96
+    ldi r5, 0
+lf_a:
+    stw [fp-4], r5
+    addi r6, r5, 1
+lf_b:
+    stw [fp-8], r6
+    muli r2, r5, 16
+    add r4, r12, r2
+    add r2, r10, r2
+    muli r3, r6, 16
+    add r7, r12, r3
+    add r3, r10, r3
+    call pair_force
+    ldw r5, [fp-4]
+    ldw r6, [fp-8]
+    addi r6, r6, 1
+)";
+  os << "    ldi r8, " << cfg.atoms << "\n    blt r6, r8, lf_b\n";
+  os << "    addi r5, r5, 1\n    ldi r8, " << cfg.atoms - 1
+     << "\n    blt r5, r8, lf_a\n    leave\n    ret\n";
+
+  // Ring exchange with optional payload checksum.
+  os << R"(
+; --- comm_exchange: ring-pass position blocks ---
+comm_exchange:
+    enter 64
+    ; copy positions into the send block
+    la r5, sendbuf_p
+    ldw r5, [r5]
+    mov r6, r10
+)";
+  os << "    li r7, " << a16 << "\n";
+  os << R"(    add r7, r6, r7
+ce_copy:
+    fld [r6]
+    fst [r5]
+    addi r6, r6, 8
+    addi r5, r5, 8
+    bltu r6, r7, ce_copy
+    ; auxiliary blocks: velocities and forces (receiver ignores these)
+    mov r6, r11
+)";
+  os << "    li r7, " << a16 << "\n";
+  os << R"(    add r7, r6, r7
+ce_copy2:
+    fld [r6]
+    fst [r5]
+    addi r6, r6, 8
+    addi r5, r5, 8
+    bltu r6, r7, ce_copy2
+    mov r6, r12
+)";
+  os << "    li r7, " << a16 << "\n";
+  os << R"(    add r7, r6, r7
+ce_copy3:
+    fld [r6]
+    fst [r5]
+    addi r6, r6, 8
+    addi r5, r5, 8
+    bltu r6, r7, ce_copy3
+)";
+  if (cfg.checksums) {
+    os << R"(    ; append checksum over the payload (user data only, §7)
+    la r5, sendbuf_p
+    ldw r1, [r5]
+)";
+    os << "    li r2, " << a16 << "\n    sys 12\n";
+    os << R"(    la r5, sendbuf_p
+    ldw r5, [r5]
+)";
+    os << "    li r6, " << 3 * a16 << "\n";
+    os << R"(    add r5, r5, r6
+    stw [r5], r1
+    ldi r6, 0
+    stw [r5+4], r6
+)";
+  }
+  os << R"(    ; send to (rank+1) mod P
+    la r1, sendbuf_p
+    ldw r1, [r1]
+)";
+  os << "    li r2, " << msg_len << "\n";
+  os << R"(    la r5, nprocs
+    ldw r5, [r5]
+    addi r3, r9, 1
+    rems r3, r3, r5
+    ldi r4, 3
+    call MPI_Send
+    ; receive from (rank-1+P) mod P
+    la r1, recvbuf_p
+    ldw r1, [r1]
+)";
+  os << "    li r2, " << msg_len << "\n";
+  os << R"(    la r5, nprocs
+    ldw r5, [r5]
+    add r3, r9, r5
+    addi r3, r3, -1
+    rems r3, r3, r5
+    ldi r4, 3
+    call MPI_Recv
+)";
+  if (cfg.checksums) {
+    os << R"(    ; verify the payload checksum
+    la r5, recvbuf_p
+    ldw r1, [r5]
+)";
+    os << "    li r2, " << a16 << "\n    sys 12\n";
+    os << R"(    la r5, recvbuf_p
+    ldw r5, [r5]
+)";
+    os << "    li r6, " << 3 * a16 << "\n";
+    os << R"(    add r5, r5, r6
+    ldw r6, [r5]
+    beq r1, r6, ce_ok
+    la r1, ckmsg
+    ldi r2, 25
+    sys 11
+ce_ok:
+)";
+  }
+  os << "    leave\n    ret\n";
+
+  os << R"(
+; --- neighbor_forces: pairs against the received block ---
+neighbor_forces:
+    enter 96
+    ldi r5, 0
+nf_a:
+    stw [fp-4], r5
+    ldi r6, 0
+nf_b:
+    stw [fp-8], r6
+    muli r2, r5, 16
+    add r4, r12, r2
+    add r2, r10, r2
+    la r3, recvbuf_p
+    ldw r3, [r3]
+    muli r7, r6, 16
+    add r3, r3, r7
+    ldi r7, 0        ; no reaction force on remote atoms
+    call pair_force
+    ldw r5, [fp-4]
+    ldw r6, [fp-8]
+    addi r6, r6, 1
+)";
+  os << "    ldi r8, " << cfg.atoms << "\n    blt r6, r8, nf_b\n";
+  os << "    addi r5, r5, 1\n    ldi r8, " << cfg.atoms
+     << "\n    blt r5, r8, nf_a\n    leave\n    ret\n";
+
+  os << R"(
+; --- integrate: velocity/position update + kinetic energy ---
+integrate:
+    enter 96
+    la r2, dt
+    fld [r2]             ; dt stays FPU-resident for the whole update
+    fldz
+    la r5, ke
+    fst [r5]
+    ldi r5, 0
+in_a:
+    stw [fp-4], r5
+    muli r6, r5, 16
+    add r7, r11, r6      ; &vel[a]
+    add r8, r10, r6      ; &pos[a]
+    add r6, r12, r6      ; &frc[a]
+    ; component x: v += f*dt; ke += v^2; x += v*dt
+    fld [r7]
+    fld [r6]
+    fdup 2
+    fmulp
+    faddp
+    fstnp [r7]           ; (v', dt)
+    fdup 0
+    fmulp
+    la r2, ke
+    fld [r2]
+    faddp
+    fst [r2]             ; (dt)
+    fld [r7]
+    fdup 1
+    fmulp
+    fld [r8]
+    faddp
+    fst [r8]             ; (dt)
+    ; component y
+    fld [r7+8]
+    fld [r6+8]
+    fdup 2
+    fmulp
+    faddp
+    fstnp [r7+8]
+    fdup 0
+    fmulp
+    la r2, ke
+    fld [r2]
+    faddp
+    fst [r2]
+    fld [r7+8]
+    fdup 1
+    fmulp
+    fld [r8+8]
+    faddp
+    fst [r8+8]
+    ldw r5, [fp-4]
+    addi r5, r5, 1
+)";
+  os << "    ldi r6, " << cfg.atoms << "\n    blt r5, r6, in_a\n"
+     << "    fpop\n    leave\n    ret\n";
+
+  if (cfg.nan_checks) {
+    os << R"(
+; --- bound_checks: NAMD-style sanity checks on positions ---
+bound_checks:
+    enter 96
+    ldi r5, 0
+bc_a:
+    stw [fp-4], r5
+    muli r6, r5, 16
+    add r6, r10, r6
+    fld [r6]
+    fabs
+    la r7, bound
+    fld [r7]
+    fcmp r8              ; compare bound (ST0) with |x| (ST1)
+    fpop
+    fpop
+    ldi r7, 0
+    blt r8, r7, bc_fail  ; bound < |x|
+    ldi r7, 2
+    beq r8, r7, bc_fail  ; unordered: x is NaN
+    ldw r5, [fp-4]
+    addi r5, r5, 1
+)";
+    os << "    ldi r6, " << cfg.atoms << "\n    blt r5, r6, bc_a\n";
+    os << R"(    leave
+    ret
+bc_fail:
+    la r1, bndmsg
+    ldi r2, 26
+    sys 11
+    leave
+    ret
+)";
+  }
+
+  os << R"(
+; --- energy_report: reduce KE to rank 0, NaN-check, rank 0 prints ---
+energy_report:
+    enter 48
+    la r1, ke
+    la r2, etot
+    ldi r3, 1
+    ldi r4, 0
+    call MPI_Reduce_sum
+)";
+  if (cfg.nan_checks) {
+    // Every rank checks its local kinetic energy; rank 0 additionally
+    // checks the reduced total below.
+    os << R"(    la r5, ke
+    fld [r5]
+    fdup 0
+    fcmp r6
+    fpop
+    fpop
+    ldi r7, 2
+    bne r6, r7, er_ok
+    la r1, nanmsg
+    ldi r2, 21
+    sys 11
+er_ok:
+)";
+  }
+  os << R"(    ldi r5, 0
+    bne r9, r5, er_done
+)";
+  if (cfg.nan_checks) {
+    os << R"(    la r5, etot
+    fld [r5]
+    fdup 0
+    fcmp r6
+    fpop
+    fpop
+    ldi r7, 2
+    bne r6, r7, er_ok2
+    la r1, nanmsg
+    ldi r2, 21
+    sys 11
+er_ok2:
+)";
+  }
+  os << R"(    la r1, stepmsg
+    ldi r2, 5
+    sys 1
+    la r5, stepno
+    ldw r1, [r5]
+    sys 2
+    la r1, emsg
+    ldi r2, 3
+    sys 1
+    la r1, etot
+)";
+  os << "    ldi r2, " << cfg.console_digits << "\n    sys 7\n";
+  os << R"(    la r1, nl
+    ldi r2, 1
+    sys 1
+er_done:
+    leave
+    ret
+)";
+
+  os << cold_code_asm("md", cfg.cold_functions);
+
+  os << R"(
+.data
+dt: .f64 0.01
+eps: .f64 0.05
+gconst: .f64 0.001
+bound: .f64 1000.0
+c07: .f64 0.7
+two: .f64 2.0
+c13: .f64 1.3
+c09: .f64 0.9
+tenth: .f64 0.1
+stepmsg: .asciz "STEP "
+emsg: .asciz " E="
+nl: .asciz "\n"
+ckmsg: .asciz "message checksum mismatch"
+nanmsg: .asciz "NaN in reduced energy"
+bndmsg: .asciz "position out of bounds/NaN"
+param_table:
+  .f64 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0
+  .f64 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5
+.bss
+nprocs: .space 4
+myrank: .space 4
+stepno: .space 4
+sendbuf_p: .space 4
+recvbuf_p: .space 4
+traj_p: .space 4
+.align 8
+ke: .space 8
+etot: .space 8
+workarea: .space 4096
+)";
+
+  App app;
+  app.name = "minimd";
+  app.user_asm = os.str();
+  app.world.nranks = cfg.ranks;
+  app.world.quantum = 192;
+  app.world.quantum_jitter = cfg.jitter;  // nondeterministic arrival order
+  app.baseline = BaselineStream::kConsole;
+  return app;
+}
+
+}  // namespace fsim::apps

@@ -1,0 +1,428 @@
+// Wavetoy: the Cactus Wavetoy analogue (§4.2.1).
+//
+// A leapfrog wave equation on a 1-D domain decomposed across ranks. Each
+// rank evolves `columns` interior columns of `rows` replicated cells; per
+// step it exchanges a block of `ghost` columns with each neighbour —
+// modelling Cactus's synchronisation of several timelevels and ghost widths
+// at once, which is what makes its traffic 94% user data. Fields are
+// low-amplitude (most transferred doubles are near zero) and the result is
+// written by rank 0 as low-precision plain text, so small payload
+// perturbations are masked exactly as §6.2 describes. Wavetoy has no
+// internal error checking.
+#include <cmath>
+#include <sstream>
+
+#include "apps/app.hpp"
+#include "apps/coldcode.hpp"
+#include "util/status.hpp"
+
+namespace fsim::apps {
+
+namespace {
+
+std::string f64_literal(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+App make_wavetoy(const WavetoyConfig& cfg) {
+  FSIM_CHECK(cfg.ranks >= 1 && cfg.columns >= 2 && cfg.rows >= 1 &&
+             cfg.ghost >= 1 && cfg.steps >= 1);
+  const int colb = cfg.rows * 8;             // column stride in bytes
+  const int goff = cfg.ghost * colb;         // first interior column
+  const int noff = cfg.columns * colb;       // right send block offset
+  const int rgoff = (cfg.columns + cfg.ghost) * colb;  // right ghost offset
+  const int bufb = (cfg.columns + 2 * cfg.ghost) * colb;
+  const int halob = cfg.ghost * colb;
+  const int intb = cfg.columns * colb;
+  FSIM_CHECK(colb <= 32767);  // fld [r±colb] must fit a signed 16-bit offset
+
+  const double pi_over_total = M_PI / (cfg.ranks * cfg.columns);
+
+  std::ostringstream os;
+  os << "; wavetoy (generated): ranks=" << cfg.ranks
+     << " columns=" << cfg.columns << " rows=" << cfg.rows
+     << " ghost=" << cfg.ghost << " steps=" << cfg.steps << "\n";
+  os << R"(.text
+main:
+    enter 96
+    call MPI_Init
+    call MPI_Comm_rank
+    mov r9, r1
+    la r5, myrank
+    stw [r5], r9
+    call MPI_Comm_size
+    la r5, nprocs
+    stw [r5], r1
+)";
+  // Allocate the three timelevels on the heap (user-tagged chunks).
+  os << "    li r1, " << bufb << "\n    sys 8\n    mov r10, r1\n"
+     << "    li r1, " << bufb << "\n    sys 8\n    mov r11, r1\n"
+     << "    li r1, " << bufb << "\n    sys 8\n    mov r12, r1\n";
+  // Cold heap: scratch/checkpoint arrays that are allocated and zeroed at
+  // startup but never read again — the bulk of a real Cactus heap (§6.1.2).
+  for (int i = 0; i < cfg.cold_heap_arrays; ++i) {
+    os << "    li r1, " << bufb << "\n    sys 8\n    call zero_array\n";
+  }
+  os << R"(    mov r1, r10
+    call zero_array
+    mov r1, r11
+    call zero_array
+    mov r1, r12
+    call zero_array
+    ; publish the timelevel base pointers as globals (C-style)
+    la r5, u_old_p
+    stw [r5], r10
+    la r5, u_p
+    stw [r5], r11
+    la r5, u_new_p
+    stw [r5], r12
+    call init_field
+    ldi r5, 0
+    stw [fp-20], r5
+steploop:
+    ; refresh register copies from the global pointers each step
+    la r5, u_old_p
+    ldw r10, [r5]
+    la r5, u_p
+    ldw r11, [r5]
+    la r5, u_new_p
+    ldw r12, [r5]
+    call halo_exchange
+    call update_kernel
+    ; rotate timelevels: u_old <- u <- u_new <- (recycled u_old)
+    la r5, u_old_p
+    stw [r5], r11
+    la r5, u_p
+    stw [r5], r12
+    la r5, u_new_p
+    stw [r5], r10
+    mov r5, r10
+    mov r10, r11
+    mov r11, r12
+    mov r12, r5
+    ldw r5, [fp-20]
+    addi r5, r5, 1
+    stw [fp-20], r5
+)";
+  os << "    ldi r6, " << cfg.steps << "\n    blt r5, r6, steploop\n";
+
+  // Output phase: rank 0 gathers interior blocks and writes them.
+  os << R"(    ldi r5, 0
+    bne r9, r5, send_interior
+    la r1, banner
+    ldi r2, 15
+    sys 3
+)";
+  os << "    li r1, " << goff << "\n    add r1, r11, r1\n    call write_block\n";
+  os << R"(    ldi r5, 1
+    stw [fp-24], r5
+gatherloop:
+    la r1, gatherbuf
+)";
+  os << "    li r2, " << intb << "\n";
+  os << R"(    ldw r3, [fp-24]
+    ldi r4, 9
+    call MPI_Recv
+    la r1, gatherbuf
+    call write_block
+    ldw r5, [fp-24]
+    addi r5, r5, 1
+    stw [fp-24], r5
+    la r6, nprocs
+    ldw r6, [r6]
+    blt r5, r6, gatherloop
+    jmp fin
+send_interior:
+)";
+  os << "    li r1, " << goff << "\n    add r1, r11, r1\n    li r2, " << intb
+     << "\n";
+  os << R"(    ldi r3, 0
+    ldi r4, 9
+    call MPI_Send
+fin:
+    call MPI_Finalize
+    ldi r1, 0
+    leave
+    ret
+
+; --- zero_array(r1 = base): clear one timelevel ---
+zero_array:
+    enter 0
+    mov r5, r1
+)";
+  os << "    li r6, " << bufb << "\n";
+  os << R"(    add r6, r5, r6
+zloop:
+    fldz
+    fst [r5]
+    addi r5, r5, 8
+    bltu r5, r6, zloop
+    leave
+    ret
+
+; --- init_field: narrow sin^16 pulse, amplitude ~)"
+     << cfg.amplitude << R"( ---
+init_field:
+    enter 48
+    ldi r5, 0
+iloop:
+)";
+  os << "    muli r6, r9, " << cfg.columns << "\n";
+  os << R"(    add r6, r6, r5
+    i2f r6
+    la r7, half
+    fld [r7]
+    faddp
+    la r7, pi_over_total
+    fld [r7]
+    fmulp
+    fsin
+    fdup 0
+    fmulp
+    fdup 0
+    fmulp
+    fdup 0
+    fmulp
+    fdup 0
+    fmulp            ; sin^16: a narrow pulse, most of the domain ~ 0
+    la r7, ampl
+    fld [r7]
+    fmulp
+)";
+  os << "    addi r7, r5, " << cfg.ghost << "\n"
+     << "    muli r7, r7, " << colb << "\n";
+  os << R"(    add r6, r11, r7
+    add r7, r10, r7
+    ldi r4, 0
+rloop:
+    fstnp [r6]
+    fstnp [r7]
+    addi r6, r6, 8
+    addi r7, r7, 8
+    addi r4, r4, 1
+)";
+  os << "    ldi r3, " << cfg.rows << "\n    blt r4, r3, rloop\n";
+  os << "    fpop\n    addi r5, r5, 1\n    ldi r3, " << cfg.columns
+     << "\n    blt r5, r3, iloop\n    leave\n    ret\n";
+
+  // Halo exchange: ghost-column blocks with each neighbour.
+  os << R"(
+; --- halo_exchange: ghost blocks left/right (eager, buffered sends) ---
+halo_exchange:
+    enter 32
+    ldi r5, 0
+    beq r9, r5, he2
+)";
+  os << "    li r1, " << goff << "\n    add r1, r11, r1\n    li r2, " << halob
+     << "\n";
+  os << R"(    addi r3, r9, -1
+    ldi r4, 1
+    call MPI_Send
+he2:
+    la r5, nprocs
+    ldw r5, [r5]
+    addi r5, r5, -1
+    bge r9, r5, he3
+)";
+  os << "    li r1, " << noff << "\n    add r1, r11, r1\n    li r2, " << halob
+     << "\n";
+  os << R"(    addi r3, r9, 1
+    ldi r4, 2
+    call MPI_Send
+he3:
+    la r5, nprocs
+    ldw r5, [r5]
+    addi r5, r5, -1
+    bge r9, r5, he4
+)";
+  os << "    li r1, " << rgoff << "\n    add r1, r11, r1\n    li r2, " << halob
+     << "\n";
+  os << R"(    addi r3, r9, 1
+    ldi r4, 1
+    call MPI_Recv
+he4:
+    ldi r5, 0
+    beq r9, r5, he5
+    mov r1, r11
+)";
+  os << "    li r2, " << halob << "\n";
+  os << R"(    addi r3, r9, -1
+    ldi r4, 2
+    call MPI_Recv
+he5:
+    leave
+    ret
+)";
+
+  // Update kernel, in a high- or low-register-pressure variant (§6.1.1).
+  if (cfg.high_register_pressure) {
+    os << R"(
+; --- update_kernel (register-resident loop state; the Courant constant
+;     stays on the FPU stack for the whole kernel, like optimised x87) ---
+update_kernel:
+    enter 32
+    la r6, c2
+    fld [r6]
+)";
+    os << "    ldi r2, " << cfg.ghost << "\n";
+    os << "ujloop:\n    muli r3, r2, " << colb << "\n";
+    os << R"(    add r4, r11, r3
+    add r7, r10, r3
+    add r8, r12, r3
+    ldi r5, 0
+uiloop:
+)";
+    os << "    fld [r4-" << colb << "]\n    fld [r4+" << colb << "]\n";
+    os << R"(    faddp
+    fld [r4]
+    fdup 0
+    faddp
+    fsubp            ; (lap, c2)
+    fdup 1
+    fmulp            ; (c2*lap, c2)
+    fld [r4]
+    fdup 0
+    faddp
+    faddp
+    fld [r7]
+    fsubp
+    fst [r8]         ; (c2)
+    addi r4, r4, 8
+    addi r7, r7, 8
+    addi r8, r8, 8
+    addi r5, r5, 1
+)";
+    os << "    ldi r6, " << cfg.rows << "\n    blt r5, r6, uiloop\n";
+    os << "    addi r2, r2, 1\n    ldi r6, " << cfg.ghost + cfg.columns
+       << "\n    blt r2, r6, ujloop\n    fpop\n    leave\n    ret\n";
+  } else {
+    // Spilled variant: loop counters and pointers live in the frame, so few
+    // integer registers hold live data at any instant (Springer's
+    // unoptimised compilation, §6.1.1).
+    os << R"(
+; --- update_kernel (spilled loop state: few live registers) ---
+update_kernel:
+    enter 32
+)";
+    os << "    ldi r5, " << cfg.ghost << "\n    stw [fp-4], r5\n";
+    os << "ujloop:\n    ldw r5, [fp-4]\n    muli r5, r5, " << colb << "\n";
+    os << R"(    add r6, r11, r5
+    stw [fp-8], r6       ; &u[j][0]
+    add r6, r10, r5
+    stw [fp-12], r6      ; &u_old[j][0]
+    add r6, r12, r5
+    stw [fp-16], r6      ; &u_new[j][0]
+    ldi r5, 0
+    stw [fp-20], r5      ; i
+uiloop:
+    ldw r5, [fp-8]
+)";
+    os << "    fld [r5-" << colb << "]\n    fld [r5+" << colb << "]\n";
+    os << R"(    faddp
+    fld [r5]
+    fdup 0
+    faddp
+    fsubp
+    la r5, c2
+    fld [r5]
+    fmulp
+    ldw r5, [fp-8]
+    fld [r5]
+    fdup 0
+    faddp
+    faddp
+    ldw r5, [fp-12]
+    fld [r5]
+    fsubp
+    ldw r5, [fp-16]
+    fst [r5]
+    ldw r5, [fp-8]
+    addi r5, r5, 8
+    stw [fp-8], r5
+    ldw r5, [fp-12]
+    addi r5, r5, 8
+    stw [fp-12], r5
+    ldw r5, [fp-16]
+    addi r5, r5, 8
+    stw [fp-16], r5
+    ldw r5, [fp-20]
+    addi r5, r5, 1
+    stw [fp-20], r5
+)";
+    os << "    ldi r6, " << cfg.rows << "\n    blt r5, r6, uiloop\n";
+    os << "    ldw r5, [fp-4]\n    addi r5, r5, 1\n    stw [fp-4], r5\n";
+    os << "    ldi r6, " << cfg.ghost + cfg.columns
+       << "\n    blt r5, r6, ujloop\n    leave\n    ret\n";
+  }
+
+  // write_block(r1 = base): emit `columns*rows` doubles to the output file.
+  os << R"(
+; --- write_block(r1): plain-text ()"
+     << (cfg.binary_output ? "binary ablation" : "default") << R"() output ---
+write_block:
+    enter 32
+    stw [fp-4], r1
+)";
+  os << "    li r5, " << intb << "\n";
+  os << R"(    add r5, r1, r5
+    stw [fp-8], r5
+wbloop:
+    ldw r1, [fp-4]
+)";
+  if (cfg.binary_output) {
+    os << "    sys 6\n";
+  } else {
+    os << "    ldi r2, " << cfg.out_digits << "\n    sys 4\n";
+  }
+  os << R"(    la r1, nl
+    ldi r2, 1
+    sys 3
+    ldw r5, [fp-4]
+    addi r5, r5, 8
+    stw [fp-4], r5
+    ldw r6, [fp-8]
+    bltu r5, r6, wbloop
+    leave
+    ret
+
+)";
+  os << cold_code_asm("wt", cfg.cold_functions);
+
+  // Static data: live constants plus a mostly-cold coefficient table, which
+  // keeps the data-section working set small (Tables 5-7).
+  os << "\n.data\n";
+  os << "c2: .f64 0.1\n";
+  os << "half: .f64 0.5\n";
+  os << "pi_over_total: .f64 " << f64_literal(pi_over_total) << "\n";
+  os << "ampl: .f64 " << f64_literal(cfg.amplitude) << "\n";
+  os << "banner: .asciz \"WAVETOY OUTPUT\\n\"\n";
+  os << "nl: .asciz \"\\n\"\n";
+  os << "coef_table:";
+  for (int i = 0; i < 64; ++i) {
+    os << (i % 8 == 0 ? "\n  .f64 " : ", ") << f64_literal(0.25 + 0.001 * i);
+  }
+  os << "\n";
+  os << ".bss\n";
+  os << "nprocs: .space 4\n";
+  os << "myrank: .space 4\n";
+  os << "u_old_p: .space 4\n";  // global timelevel pointers (hot each step)
+  os << "u_p: .space 4\n";
+  os << "u_new_p: .space 4\n";
+  os << "gatherbuf: .space " << intb << "\n";
+  os << "diag: .space 512\n";  // cold diagnostic buffer
+
+  App app;
+  app.name = "wavetoy";
+  app.user_asm = os.str();
+  app.world.nranks = cfg.ranks;
+  app.world.quantum = 256;
+  app.world.quantum_jitter = 0;  // wavetoy is deterministic
+  app.baseline = BaselineStream::kOutputFile;
+  return app;
+}
+
+}  // namespace fsim::apps

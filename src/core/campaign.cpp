@@ -1,0 +1,109 @@
+#include "core/campaign.hpp"
+
+#include <memory>
+
+#include "core/dictionary.hpp"
+#include "util/table.hpp"
+
+namespace fsim::core {
+
+CampaignResult run_campaign(const apps::App& app,
+                            const CampaignConfig& config) {
+  CampaignResult result;
+  result.app = app.name;
+  result.seed = config.seed;
+  result.golden = run_golden(app);
+
+  // Dictionaries for the static regions are built once per campaign from
+  // the linked image (§3.2: "several thousand addresses randomly selected").
+  const svm::Program program = app.link();
+  util::Rng dict_rng(util::hash_seed({config.seed, 0xd1c7}));
+  std::array<std::unique_ptr<FaultDictionary>, kNumRegions> dicts;
+  for (Region r : {Region::kText, Region::kData, Region::kBss}) {
+    dicts[static_cast<unsigned>(r)] = std::make_unique<FaultDictionary>(
+        program, r, dict_rng, config.dictionary_entries);
+  }
+
+  for (Region region : config.regions) {
+    RegionResult rr;
+    rr.region = region;
+    const FaultDictionary* dict = dicts[static_cast<unsigned>(region)].get();
+    for (int i = 0; i < config.runs_per_region; ++i) {
+      const std::uint64_t run_seed = util::hash_seed(
+          {config.seed, static_cast<std::uint64_t>(region),
+           static_cast<std::uint64_t>(i)});
+      const RunOutcome out =
+          run_injected(app, result.golden, region, dict, run_seed);
+      ++rr.executions;
+      if (!out.fault_applied) ++rr.skipped;
+      ++rr.counts[static_cast<unsigned>(out.manifestation)];
+      if (out.manifestation == Manifestation::kCrash)
+        ++rr.crash_kinds[static_cast<unsigned>(out.crash_kind)];
+      if (config.progress)
+        config.progress(region, i + 1, config.runs_per_region);
+    }
+    result.regions.push_back(rr);
+  }
+  return result;
+}
+
+std::string format_campaign(const CampaignResult& result) {
+  bool any_app = false, any_mpi = false;
+  for (const auto& rr : result.regions) {
+    if (rr.counts[static_cast<unsigned>(Manifestation::kAppDetected)] > 0)
+      any_app = true;
+    if (rr.counts[static_cast<unsigned>(Manifestation::kMpiDetected)] > 0)
+      any_mpi = true;
+  }
+
+  util::Table t("Fault Injection Results (" + result.app + ")");
+  std::vector<std::string> head = {"Region", "Executions", "Errors (%)",
+                                   "Crash", "Hang", "Incorrect"};
+  if (any_app) head.push_back("App Detected");
+  if (any_mpi) head.push_back("MPI Detected");
+  t.header(std::move(head));
+
+  auto share = [](const RegionResult& rr, Manifestation m) {
+    const int e = rr.errors();
+    if (e == 0) return std::string("-");
+    const int c = rr.counts[static_cast<unsigned>(m)];
+    if (c == 0) return std::string("-");
+    return util::fmt_fixed(100.0 * rr.manifestation_share(m), 0);
+  };
+
+  for (const auto& rr : result.regions) {
+    std::vector<std::string> cells = {
+        region_name(rr.region),
+        std::to_string(rr.executions),
+        util::fmt_fixed(100.0 * rr.error_rate(), 1),
+        share(rr, Manifestation::kCrash),
+        share(rr, Manifestation::kHang),
+        share(rr, Manifestation::kIncorrect),
+    };
+    if (any_app) cells.push_back(share(rr, Manifestation::kAppDetected));
+    if (any_mpi) cells.push_back(share(rr, Manifestation::kMpiDetected));
+    t.row(std::move(cells));
+  }
+  std::string out = t.ascii();
+
+  // Footnote: how the crashes break down by signal (the paper identifies
+  // crashes from MPICH's critical-signal messages on STDERR).
+  std::array<int, kNumCrashKinds> totals{};
+  int crashes = 0;
+  for (const auto& rr : result.regions) {
+    for (unsigned k = 0; k < kNumCrashKinds; ++k) totals[k] += rr.crash_kinds[k];
+    crashes += rr.counts[static_cast<unsigned>(Manifestation::kCrash)];
+  }
+  if (crashes > 0) {
+    out += "Crash breakdown:";
+    for (unsigned k = 1; k < kNumCrashKinds; ++k) {
+      if (totals[k] == 0) continue;
+      out += " " + std::string(crash_kind_name(static_cast<CrashKind>(k))) +
+             " " + util::fmt_pct(totals[k], crashes) + "%";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fsim::core

@@ -1,0 +1,73 @@
+// Campaign driver: many injected runs per region, aggregated into the
+// paper's result tables (Tables 2-4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "core/outcome.hpp"
+#include "core/run.hpp"
+
+namespace fsim::core {
+
+struct CampaignConfig {
+  int runs_per_region = 400;  // paper: 400-500 injections per region (§4.3)
+  std::uint64_t seed = 0xfau;
+  std::vector<Region> regions = {
+      Region::kRegularReg, Region::kFpReg, Region::kBss,   Region::kData,
+      Region::kStack,      Region::kText,  Region::kHeap,  Region::kMessage,
+  };
+  std::size_t dictionary_entries = 4096;
+  /// Called after every run (for progress display); may be empty.
+  std::function<void(Region, int done, int total)> progress;
+};
+
+struct RegionResult {
+  Region region{};
+  int executions = 0;
+  int skipped = 0;  // no viable target existed (counted as correct runs)
+  std::array<int, kNumManifestations> counts{};  // indexed by Manifestation
+  std::array<int, kNumCrashKinds> crash_kinds{};  // breakdown of Crash
+
+  /// Manifested faults: every outcome other than Correct.
+  int errors() const noexcept {
+    int e = 0;
+    for (unsigned m = 1; m < kNumManifestations; ++m) e += counts[m];
+    return e;
+  }
+  double error_rate() const noexcept {
+    return executions ? static_cast<double>(errors()) / executions : 0.0;
+  }
+  /// Share of a manifestation among all *manifested* errors (the paper's
+  /// "Error Manifestations (Percent)" columns).
+  double manifestation_share(Manifestation m) const noexcept {
+    const int e = errors();
+    return e ? static_cast<double>(counts[static_cast<unsigned>(m)]) / e : 0.0;
+  }
+};
+
+struct CampaignResult {
+  std::string app;
+  Golden golden;
+  std::vector<RegionResult> regions;
+  std::uint64_t seed = 0;
+
+  const RegionResult* find(Region r) const noexcept {
+    for (const auto& rr : regions)
+      if (rr.region == r) return &rr;
+    return nullptr;
+  }
+};
+
+/// Run a full campaign for one application.
+CampaignResult run_campaign(const apps::App& app, const CampaignConfig& config);
+
+/// Render the campaign as a paper-style table. Detection columns are shown
+/// only when any detected outcome occurred (Table 2 omits them for Cactus).
+std::string format_campaign(const CampaignResult& result);
+
+}  // namespace fsim::core

@@ -1,0 +1,134 @@
+#include "core/cfc.hpp"
+
+#include <cstring>
+
+#include "svm/isa.hpp"
+
+namespace fsim::core {
+
+using svm::Addr;
+using svm::Instr;
+using svm::Op;
+using svm::Segment;
+
+ControlFlowChecker::ControlFlowChecker(const svm::Program& program,
+                                       svm::Machine& machine)
+    : machine_(&machine) {
+  const auto& img = program.image(Segment::kText);
+  text_image_.assign(img.begin(), img.end());
+  text_base_ = program.segment_base(Segment::kText);
+  lib_base_ = program.segment_base(Segment::kLibText);
+  lib_size_ = program.segment_size(Segment::kLibText);
+  machine.memory().set_observer(this);
+}
+
+std::optional<std::uint32_t> ControlFlowChecker::original_word(
+    Addr addr) const {
+  if (addr < text_base_ || addr % 4 != 0) return std::nullopt;
+  const std::uint64_t off = addr - text_base_;
+  if (off + 4 > text_image_.size()) return std::nullopt;
+  std::uint32_t w = 0;
+  std::memcpy(&w, text_image_.data() + off, 4);
+  return w;
+}
+
+void ControlFlowChecker::flag(Addr to, const char* kind) {
+  if (violation_) return;  // keep the first violation
+  violation_ = Violation{prev_pc_, to, machine_->instructions(), kind};
+}
+
+void ControlFlowChecker::on_fetch(Addr addr) {
+  const bool in_user =
+      addr >= text_base_ && addr - text_base_ < text_image_.size();
+  const bool in_lib = addr >= lib_base_ && addr - lib_base_ < lib_size_;
+
+  if (!have_prev_) {
+    have_prev_ = true;
+    prev_pc_ = addr;
+    return;
+  }
+  const Addr prev = prev_pc_;
+  prev_pc_ = addr;
+
+  const bool prev_user =
+      prev >= text_base_ && prev - text_base_ < text_image_.size();
+
+  if (!prev_user) {
+    // Opaque library region: internal flow is not modelled, but the return
+    // into user text must land on the address the user's call pushed.
+    if (in_user) {
+      ++checked_;
+      if (shadow_stack_.empty() || shadow_stack_.back() != addr) {
+        flag(addr, "return");
+      } else {
+        shadow_stack_.pop_back();
+      }
+    }
+    return;
+  }
+
+  // prev is user text: derive the legal successor set from the ORIGINAL
+  // encoding (the pre-generated signature database).
+  ++checked_;
+  if (!in_user && !in_lib) {
+    flag(addr, "target-alignment");
+    return;
+  }
+  const auto word = original_word(prev);
+  if (!word) {
+    flag(addr, "edge");
+    return;
+  }
+  const Instr in = svm::decode(*word);
+  const Addr fallthrough = prev + 4;
+  const Addr rel_target =
+      prev + 4 + static_cast<Addr>(in.simm()) * 4;
+
+  auto ok_edge = [&](bool ok) {
+    if (!ok) flag(addr, "edge");
+  };
+
+  switch (in.op) {
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      ok_edge(addr == fallthrough || addr == rel_target);
+      break;
+    case Op::kJmp:
+      ok_edge(addr == rel_target);
+      break;
+    case Op::kCall:
+      if (addr != rel_target) {
+        flag(addr, "edge");
+        break;
+      }
+      if (shadow_stack_.size() < 1024) shadow_stack_.push_back(fallthrough);
+      break;
+    case Op::kCallr:
+      // Indirect call: any code address is a legal target in this (coarse)
+      // model, but the return site is still tracked precisely.
+      if (shadow_stack_.size() < 1024) shadow_stack_.push_back(fallthrough);
+      break;
+    case Op::kJmpr:
+      break;  // indirect jump: coarse model accepts any code target
+    case Op::kRet:
+      if (shadow_stack_.empty() || shadow_stack_.back() != addr) {
+        flag(addr, "return");
+      } else {
+        shadow_stack_.pop_back();
+      }
+      break;
+    case Op::kSys:
+      // A blocked syscall re-fetches its own pc when resumed.
+      ok_edge(addr == fallthrough || addr == prev);
+      break;
+    default:
+      ok_edge(addr == fallthrough);
+      break;
+  }
+}
+
+}  // namespace fsim::core

@@ -1,0 +1,68 @@
+// Control-flow checking (paper §8.2, after Oh/Shirvani/McCluskey,
+// "Control flow checking by software signatures").
+//
+// A pre-generated control-flow model is derived from the *original* program
+// image: for every user-text instruction the legal successor set is known
+// statically (fall-through, branch target, call target), and return
+// addresses are tracked with a shadow stack. At run time every instruction
+// fetch is checked against the model; a text-segment bit flip that turns an
+// add into a jump, retargets a branch, or corrupts a return address sends
+// execution along an edge the model does not contain — a *control-flow
+// violation* — often well before the machine traps or corrupts output.
+//
+// The checker is a pure monitor (it never alters execution), so a campaign
+// can measure exactly what coverage and latency a CFC scheme would have
+// bought, as the paper's related-work section contemplates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "svm/machine.hpp"
+#include "svm/program.hpp"
+
+namespace fsim::core {
+
+class ControlFlowChecker : public svm::AccessObserver {
+ public:
+  /// Builds the static model from the (uncorrupted) program image and
+  /// attaches itself as the machine's memory observer.
+  ControlFlowChecker(const svm::Program& program, svm::Machine& machine);
+
+  struct Violation {
+    svm::Addr from = 0;        // pc of the instruction that transferred
+    svm::Addr to = 0;          // where execution actually went
+    std::uint64_t at = 0;      // machine instruction count
+    const char* kind = "";     // "edge" | "return" | "target-alignment"
+  };
+
+  bool violated() const noexcept { return violation_.has_value(); }
+  const std::optional<Violation>& violation() const noexcept {
+    return violation_;
+  }
+  std::uint64_t transfers_checked() const noexcept { return checked_; }
+
+  // AccessObserver:
+  void on_fetch(svm::Addr addr) override;
+  void on_load(svm::Addr, unsigned, svm::Segment) override {}
+  void on_store(svm::Addr, unsigned, svm::Segment) override {}
+
+ private:
+  /// The original instruction word at `addr` (user text only).
+  std::optional<std::uint32_t> original_word(svm::Addr addr) const;
+  void flag(svm::Addr to, const char* kind);
+
+  svm::Machine* machine_;
+  std::vector<std::byte> text_image_;   // pristine user text
+  svm::Addr text_base_ = 0;
+  svm::Addr lib_base_ = 0;              // library text (not modelled; calls
+  std::uint32_t lib_size_ = 0;          //  into it are treated as opaque)
+  std::vector<svm::Addr> shadow_stack_;
+  bool have_prev_ = false;
+  svm::Addr prev_pc_ = 0;
+  std::optional<Violation> violation_;
+  std::uint64_t checked_ = 0;
+};
+
+}  // namespace fsim::core

@@ -1,0 +1,76 @@
+#include "core/dictionary.hpp"
+
+#include <set>
+
+#include "simmpi/stubs.hpp"
+#include "util/status.hpp"
+
+namespace fsim::core {
+
+namespace {
+
+svm::Segment region_segment(Region region) {
+  switch (region) {
+    case Region::kText: return svm::Segment::kText;
+    case Region::kData: return svm::Segment::kData;
+    case Region::kBss: return svm::Segment::kBss;
+    default:
+      throw util::SetupError(
+          std::string("FaultDictionary covers static regions only, got ") +
+          region_name(region));
+  }
+}
+
+}  // namespace
+
+FaultDictionary::FaultDictionary(const svm::Program& program, Region region,
+                                 util::Rng& rng, std::size_t max_entries) {
+  const svm::Segment seg = region_segment(region);
+
+  // The MPI library's symbol name list (what `nm libmpich.a` would give).
+  std::set<std::string> library_names;
+  for (const auto& name : simmpi::stub_symbol_names()) library_names.insert(name);
+  for (const auto& sym : program.symbols())
+    if (svm::is_library_segment(sym.segment)) library_names.insert(sym.name);
+
+  // Candidate byte ranges: user symbols in the target segment whose names
+  // do not collide with library names.
+  struct Range {
+    svm::Addr base;
+    std::uint32_t size;
+    const svm::Symbol* sym;
+  };
+  std::vector<Range> ranges;
+  for (const auto& sym : program.symbols()) {
+    if (sym.segment != seg || sym.size == 0) continue;
+    if (library_names.count(sym.name)) {
+      excluded_bytes_ += sym.size;
+      continue;
+    }
+    ranges.push_back(Range{sym.address, sym.size, &sym});
+    candidate_bytes_ += sym.size;
+  }
+  if (ranges.empty()) return;
+
+  // Sample addresses uniformly over the candidate bytes.
+  const std::size_t want = std::min<std::uint64_t>(max_entries, candidate_bytes_);
+  entries_.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    std::uint64_t off = rng.below(candidate_bytes_);
+    for (const Range& r : ranges) {
+      if (off < r.size) {
+        entries_.push_back(
+            DictEntry{static_cast<svm::Addr>(r.base + off), r.sym->name});
+        break;
+      }
+      off -= r.size;
+    }
+  }
+}
+
+const DictEntry& FaultDictionary::pick(util::Rng& rng) const {
+  FSIM_CHECK(!entries_.empty());
+  return entries_[rng.below(entries_.size())];
+}
+
+}  // namespace fsim::core

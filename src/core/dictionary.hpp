@@ -1,0 +1,52 @@
+// Fault dictionary for static regions (paper §3.2).
+//
+// "We processed the library and application binaries to retrieve the
+// respective lists of {symbolic name, address} pairs. We then constructed a
+// fault dictionary containing several thousand addresses randomly selected
+// from this list. Any address whose associated symbolic name also appears
+// in the MPI library's list was removed as a possible injection point."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/outcome.hpp"
+#include "svm/program.hpp"
+#include "util/rng.hpp"
+
+namespace fsim::core {
+
+struct DictEntry {
+  svm::Addr address = 0;
+  std::string symbol;  // owning symbol, for reporting
+};
+
+class FaultDictionary {
+ public:
+  /// Build a dictionary of up to `max_entries` addresses for one static
+  /// region (Text, Data or BSS), sampled uniformly from the bytes owned by
+  /// user symbols, excluding any symbol whose name also appears in the MPI
+  /// library's symbol list.
+  FaultDictionary(const svm::Program& program, Region region,
+                  util::Rng& rng, std::size_t max_entries = 4096);
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<DictEntry>& entries() const noexcept { return entries_; }
+
+  /// Uniformly pick an entry.
+  const DictEntry& pick(util::Rng& rng) const;
+
+  /// Total user bytes the dictionary was sampled from.
+  std::uint64_t candidate_bytes() const noexcept { return candidate_bytes_; }
+  /// Bytes excluded because their symbol collides with a library name.
+  std::uint64_t excluded_bytes() const noexcept { return excluded_bytes_; }
+
+ private:
+  std::vector<DictEntry> entries_;
+  std::uint64_t candidate_bytes_ = 0;
+  std::uint64_t excluded_bytes_ = 0;
+};
+
+}  // namespace fsim::core

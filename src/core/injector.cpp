@@ -1,0 +1,175 @@
+#include "core/injector.hpp"
+
+#include <sstream>
+
+#include "svm/stackwalk.hpp"
+#include "util/bits.hpp"
+#include "util/status.hpp"
+
+namespace fsim::core {
+
+namespace {
+
+std::string hexaddr(svm::Addr a) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", a);
+  return buf;
+}
+
+/// Flip one uniformly chosen bit of the x87-style FPU state. The state
+/// vector mirrors §3.2's targets: eight data registers plus the special
+/// registers (CWD, SWD, TWD, FIP, FCS, FOO, FOS).
+std::string flip_fpu_bit(svm::Fpu& fpu, util::Rng& rng) {
+  constexpr unsigned kDataBits = svm::kNumFpr * 64;  // 512
+  constexpr unsigned kTwd = kDataBits;               // 16 bits
+  constexpr unsigned kCwd = kTwd + 16;
+  constexpr unsigned kSwd = kCwd + 16;
+  constexpr unsigned kFip = kSwd + 16;
+  constexpr unsigned kFcs = kFip + 32;
+  constexpr unsigned kFoo = kFcs + 32;
+  constexpr unsigned kFos = kFoo + 32;
+  constexpr unsigned kTotal = kFos + 32;
+
+  const unsigned bit = static_cast<unsigned>(rng.below(kTotal));
+  std::ostringstream what;
+  if (bit < kDataBits) {
+    const unsigned reg = bit / 64, b = bit % 64;
+    fpu.raw(reg) = util::flip_bit64(fpu.raw(reg), b);
+    what << "fpu data reg " << reg << " bit " << b;
+  } else if (bit < kCwd) {
+    fpu.twd() ^= static_cast<std::uint16_t>(1u << (bit - kTwd));
+    what << "TWD bit " << bit - kTwd;
+  } else if (bit < kSwd) {
+    fpu.cwd() ^= static_cast<std::uint16_t>(1u << (bit - kCwd));
+    what << "CWD bit " << bit - kCwd;
+  } else if (bit < kFip) {
+    fpu.swd() ^= static_cast<std::uint16_t>(1u << (bit - kSwd));
+    what << "SWD bit " << bit - kSwd;
+  } else if (bit < kFcs) {
+    fpu.fip() ^= 1u << (bit - kFip);
+    what << "FIP bit " << bit - kFip;
+  } else if (bit < kFoo) {
+    fpu.fcs() ^= 1u << (bit - kFcs);
+    what << "FCS bit " << bit - kFcs;
+  } else if (bit < kFos) {
+    fpu.foo() ^= 1u << (bit - kFoo);
+    what << "FOO bit " << bit - kFoo;
+  } else {
+    fpu.fos() ^= 1u << (bit - kFos);
+    what << "FOS bit " << bit - kFos;
+  }
+  return what.str();
+}
+
+}  // namespace
+
+std::optional<AppliedFault> Injector::inject_into_rank(simmpi::World& world,
+                                                       int rank,
+                                                       util::Rng& rng) const {
+  svm::Machine& m = world.machine(rank);
+  if (m.state() == svm::RunState::kExited ||
+      m.state() == svm::RunState::kTrapped)
+    return std::nullopt;
+
+  AppliedFault fault;
+  fault.region = region_;
+  fault.rank = rank;
+  std::ostringstream what;
+
+  switch (region_) {
+    case Region::kRegularReg: {
+      const unsigned reg = static_cast<unsigned>(rng.below(svm::kNumGpr));
+      const unsigned bit = static_cast<unsigned>(rng.below(32));
+      m.regs().gpr[reg] = util::flip_bit32(m.regs().gpr[reg], bit);
+      what << "r" << reg << " bit " << bit;
+      break;
+    }
+    case Region::kFpReg:
+      what << flip_fpu_bit(m.regs().fpu, rng);
+      break;
+    case Region::kText:
+    case Region::kData:
+    case Region::kBss: {
+      FSIM_CHECK(dictionary_ != nullptr);
+      if (dictionary_->empty()) return std::nullopt;
+      const DictEntry& e = dictionary_->pick(rng);
+      const unsigned bit = static_cast<unsigned>(rng.below(8));
+      if (!m.memory().flip_bit(e.address, bit)) return std::nullopt;
+      what << region_name(region_) << " '" << e.symbol << "' at "
+           << hexaddr(e.address) << " bit " << bit;
+      break;
+    }
+    case Region::kHeap: {
+      // §3.2: "starting at a random address, the injector looks for any
+      // memory chunk marked as user. Once located, a random bit in the
+      // chunk is flipped." A random starting address lands in a chunk with
+      // probability proportional to its size, so the draw is byte-weighted
+      // across the live user chunks.
+      const auto chunks = world.process(rank).heap().live_chunks();
+      std::uint64_t user_bytes = 0;
+      for (const auto& c : chunks)
+        if (c.tag == svm::AllocTag::kUser) user_bytes += c.size;
+      if (user_bytes == 0) return std::nullopt;
+      std::uint64_t off = rng.below(user_bytes);
+      const svm::Heap::Chunk* hit = nullptr;
+      for (const auto& c : chunks) {
+        if (c.tag != svm::AllocTag::kUser) continue;
+        if (off < c.size) {
+          hit = &c;
+          break;
+        }
+        off -= c.size;
+      }
+      FSIM_CHECK(hit != nullptr);
+      const unsigned bit = static_cast<unsigned>(rng.below(8));
+      if (!m.memory().flip_bit(hit->payload + static_cast<svm::Addr>(off), bit))
+        return std::nullopt;
+      what << "heap chunk at " << hexaddr(hit->payload) << " (" << hit->size
+           << " B) byte " << off << " bit " << bit;
+      break;
+    }
+    case Region::kStack: {
+      // §3.2: walk EBP/ESP frames; only frames in user context are targets.
+      const auto frames = svm::user_frames(m);
+      std::uint64_t total = 0;
+      for (const auto& f : frames) total += f.hi - f.lo;
+      if (total == 0) return std::nullopt;
+      std::uint64_t off = rng.below(total);
+      svm::Addr addr = 0;
+      for (const auto& f : frames) {
+        const std::uint64_t span = f.hi - f.lo;
+        if (off < span) {
+          addr = f.lo + static_cast<svm::Addr>(off);
+          break;
+        }
+        off -= span;
+      }
+      const unsigned bit = static_cast<unsigned>(rng.below(8));
+      if (!m.memory().flip_bit(addr, bit)) return std::nullopt;
+      what << "stack at " << hexaddr(addr) << " bit " << bit;
+      break;
+    }
+    case Region::kMessage:
+      // Message faults are armed on the channel before the run, not here.
+      return std::nullopt;
+    case Region::kCount:
+      return std::nullopt;
+  }
+
+  fault.target = what.str();
+  return fault;
+}
+
+std::optional<AppliedFault> Injector::inject(simmpi::World& world,
+                                             util::Rng& rng) const {
+  // Pick a random rank; if it has no viable target (e.g. its heap is empty),
+  // fall through the others in rotation.
+  const int n = world.size();
+  const int start = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    if (auto f = inject_into_rank(world, (start + i) % n, rng)) return f;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fsim::core

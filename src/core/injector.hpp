@@ -1,0 +1,46 @@
+// The fault injector: applies one single-bit flip to a paused job.
+//
+// This is the moral equivalent of the paper's ptrace-based injector (§3.1):
+// the scheduler halts the target between instruction quanta, the injector
+// overwrites one bit of register or memory state, and execution resumes.
+// Message faults are armed on the Channel before the run instead (§3.3).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/dictionary.hpp"
+#include "core/outcome.hpp"
+#include "simmpi/world.hpp"
+#include "util/rng.hpp"
+
+namespace fsim::core {
+
+/// Description of an applied fault, for reports and replay.
+struct AppliedFault {
+  Region region{};
+  int rank = -1;
+  std::string target;  // e.g. "r7 bit 12", "data sym 'coef_table'+5 bit 3"
+};
+
+class Injector {
+ public:
+  /// `dictionary` is required for the static regions (Text/Data/BSS) and
+  /// ignored otherwise.
+  Injector(Region region, const FaultDictionary* dictionary = nullptr)
+      : region_(region), dictionary_(dictionary) {}
+
+  /// Flip one bit in a uniformly chosen target of the given region in a
+  /// random rank of the (paused) world. Returns nullopt when no viable
+  /// target exists anywhere (e.g. no live user heap chunk yet).
+  std::optional<AppliedFault> inject(simmpi::World& world, util::Rng& rng) const;
+
+ private:
+  std::optional<AppliedFault> inject_into_rank(simmpi::World& world, int rank,
+                                               util::Rng& rng) const;
+
+  Region region_;
+  const FaultDictionary* dictionary_;
+};
+
+}  // namespace fsim::core

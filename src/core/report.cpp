@@ -1,0 +1,71 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "core/sampling.hpp"
+#include "util/json.hpp"
+
+namespace fsim::core {
+
+std::string campaign_json(const CampaignResult& result) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("app").value(result.app);
+  w.key("seed").value(static_cast<std::uint64_t>(result.seed));
+  w.key("golden").begin_object();
+  w.key("instructions").value(result.golden.instructions);
+  w.key("hang_budget").value(result.golden.hang_budget);
+  w.key("rx_bytes_per_rank").begin_array();
+  for (std::uint64_t b : result.golden.rx_bytes) w.value(b);
+  w.end_array();
+  w.end_object();
+
+  w.key("regions").begin_array();
+  for (const auto& rr : result.regions) {
+    w.begin_object();
+    w.key("region").value(region_name(rr.region));
+    w.key("executions").value(rr.executions);
+    w.key("skipped").value(rr.skipped);
+    w.key("errors").value(rr.errors());
+    w.key("error_rate").value(rr.error_rate());
+    if (rr.executions > 0) {
+      w.key("estimation_error_95pct")
+          .value(estimation_error(0.05,
+                                  static_cast<std::uint64_t>(rr.executions)));
+    }
+    w.key("manifestations").begin_object();
+    for (unsigned m = 0; m < kNumManifestations; ++m) {
+      w.key(manifestation_name(static_cast<Manifestation>(m)))
+          .value(rr.counts[m]);
+    }
+    w.end_object();
+    w.key("crash_kinds").begin_object();
+    for (unsigned k = 1; k < kNumCrashKinds; ++k) {
+      if (rr.crash_kinds[k] == 0) continue;
+      w.key(crash_kind_name(static_cast<CrashKind>(k))).value(rr.crash_kinds[k]);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string campaign_csv(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "app,region,executions,errors,error_rate";
+  for (unsigned m = 0; m < kNumManifestations; ++m)
+    os << ',' << manifestation_name(static_cast<Manifestation>(m));
+  os << '\n';
+  for (const auto& rr : result.regions) {
+    os << result.app << ',' << region_name(rr.region) << ',' << rr.executions
+       << ',' << rr.errors() << ',' << rr.error_rate();
+    for (unsigned m = 0; m < kNumManifestations; ++m)
+      os << ',' << rr.counts[m];
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fsim::core

@@ -1,0 +1,17 @@
+// Machine-readable campaign exports (JSON / CSV) for downstream tooling.
+#pragma once
+
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace fsim::core {
+
+/// Full campaign result as a JSON document: app, seed, golden statistics,
+/// and per-region execution counts plus manifestation breakdown.
+std::string campaign_json(const CampaignResult& result);
+
+/// Flat CSV: one row per region with counts and percentages.
+std::string campaign_csv(const CampaignResult& result);
+
+}  // namespace fsim::core

@@ -1,0 +1,182 @@
+#include "core/run.hpp"
+
+#include <sstream>
+
+#include "core/injector.hpp"
+#include "svm/trap.hpp"
+#include "simmpi/world.hpp"
+#include "util/status.hpp"
+
+namespace fsim::core {
+
+namespace {
+
+CrashKind classify_trap(svm::Trap t) {
+  switch (t) {
+    case svm::Trap::kBadAddress:
+    case svm::Trap::kWriteProtected:
+    case svm::Trap::kStackOverflow:
+      return CrashKind::kSigsegv;
+    case svm::Trap::kIllegalInstruction:
+      return CrashKind::kSigill;
+    case svm::Trap::kIntDivideByZero:
+      return CrashKind::kSigfpe;
+    case svm::Trap::kMisaligned:
+      return CrashKind::kSigbus;
+    default:
+      return CrashKind::kOther;
+  }
+}
+
+const std::string& baseline_stream(const apps::App& app,
+                                   const simmpi::World& world,
+                                   std::string& storage) {
+  if (app.baseline == apps::BaselineStream::kConsole) {
+    storage = world.console();
+    return storage;
+  }
+  return world.output();
+}
+
+}  // namespace
+
+Golden run_golden(const apps::App& app, std::uint64_t seed) {
+  const svm::Program program = app.link();
+  simmpi::WorldOptions opts = app.world;
+  opts.seed = seed;
+  simmpi::World world(program, opts);
+  const simmpi::JobStatus status = world.run(4'000'000'000ull);
+  if (status != simmpi::JobStatus::kCompleted)
+    throw util::SetupError("golden run of '" + app.name +
+                           "' did not complete (status " +
+                           std::to_string(static_cast<int>(status)) + "):\n" +
+                           world.console());
+  Golden g;
+  g.instructions = world.global_instructions();
+  std::string storage;
+  g.baseline = baseline_stream(app, world, storage);
+  for (int r = 0; r < world.size(); ++r)
+    g.rx_bytes.push_back(world.process(r).channel().received_bytes());
+  g.hang_budget = static_cast<std::uint64_t>(
+                      static_cast<double>(g.instructions) *
+                      app.hang_budget_factor) +
+                  200'000;
+  return g;
+}
+
+RunOutcome run_injected(const apps::App& app, const Golden& golden,
+                        Region region, const FaultDictionary* dictionary,
+                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  // One Program per run keeps runs fully independent; linking is cheap
+  // relative to execution but campaigns may pass a shared dictionary that
+  // references the identical layout (the assembler is deterministic).
+  const svm::Program program = app.link();
+  simmpi::WorldOptions opts = app.world;
+  opts.seed = 1;  // the same world seed as the golden run: differences in
+                  // the baseline stream are attributable to the fault alone
+  simmpi::World world(program, opts);
+
+  RunOutcome outcome;
+  std::ostringstream desc;
+
+  const std::uint64_t t_inject =
+      golden.instructions ? rng.below(golden.instructions) : 0;
+
+  if (region == Region::kMessage) {
+    // §3.3: choose a process, then a uniformly random point in its golden
+    // received volume; the channel flips the bit when the counter passes it.
+    std::vector<int> candidates;
+    for (int r = 0; r < world.size(); ++r)
+      if (golden.rx_bytes[static_cast<std::size_t>(r)] > 0)
+        candidates.push_back(r);
+    if (candidates.empty()) {
+      outcome.fault_description = "no rank receives traffic";
+      return outcome;
+    }
+    const int rank = candidates[rng.below(candidates.size())];
+    const std::uint64_t byte =
+        rng.below(golden.rx_bytes[static_cast<std::size_t>(rank)]);
+    const unsigned bit = static_cast<unsigned>(rng.below(8));
+    world.process(rank).channel().arm_fault(byte, bit);
+    outcome.fault_applied = true;
+    desc << "message stream of rank " << rank << " byte " << byte << " bit "
+         << bit;
+    outcome.injected_at = byte;
+  }
+
+  Injector injector(region, dictionary);
+  bool injected = region == Region::kMessage;
+
+  while (world.status() == simmpi::JobStatus::kRunning &&
+         world.global_instructions() < golden.hang_budget) {
+    if (!injected && world.global_instructions() >= t_inject) {
+      // Keep attempting until a viable target exists (e.g. the heap may
+      // hold no user chunk in the first instants of the run).
+      if (auto fault = injector.inject(world, rng)) {
+        injected = true;
+        outcome.fault_applied = true;
+        outcome.injected_at = world.global_instructions();
+        desc << "rank " << fault->rank << ": " << fault->target << " at t="
+             << outcome.injected_at;
+      }
+    }
+    world.advance();
+  }
+
+  outcome.fault_description = desc.str();
+  outcome.instructions = world.global_instructions();
+
+  if (region == Region::kMessage) {
+    for (int r = 0; r < world.size(); ++r) {
+      const simmpi::ChannelFault& f = world.process(r).channel().fault();
+      if (f.armed && f.fired) {
+        outcome.msg_fired = true;
+        outcome.msg_hit_header = f.hit_header;
+        outcome.msg_offset_in_packet = f.offset_in_packet;
+      }
+    }
+  }
+
+  switch (world.status()) {
+    case simmpi::JobStatus::kCrashed:
+      outcome.manifestation = Manifestation::kCrash;
+      outcome.crash_kind = classify_trap(world.crash_trap());
+      outcome.failure_detail = world.failure_message();
+      break;
+    case simmpi::JobStatus::kMpiFatal:
+      // MPICH-reported fatal errors appear on STDERR and are classified as
+      // crashes, exactly like critical signals (§5.1).
+      outcome.manifestation = Manifestation::kCrash;
+      outcome.crash_kind = CrashKind::kMpiFatal;
+      outcome.failure_detail = "MPICH fatal: " + world.failure_message();
+      break;
+    case simmpi::JobStatus::kAppAborted:
+      outcome.manifestation = Manifestation::kAppDetected;
+      break;
+    case simmpi::JobStatus::kMpiHandler:
+      outcome.manifestation = Manifestation::kMpiDetected;
+      break;
+    case simmpi::JobStatus::kDeadlocked:
+    case simmpi::JobStatus::kRunning:  // hang budget exhausted
+      outcome.manifestation = Manifestation::kHang;
+      outcome.failure_detail = world.status() == simmpi::JobStatus::kRunning
+                                   ? "timeout"
+                                   : "deadlock";
+      break;
+    case simmpi::JobStatus::kCompleted: {
+      std::string storage;
+      const std::string& observed = baseline_stream(app, world, storage);
+      if (observed == golden.baseline) {
+        outcome.manifestation = Manifestation::kCorrect;
+      } else {
+        outcome.manifestation = Manifestation::kIncorrect;
+        outcome.failure_detail = "silent output corruption";
+      }
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace fsim::core

@@ -1,0 +1,37 @@
+// Single-execution driver: golden (fault-free) runs and injected runs with
+// outcome classification (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "core/dictionary.hpp"
+#include "core/outcome.hpp"
+#include "util/rng.hpp"
+
+namespace fsim::core {
+
+/// Everything the classifier needs from the fault-free reference execution.
+struct Golden {
+  std::uint64_t instructions = 0;       // global instruction count
+  std::string baseline;                 // output file or console (per app)
+  std::vector<std::uint64_t> rx_bytes;  // received volume per rank (§3.3)
+  std::uint64_t hang_budget = 0;        // instructions before we call it a hang
+};
+
+/// Run the application fault-free. Throws SetupError if it does not
+/// complete — a broken golden run invalidates the whole campaign.
+Golden run_golden(const apps::App& app, std::uint64_t seed = 1);
+
+/// Run once with a single injected fault and classify the outcome.
+///  * memory/register regions: the fault fires at a uniformly random global
+///    instruction t in [0, golden.instructions);
+///  * message region: a {byte, bit} fault is armed on a random rank's
+///    channel with the byte uniform in that rank's golden received volume.
+RunOutcome run_injected(const apps::App& app, const Golden& golden,
+                        Region region, const FaultDictionary* dictionary,
+                        std::uint64_t seed);
+
+}  // namespace fsim::core

@@ -1,0 +1,73 @@
+#include "core/sampling.hpp"
+
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace fsim::core {
+
+double normal_quantile(double p) {
+  FSIM_CHECK(p > 0.0 && p < 1.0);
+  // Peter Acklam's inverse-normal approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double z_alpha_half(double alpha) {
+  FSIM_CHECK(alpha > 0.0 && alpha < 1.0);
+  return normal_quantile(1.0 - alpha / 2.0);
+}
+
+std::uint64_t required_sample_size(double alpha, double d) {
+  return required_sample_size_known_p(alpha, d, 0.5);
+}
+
+std::uint64_t required_sample_size_known_p(double alpha, double d, double p) {
+  FSIM_CHECK(d > 0.0 && d < 1.0);
+  FSIM_CHECK(p > 0.0 && p < 1.0);
+  const double z = z_alpha_half(alpha);
+  const double n = p * (1.0 - p) * (z / d) * (z / d);
+  return static_cast<std::uint64_t>(std::ceil(n));
+}
+
+double estimation_error(double alpha, std::uint64_t n) {
+  FSIM_CHECK(n > 0);
+  const double z = z_alpha_half(alpha);
+  return 0.5 * z / std::sqrt(static_cast<double>(n));
+}
+
+std::uint64_t injection_space(std::uint64_t bits, std::uint64_t processes,
+                              std::uint64_t times) {
+  return bits * processes * times;
+}
+
+}  // namespace fsim::core

@@ -1,0 +1,40 @@
+// Sampling theory for fault-injection campaigns (paper §4.3, after
+// Cochran's "Sampling Techniques").
+//
+// The injection space {bit} x {process} x {time} is far too large to cover,
+// so the paper draws a random sample and bounds the estimation error of the
+// manifestation proportions:
+//     n >= P(1-P) (z_{alpha/2} / d)^2,
+// maximised by oversampling with P = 0.5:
+//     n >= 0.25 (z_{alpha/2} / d)^2.
+// For n = 400-500 at 95% confidence this gives d = 4.4-4.9%.
+#pragma once
+
+#include <cstdint>
+
+namespace fsim::core {
+
+/// Double-tailed alpha point of the standard normal distribution,
+/// z_{alpha/2} (e.g. alpha = 0.05 -> 1.959964). Valid for 0 < alpha < 1.
+double z_alpha_half(double alpha);
+
+/// Inverse CDF of the standard normal (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). Exposed for tests.
+double normal_quantile(double p);
+
+/// Minimum sample size for estimation error `d` at confidence 1-alpha,
+/// using oversampling (P = 0.5).
+std::uint64_t required_sample_size(double alpha, double d);
+
+/// Minimum sample size without oversampling, for a known proportion P.
+std::uint64_t required_sample_size_known_p(double alpha, double d, double p);
+
+/// Estimation error d achieved by a sample of size n at confidence 1-alpha
+/// (oversampling assumption).
+double estimation_error(double alpha, std::uint64_t n);
+
+/// Size of the paper's injection space b*m*t for the given axis ranges.
+std::uint64_t injection_space(std::uint64_t bits, std::uint64_t processes,
+                              std::uint64_t times);
+
+}  // namespace fsim::core

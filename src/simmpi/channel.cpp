@@ -1,0 +1,45 @@
+#include "simmpi/channel.hpp"
+
+namespace fsim::simmpi {
+
+std::optional<std::vector<std::byte>> Channel::drain() {
+  if (queue_.empty()) return std::nullopt;
+  std::vector<std::byte> packet = std::move(queue_.front());
+  queue_.pop_front();
+  pending_bytes_ -= packet.size();
+
+  // Apply an armed single-bit fault if the cumulative volume counter passes
+  // the target inside this packet.
+  if (fault_.armed && !fault_.fired &&
+      fault_.byte_index < received_bytes_ + packet.size()) {
+    const std::uint64_t off =
+        fault_.byte_index >= received_bytes_
+            ? fault_.byte_index - received_bytes_
+            : 0;  // target already passed (late arm): hit the first byte
+    util::flip_bit(packet, off * 8 + fault_.bit);
+    fault_.fired = true;
+    fault_.hit_header = off < kHeaderBytes;
+    fault_.offset_in_packet = off;
+  }
+  received_bytes_ += packet.size();
+
+  // Traffic accounting uses the (possibly corrupted) header's kind field
+  // only for classification robustness; fall back to size.
+  if (packet.size() >= kHeaderBytes) {
+    const MsgHeader h = parse_header(packet);
+    stats_.header_bytes += kHeaderBytes;
+    stats_.payload_bytes += packet.size() - kHeaderBytes;
+    if (packet.size() == kHeaderBytes &&
+        h.msg_kind() == MsgKind::kControl) {
+      ++stats_.control_messages;
+    } else {
+      ++stats_.data_messages;
+    }
+  } else {
+    stats_.header_bytes += packet.size();
+    ++stats_.control_messages;
+  }
+  return packet;
+}
+
+}  // namespace fsim::simmpi

@@ -1,0 +1,102 @@
+// Channel layer: the network-facing bottom of the simmpi stack.
+//
+// Corresponds to MPICH's ch_p4 Channel (paper Figure 2). Each rank owns an
+// inbound queue of serialised packets. The fault injector registers a
+// {target byte, bit} pair against a rank; the flip is applied to the byte
+// stream "immediately after the recv socket routine" — i.e. when the packet
+// is drained from the queue into the ADI — once the cumulative received
+// volume crosses the target. The channel also keeps the per-rank traffic
+// statistics behind Table 1 (control vs data messages, header vs user
+// bytes).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "simmpi/header.hpp"
+#include "util/bits.hpp"
+
+namespace fsim::simmpi {
+
+struct TrafficStats {
+  std::uint64_t control_messages = 0;
+  std::uint64_t data_messages = 0;
+  std::uint64_t header_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+
+  std::uint64_t total_bytes() const noexcept {
+    return header_bytes + payload_bytes;
+  }
+  std::uint64_t total_messages() const noexcept {
+    return control_messages + data_messages;
+  }
+};
+
+/// A single-bit fault armed against one rank's incoming byte stream.
+struct ChannelFault {
+  std::uint64_t byte_index = 0;  // cumulative offset in the received stream
+  unsigned bit = 0;              // bit within that byte
+  bool armed = false;
+  bool fired = false;
+  // Diagnostics filled in when the fault fires:
+  bool hit_header = false;
+  std::uint64_t offset_in_packet = 0;
+};
+
+class Channel {
+ public:
+  /// Enqueue a serialised packet for this rank (called by the sender side;
+  /// the underlying transport is reliable and ordered, like TCP).
+  void enqueue(std::vector<std::byte> packet) {
+    pending_bytes_ += packet.size();
+    queue_.push_back(std::move(packet));
+  }
+
+  /// Drain the next packet, applying traffic accounting and any armed fault.
+  /// Returns nothing when the queue is empty.
+  std::optional<std::vector<std::byte>> drain();
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t queued_packets() const noexcept { return queue_.size(); }
+  std::uint64_t pending_bytes() const noexcept { return pending_bytes_; }
+
+  /// Cumulative bytes drained so far (the paper's received-volume counter).
+  std::uint64_t received_bytes() const noexcept { return received_bytes_; }
+
+  const TrafficStats& stats() const noexcept { return stats_; }
+
+  void arm_fault(std::uint64_t byte_index, unsigned bit) {
+    fault_ = ChannelFault{byte_index, bit, true, false, false, 0};
+  }
+  const ChannelFault& fault() const noexcept { return fault_; }
+
+  // --- Checkpoint/restart support ---
+  struct State {
+    std::deque<std::vector<std::byte>> queue;
+    std::uint64_t received_bytes = 0;
+    std::uint64_t pending_bytes = 0;
+    TrafficStats stats;
+    ChannelFault fault;
+  };
+  State snapshot_state() const {
+    return State{queue_, received_bytes_, pending_bytes_, stats_, fault_};
+  }
+  void restore_state(const State& s) {
+    queue_ = s.queue;
+    received_bytes_ = s.received_bytes;
+    pending_bytes_ = s.pending_bytes;
+    stats_ = s.stats;
+    fault_ = s.fault;
+  }
+
+ private:
+  std::deque<std::vector<std::byte>> queue_;
+  std::uint64_t received_bytes_ = 0;
+  std::uint64_t pending_bytes_ = 0;
+  TrafficStats stats_;
+  ChannelFault fault_;
+};
+
+}  // namespace fsim::simmpi

@@ -1,0 +1,80 @@
+#include "simmpi/snapshot.hpp"
+
+#include <vector>
+
+#include "simmpi/world.hpp"
+#include "util/status.hpp"
+
+namespace fsim::simmpi {
+
+struct Snapshot::Impl {
+  struct RankState {
+    svm::Machine::CoreState core;
+    std::array<std::vector<std::byte>, svm::kNumSegments> memory;
+    svm::Heap::State heap;
+    svm::BasicEnv::IoState io;
+    Channel::State channel;
+    Process::State mpi;
+  };
+  std::vector<RankState> ranks;
+  World::State world;
+  std::uint64_t instructions = 0;
+};
+
+Snapshot::Snapshot() : impl_(std::make_unique<Impl>()) {}
+Snapshot::~Snapshot() = default;
+Snapshot::Snapshot(Snapshot&&) noexcept = default;
+Snapshot& Snapshot::operator=(Snapshot&&) noexcept = default;
+
+Snapshot Snapshot::capture(const World& world) {
+  // World accessors are non-const by interface; the capture itself does not
+  // mutate observable state.
+  World& w = const_cast<World&>(world);
+  Snapshot snap;
+  snap.impl_->world = w.snapshot_state();
+  for (int r = 0; r < w.size(); ++r) {
+    Impl::RankState rs;
+    rs.core = w.machine(r).core_state();
+    rs.memory = w.machine(r).memory().snapshot_contents();
+    rs.heap = w.process(r).heap().snapshot_state();
+    rs.io = w.process(r).io_state();
+    rs.channel = w.process(r).channel().snapshot_state();
+    rs.mpi = w.process(r).snapshot_state();
+    snap.impl_->instructions += rs.core.icount;
+    snap.impl_->ranks.push_back(std::move(rs));
+  }
+  return snap;
+}
+
+void Snapshot::restore(World& world) const {
+  FSIM_CHECK(static_cast<int>(impl_->ranks.size()) == world.size());
+  world.restore_state(impl_->world);
+  for (int r = 0; r < world.size(); ++r) {
+    const Impl::RankState& rs = impl_->ranks[static_cast<std::size_t>(r)];
+    world.machine(r).restore_core_state(rs.core);
+    world.machine(r).memory().restore_contents(rs.memory);
+    world.process(r).heap().restore_state(rs.heap);
+    world.process(r).restore_io_state(rs.io);
+    world.process(r).channel().restore_state(rs.channel);
+    world.process(r).restore_state(rs.mpi);
+  }
+}
+
+std::uint64_t Snapshot::instructions() const noexcept {
+  return impl_->instructions;
+}
+
+std::uint64_t Snapshot::size_bytes() const noexcept {
+  std::uint64_t total = sizeof(Impl);
+  for (const auto& rs : impl_->ranks) {
+    total += sizeof(rs);
+    for (const auto& seg : rs.memory) total += seg.size();
+    total += rs.io.console.size() + rs.io.output.size();
+    for (const auto& pkt : rs.channel.queue) total += pkt.size();
+    total += rs.mpi.inbox.size() * sizeof(MsgHeader);
+    total += rs.heap.live.size() * sizeof(svm::Heap::Chunk);
+  }
+  return total;
+}
+
+}  // namespace fsim::simmpi

@@ -1,0 +1,51 @@
+// Whole-job checkpoint/restart.
+//
+// The paper's conclusion calls for "a serious effort to redesign or enhance
+// parallel applications and communication libraries with a renewed emphasis
+// on fault tolerance". Checkpoint/restart is the baseline technique that
+// motivation implies: snapshot the entire job (every rank's registers,
+// address space, heap metadata, MPI library state, and in-flight packets),
+// and after a fault kills the job, resume from the last snapshot instead of
+// from the beginning.
+//
+// A Snapshot is a value: copying the World's complete state is legitimate
+// here because the simulation owns everything (no external descriptors).
+// Restoring rewinds a *compatible* World (same program, same options) to the
+// captured point; determinism then guarantees the re-execution is exact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace fsim::simmpi {
+
+class World;
+
+class Snapshot {
+ public:
+  Snapshot();
+  ~Snapshot();
+  Snapshot(Snapshot&&) noexcept;
+  Snapshot& operator=(Snapshot&&) noexcept;
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// Capture the complete state of a running (or finished) job.
+  static Snapshot capture(const World& world);
+
+  /// Rewind `world` to this snapshot. The world must have been created from
+  /// the same program with the same options (rank count is verified).
+  void restore(World& world) const;
+
+  /// Global instruction count at capture time.
+  std::uint64_t instructions() const noexcept;
+
+  /// Serialised size in bytes (for checkpoint-cost accounting).
+  std::uint64_t size_bytes() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fsim::simmpi

@@ -1,0 +1,84 @@
+#include "simmpi/stubs.hpp"
+
+#include <sstream>
+
+namespace fsim::simmpi {
+
+namespace {
+
+struct StubDef {
+  const char* name;
+  int sys_number;
+};
+
+constexpr StubDef kStubs[] = {
+    {"MPI_Init", 32},          {"MPI_Finalize", 33},
+    {"MPI_Comm_rank", 34},     {"MPI_Comm_size", 35},
+    {"MPI_Send", 36},          {"MPI_Recv", 37},
+    {"MPI_Barrier", 38},       {"MPI_Bcast", 39},
+    {"MPI_Allreduce_sum", 40}, {"MPI_Reduce_sum", 41},
+    {"MPI_Errhandler_set", 42}, {"MPI_Isend", 43},
+    {"MPI_Irecv", 44},          {"MPI_Wait", 45},
+    {"MPI_Test", 46},           {"MPI_Probe", 47},
+    {"MPI_Sendrecv", 48},       {"MPI_Gather", 49},
+    {"MPI_Scatter", 50},
+};
+
+std::string build_library() {
+  std::ostringstream os;
+  os << "; --- simmpi stub library (auto-generated) ---\n";
+  os << ".libtext\n";
+  for (const StubDef& s : kStubs) {
+    // Profiling wrapper: raise the library's in-MPI flag, call the PMPI
+    // implementation, lower the flag. The flag word lives in .libbss and is
+    // therefore visible (and corruptible) simulated state.
+    os << s.name << ":\n"
+       << "    enter 0\n"
+       << "    la r5, mpi_call_depth\n"
+       << "    ldw r6, [r5]\n"
+       << "    addi r6, r6, 1\n"
+       << "    stw [r5], r6\n"
+       << "    call P" << s.name << "\n"
+       << "    la r5, mpi_call_depth\n"
+       << "    ldw r6, [r5]\n"
+       << "    addi r6, r6, -1\n"
+       << "    stw [r5], r6\n"
+       << "    leave\n"
+       << "    ret\n";
+    os << "P" << s.name << ":\n"
+       << "    enter 0\n"
+       << "    sys " << s.sys_number << "\n"
+       << "    leave\n"
+       << "    ret\n";
+  }
+  // Library static state. The generic names ("buffer", "config") exist to
+  // exercise the fault dictionary's name-collision exclusion (§3.2).
+  os << ".libdata\n"
+     << "config: .word 1, 1, 0, 0\n"
+     << "mpi_tag_ub: .word 0x3fffffff\n"
+     << ".libbss\n"
+     << "mpi_call_depth: .space 4\n"
+     << "buffer: .space 128\n"
+     << "request_slots: .space 256\n";
+  return os.str();
+}
+
+}  // namespace
+
+const std::string& stub_library_asm() {
+  static const std::string lib = build_library();
+  return lib;
+}
+
+std::vector<std::string> stub_symbol_names() {
+  std::vector<std::string> names;
+  for (const StubDef& s : kStubs) {
+    names.emplace_back(s.name);
+    names.emplace_back(std::string("P") + s.name);
+  }
+  names.insert(names.end(), {"config", "mpi_tag_ub", "mpi_call_depth",
+                             "buffer", "request_slots"});
+  return names;
+}
+
+}  // namespace fsim::simmpi

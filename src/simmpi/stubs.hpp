@@ -1,0 +1,28 @@
+// The MPI stub library: the .libtext translation unit linked into every
+// application image.
+//
+// Stubs are real SVM code — they build stack frames and occupy their own
+// code/data segments — so the paper's separation mechanisms have something
+// to separate: the stack walker classifies stub frames as MPI frames, and
+// the fault dictionary drops any user symbol whose name also appears in the
+// library's symbol list (§3.2). The actual library logic runs host-side
+// behind SYS, mirroring the paper's choice to study application (not MPI
+// implementation) sensitivity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fsim::simmpi {
+
+/// Assembly source of the MPI stub library (.libtext/.libdata/.libbss).
+/// Each MPI_* entry point is a profiling wrapper that maintains the
+/// library's in-MPI flag (the paper's malloc-tagging flag, §3.2) and calls
+/// the PMPI_* implementation stub, which traps to the host library.
+const std::string& stub_library_asm();
+
+/// Names exported by the stub library; the fault dictionary excludes user
+/// symbols that collide with these (paper §3.2).
+std::vector<std::string> stub_symbol_names();
+
+}  // namespace fsim::simmpi

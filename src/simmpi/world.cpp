@@ -1,0 +1,142 @@
+#include "simmpi/world.hpp"
+
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace fsim::simmpi {
+
+World::World(const svm::Program& program, const WorldOptions& options)
+    : options_(options), jitter_rng_(options.seed) {
+  FSIM_CHECK(options.nranks >= 1);
+  machines_.reserve(static_cast<std::size_t>(options.nranks));
+  processes_.reserve(static_cast<std::size_t>(options.nranks));
+  for (int r = 0; r < options.nranks; ++r) {
+    machines_.push_back(
+        std::make_unique<svm::Machine>(program, options.machine, r));
+    processes_.push_back(std::make_unique<Process>(
+        *this, *machines_.back(), r,
+        util::hash_seed({options.seed, 0x72616e64, static_cast<std::uint64_t>(r)})));
+  }
+}
+
+World::~World() = default;
+
+std::uint64_t World::global_instructions() const {
+  std::uint64_t total = 0;
+  for (const auto& m : machines_) total += m->instructions();
+  return total;
+}
+
+void World::post_fatal(int rank, const std::string& msg) {
+  if (status_ == JobStatus::kRunning) {
+    status_ = JobStatus::kMpiFatal;
+    failed_rank_ = rank;
+    failure_msg_ = msg;
+  }
+}
+
+JobStatus World::advance() {
+  if (status_ != JobStatus::kRunning) return status_;
+
+  for (auto& m : machines_) {
+    if (m->state() != svm::RunState::kReady) continue;
+    const std::uint64_t quantum =
+        options_.quantum +
+        (options_.quantum_jitter > 0
+             ? jitter_rng_.below(options_.quantum_jitter + 1)
+             : 0);
+    m->step(quantum);
+    if (status_ != JobStatus::kRunning) return status_;  // fatal during step
+  }
+
+  // Job-level outcome checks (MPI 1.1: one task failing kills the job).
+  bool all_exited = true;
+  for (std::size_t r = 0; r < machines_.size(); ++r) {
+    auto& m = *machines_[r];
+    switch (m.state()) {
+      case svm::RunState::kTrapped:
+        status_ = JobStatus::kCrashed;
+        failed_rank_ = static_cast<int>(r);
+        crash_trap_ = m.trap();
+        failure_msg_ = std::string("rank ") + std::to_string(r) +
+                       " received signal " + svm::trap_name(m.trap());
+        processes_[r]->append_console("MPICH: process terminated by " +
+                                      std::string(svm::trap_name(m.trap())) +
+                                      "\n");
+        return status_;
+      case svm::RunState::kExited:
+        switch (m.exit_kind()) {
+          case svm::ExitKind::kAppAbort:
+            status_ = JobStatus::kAppAborted;
+            failed_rank_ = static_cast<int>(r);
+            return status_;
+          case svm::ExitKind::kMpiFatal:
+            status_ = JobStatus::kMpiFatal;
+            failed_rank_ = static_cast<int>(r);
+            return status_;
+          case svm::ExitKind::kMpiHandler:
+            status_ = JobStatus::kMpiHandler;
+            failed_rank_ = static_cast<int>(r);
+            return status_;
+          case svm::ExitKind::kNormal:
+            break;
+        }
+        break;
+      default:
+        all_exited = false;
+        break;
+    }
+  }
+  if (all_exited) {
+    status_ = JobStatus::kCompleted;
+    return status_;
+  }
+
+  // Deadlock detection: once every rank is parked on a blocking syscall (or
+  // exited), state can only change if some retry makes progress — drains a
+  // packet, completes an operation. A few consecutive rounds of parked
+  // ranks with zero progress means the job is wedged. Compute-bound ranks
+  // (e.g. corrupted into an infinite loop) stay kReady and are instead
+  // bounded by the caller's instruction budget.
+  bool any_progress = false;
+  for (auto& p : processes_)
+    if (p->take_progress()) any_progress = true;
+  bool all_parked = true;
+  for (auto& m : machines_)
+    if (m->state() == svm::RunState::kReady) all_parked = false;
+  if (all_parked && !any_progress) {
+    if (options_.deadlock_rounds > 0 &&
+        ++stall_rounds_ >= options_.deadlock_rounds) {
+      status_ = JobStatus::kDeadlocked;
+      return status_;
+    }
+  } else {
+    stall_rounds_ = 0;
+  }
+
+  // Wake every blocked rank so its syscall retries next round.
+  for (auto& m : machines_) m->wake();
+  return status_;
+}
+
+JobStatus World::run(std::uint64_t budget) {
+  while (status_ == JobStatus::kRunning && global_instructions() < budget)
+    advance();
+  return status_;
+}
+
+std::string World::console() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < processes_.size(); ++r) {
+    const std::string& text = processes_[r]->console();
+    if (text.empty()) continue;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line))
+      os << "[rank " << r << "] " << line << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fsim::simmpi

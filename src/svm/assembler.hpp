@@ -1,0 +1,47 @@
+// Two-pass assembler for the SVM ISA.
+//
+// The benchmark applications (apps/) are written in this assembly dialect so
+// that text-segment bit flips hit real encoded instructions and the symbol
+// table drives the fault dictionary, just as objdump/nm output does in the
+// paper. Supported syntax:
+//
+//   ; comment                # comment
+//   .text / .libtext / .data / .libdata / .bss / .libbss   (section select)
+//   label:                   (symbol at current location)
+//   .word  1, 0x2a, -3       (32-bit words, data sections)
+//   .f64   1.5, -2e3         (64-bit doubles)
+//   .asciz "text\n"          (NUL-terminated string)
+//   .space 128               (zero bytes; the only directive allowed in BSS)
+//   .align 8
+//   add r1, r2, r3           (see isa.hpp for the instruction list)
+//   ldw r1, [r2+8]           stw [r2-4], r1        fld [r5]
+//   beq r1, r2, loop         call func             jmp done
+//   la  r1, table            (pseudo: lui+ori with the symbol's address)
+//   li  r1, 123456           (pseudo: ldi, or lui+ori for wide constants)
+//   bgt/ble/bgtu/bleu        (pseudo: operand-swapped blt/bge/bltu/bgeu)
+//
+// Registers: r0..r15 with aliases sp (r13) and fp (r14).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "svm/program.hpp"
+#include "util/status.hpp"
+
+namespace fsim::svm {
+
+class AsmError : public util::SetupError {
+ public:
+  AsmError(int line, const std::string& what)
+      : util::SetupError("asm line " + std::to_string(line) + ": " + what) {}
+};
+
+/// Assemble `source` into a linked Program. Throws AsmError on bad input.
+Program assemble(std::string_view source);
+
+/// Assemble the concatenation of several translation units (e.g. the user
+/// application followed by the MPI stub library).
+Program assemble_units(const std::vector<std::string>& units);
+
+}  // namespace fsim::svm

@@ -1,0 +1,126 @@
+#include "svm/heap.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace fsim::svm {
+
+Heap::Heap(Memory& mem) : mem_(&mem) {
+  const auto& e = mem.extent(Segment::kHeap);
+  base_ = e.base;
+  capacity_ = e.size;
+}
+
+void Heap::write_header(Addr header_addr, AllocTag tag, std::uint32_t size) {
+  FSIM_CHECK(mem_->poke32(header_addr, static_cast<std::uint32_t>(tag)));
+  FSIM_CHECK(mem_->poke32(header_addr + 4, size));
+}
+
+Addr Heap::malloc(std::uint32_t size) {
+  if (size == 0) size = 1;
+  const std::uint32_t need =
+      (size + kHeaderBytes + kAlign - 1) & ~(kAlign - 1);
+
+  // First fit from the free list.
+  for (std::size_t i = 0; i < free_list_.size(); ++i) {
+    FreeBlock& fb = free_list_[i];
+    if (fb.size < need) continue;
+    const std::uint32_t off = fb.offset;
+    if (fb.size - need >= kHeaderBytes + kAlign) {
+      fb.offset += need;
+      fb.size -= need;
+    } else {
+      free_list_.erase(free_list_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    const AllocTag tag = mpi_context_ ? AllocTag::kMpi : AllocTag::kUser;
+    write_header(base_ + off, tag, size);
+    const Addr payload = base_ + off + kHeaderBytes;
+    live_[payload] = Chunk{payload, size, tag};
+    return payload;
+  }
+
+  // Extend the brk.
+  if (brk_ + need > capacity_) return 0;  // arena exhausted
+  const std::uint32_t off = brk_;
+  brk_ += need;
+  peak_ = std::max(peak_, brk_);
+  const AllocTag tag = mpi_context_ ? AllocTag::kMpi : AllocTag::kUser;
+  write_header(base_ + off, tag, size);
+  const Addr payload = base_ + off + kHeaderBytes;
+  live_[payload] = Chunk{payload, size, tag};
+  return payload;
+}
+
+void Heap::free(Addr payload) {
+  auto it = live_.find(payload);
+  if (it == live_.end()) return;
+  const std::uint32_t payload_span =
+      (it->second.size + kHeaderBytes + kAlign - 1) & ~(kAlign - 1);
+  FreeBlock fb{payload - kHeaderBytes - base_, payload_span};
+  live_.erase(it);
+
+  // Insert in address order and coalesce with neighbours.
+  auto pos = std::lower_bound(
+      free_list_.begin(), free_list_.end(), fb,
+      [](const FreeBlock& a, const FreeBlock& b) { return a.offset < b.offset; });
+  pos = free_list_.insert(pos, fb);
+  // Coalesce with the next block.
+  if (pos + 1 != free_list_.end() &&
+      pos->offset + pos->size == (pos + 1)->offset) {
+    pos->size += (pos + 1)->size;
+    free_list_.erase(pos + 1);
+  }
+  // Coalesce with the previous block.
+  if (pos != free_list_.begin()) {
+    auto prev = pos - 1;
+    if (prev->offset + prev->size == pos->offset) {
+      prev->size += pos->size;
+      free_list_.erase(pos);
+    }
+  }
+}
+
+Addr Heap::realloc(Addr payload, std::uint32_t new_size) {
+  if (payload == 0) return malloc(new_size);
+  auto it = live_.find(payload);
+  if (it == live_.end()) return 0;  // garbage pointer: refuse
+  if (new_size == 0) {
+    free(payload);
+    return 0;
+  }
+  const Chunk old = it->second;
+  if (new_size <= old.size) {
+    // Shrink in place: update both the host record and the in-heap header.
+    it->second.size = new_size;
+    write_header(payload - kHeaderBytes, old.tag, new_size);
+    return payload;
+  }
+  // Grow: allocate under the ORIGINAL tag, copy, free the old chunk.
+  const bool saved_context = mpi_context_;
+  mpi_context_ = old.tag == AllocTag::kMpi;
+  const Addr fresh = malloc(new_size);
+  mpi_context_ = saved_context;
+  if (fresh == 0) return 0;
+  std::vector<std::byte> bytes(old.size);
+  FSIM_CHECK(mem_->peek_span(payload, bytes));
+  FSIM_CHECK(mem_->poke_span(fresh, bytes));
+  free(payload);
+  return fresh;
+}
+
+std::vector<Heap::Chunk> Heap::live_chunks() const {
+  std::vector<Chunk> out;
+  out.reserve(live_.size());
+  for (const auto& [addr, chunk] : live_) out.push_back(chunk);
+  return out;
+}
+
+std::uint64_t Heap::live_bytes(AllocTag tag) const {
+  std::uint64_t total = 0;
+  for (const auto& [addr, chunk] : live_)
+    if (chunk.tag == tag) total += chunk.size;
+  return total;
+}
+
+}  // namespace fsim::svm

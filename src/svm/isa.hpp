@@ -1,0 +1,142 @@
+// Instruction set of the SVM, the simulated 32-bit machine that hosts the
+// benchmark applications.
+//
+// The ISA is deliberately x86-flavoured where the paper's analysis depends on
+// x86 details: a frame-pointer calling convention (ENTER/LEAVE push the old
+// FP so the injector can walk stack frames, §3.2), and an x87-style
+// floating-point register *stack* with a tag word whose corruption can turn a
+// valid number into NaN or zero (§6.1.1).
+//
+// Encoding: fixed 32-bit little-endian words,
+//   [ opcode:8 | a:4 | b:4 | imm16:16 ]
+// where three-register ALU ops carry the third register in the low nibble of
+// imm16. Only ~70 of the 256 opcode values are defined, so a random bit flip
+// in the opcode byte is likely to produce an illegal instruction — the same
+// property that makes text-segment upsets crash real x86 programs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fsim::svm {
+
+enum class Op : std::uint8_t {
+  // 0x00 is deliberately undefined: zeroed memory decodes to SIGILL.
+  kNop = 0x01,
+  kMov = 0x02,   // rA <- rB
+  kLdi = 0x03,   // rA <- sext(imm16)
+  kLui = 0x04,   // rA <- imm16 << 16
+  kAdd = 0x05,   // rA <- rB + rC
+  kSub = 0x06,
+  kMul = 0x07,
+  kDivs = 0x08,  // signed divide; divisor 0 traps SIGFPE
+  kRems = 0x09,
+  kAnd = 0x0a,
+  kOr = 0x0b,
+  kXor = 0x0c,
+  kShl = 0x0d,
+  kShr = 0x0e,
+  kSra = 0x0f,
+  kAddi = 0x10,  // rA <- rB + sext(imm16)
+  kMuli = 0x11,
+  kAndi = 0x12,  // zero-extended immediate
+  kOri = 0x13,
+  kXori = 0x14,
+  kShli = 0x15,
+  kShri = 0x16,
+  kSrai = 0x17,
+  kSlt = 0x18,   // rA <- (rB <s rC)
+  kSltu = 0x19,
+  kLdw = 0x1a,   // rA <- mem32[rB + sext(imm16)]
+  kStw = 0x1b,   // mem32[rB + sext(imm16)] <- rA
+  kLdb = 0x1c,   // rA <- zext(mem8[rB + sext(imm16)])
+  kStb = 0x1d,
+  kPush = 0x1e,  // sp -= 4; mem32[sp] <- rA
+  kPop = 0x1f,
+  kBeq = 0x20,   // if rA == rB: pc += 4 + sext(imm16)*4
+  kBne = 0x21,
+  kBlt = 0x22,
+  kBge = 0x23,
+  kBltu = 0x24,
+  kBgeu = 0x25,
+  kJmp = 0x26,   // pc += 4 + sext(imm16)*4
+  kJmpr = 0x27,  // pc <- rA
+  kCall = 0x28,  // push pc+4; pc += 4 + sext(imm16)*4
+  kCallr = 0x29, // push pc+4; pc <- rA
+  kRet = 0x2a,   // pop pc
+  kEnter = 0x2b, // push fp; fp <- sp; sp -= imm16 (frame allocation)
+  kLeave = 0x2c, // sp <- fp; pop fp
+  kSys = 0x2d,   // host syscall imm16 (I/O, heap, MPI)
+
+  // x87-style floating point stack. ST(0) is the top of an 8-register stack.
+  kFld = 0x30,   // push mem64[rB + sext(imm16)]
+  kFst = 0x31,   // mem64[rB + sext(imm16)] <- ST(0); pop
+  kFstnp = 0x32, // store without pop
+  kFldz = 0x33,  // push +0.0
+  kFld1 = 0x34,  // push 1.0
+  kFaddp = 0x35, // ST(1) <- ST(1) + ST(0); pop
+  kFsubp = 0x36, // ST(1) <- ST(1) - ST(0); pop
+  kFmulp = 0x37,
+  kFdivp = 0x38, // ST(1) <- ST(1) / ST(0); pop (IEEE semantics, no trap)
+  kFchs = 0x39,  // ST(0) <- -ST(0)
+  kFabs = 0x3a,
+  kFsqrt = 0x3b, // sqrt(ST(0)); negative input yields NaN
+  kFsin = 0x3c,
+  kFcos = 0x3d,
+  kFxch = 0x3e,  // swap ST(0) and ST(imm16 & 7)
+  kFdup = 0x3f,  // push a copy of ST(imm16 & 7)
+  kFcmp = 0x40,  // rA <- {-1,0,1} comparing ST(0) with ST(1); 2 if unordered
+  kF2i = 0x41,   // rA <- (int32)ST(0); pop
+  kI2f = 0x42,   // push (double)(int32)rA
+  kFpop = 0x43,  // pop and discard
+};
+
+/// Decoded instruction. `imm` is the raw 16-bit field; helpers interpret it.
+struct Instr {
+  Op op{};
+  std::uint8_t a = 0;   // destination / first register (0..15)
+  std::uint8_t b = 0;   // second register
+  std::uint16_t imm = 0;
+
+  std::int32_t simm() const noexcept { return static_cast<std::int16_t>(imm); }
+  std::uint8_t c() const noexcept { return imm & 0xf; }  // third register
+};
+
+constexpr std::uint32_t encode(Op op, unsigned a = 0, unsigned b = 0,
+                               unsigned imm = 0) noexcept {
+  return static_cast<std::uint32_t>(op) | ((a & 0xfu) << 8) |
+         ((b & 0xfu) << 12) | ((imm & 0xffffu) << 16);
+}
+
+constexpr Instr decode(std::uint32_t word) noexcept {
+  Instr i;
+  i.op = static_cast<Op>(word & 0xffu);
+  i.a = (word >> 8) & 0xfu;
+  i.b = (word >> 12) & 0xfu;
+  i.imm = static_cast<std::uint16_t>(word >> 16);
+  return i;
+}
+
+/// True if the opcode byte names a defined instruction.
+bool is_valid_opcode(std::uint8_t op) noexcept;
+
+/// Mnemonic for a defined opcode ("add", "fld", ...); "???" if undefined.
+const char* mnemonic(Op op) noexcept;
+
+/// Human-readable disassembly of one instruction word. Emits the exact
+/// syntax the assembler accepts, so `assemble(disassemble(w))` round-trips
+/// for position-independent instructions.
+std::string disassemble(std::uint32_t word);
+
+/// Disassembly with PC context: branch/jump/call targets are printed as
+/// absolute addresses (which the assembler also accepts), making *every*
+/// defined instruction round-trippable.
+std::string disassemble(std::uint32_t word, std::uint32_t pc);
+
+// Register aliases used by the calling convention.
+inline constexpr unsigned kSp = 13;  // stack pointer
+inline constexpr unsigned kFp = 14;  // frame pointer (x86 EBP analogue)
+inline constexpr unsigned kNumGpr = 16;
+inline constexpr unsigned kNumFpr = 8;
+
+}  // namespace fsim::svm

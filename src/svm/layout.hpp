@@ -1,0 +1,86 @@
+// Address-space layout of an SVM process, mirroring the Linux/x86 process
+// model of the paper's Figure 1: text at 0x08048000, then data, BSS and a
+// heap growing upward, with the stack just below 0xc0000000 growing down.
+// The MPI library's stub code and static state occupy their own "library"
+// segments so the fault dictionary and stack walker can exclude them
+// (§3.2: faults target the user application, not the MPI library).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace fsim::svm {
+
+using Addr = std::uint32_t;
+
+inline constexpr Addr kTextBase = 0x08048000;
+inline constexpr Addr kStackTop = 0xc0000000;  // exclusive upper bound
+inline constexpr Addr kSegmentAlign = 0x1000;
+
+enum class Segment : std::uint8_t {
+  kText = 0,     // user application instructions (read-only to the program)
+  kLibText,      // MPI library stubs (read-only, excluded from injection)
+  kData,         // initialised user statics
+  kLibData,      // initialised MPI-library statics (excluded from injection)
+  kBss,          // zero-initialised user statics
+  kLibBss,       // zero-initialised MPI-library statics (excluded)
+  kHeap,         // malloc arena, user/MPI chunks distinguished by tag
+  kStack,        // call stack, grows down from kStackTop
+  kCount,
+};
+
+inline constexpr unsigned kNumSegments = static_cast<unsigned>(Segment::kCount);
+
+constexpr const char* segment_name(Segment s) noexcept {
+  switch (s) {
+    case Segment::kText: return "text";
+    case Segment::kLibText: return "libtext";
+    case Segment::kData: return "data";
+    case Segment::kLibData: return "libdata";
+    case Segment::kBss: return "bss";
+    case Segment::kLibBss: return "libbss";
+    case Segment::kHeap: return "heap";
+    case Segment::kStack: return "stack";
+    case Segment::kCount: break;
+  }
+  return "?";
+}
+
+constexpr Addr align_up(Addr a, Addr align = kSegmentAlign) noexcept {
+  return (a + align - 1) & ~(align - 1);
+}
+
+/// Is this segment part of the MPI library image (and therefore excluded
+/// from user-targeted fault injection)?
+constexpr bool is_library_segment(Segment s) noexcept {
+  return s == Segment::kLibText || s == Segment::kLibData ||
+         s == Segment::kLibBss;
+}
+
+/// Deterministic base address of every segment given the image sizes.
+/// Shared by the assembler (which must materialise absolute addresses for
+/// `la`) and by Memory (which maps the segments) so the two always agree.
+/// Non-stack segments are packed upward from kTextBase in enum order; the
+/// stack reservation ends at kStackTop.
+template <typename SizeArray>
+constexpr std::array<Addr, kNumSegments> compute_segment_bases(
+    const SizeArray& sizes, std::uint32_t stack_capacity) {
+  std::array<Addr, kNumSegments> bases{};
+  Addr cursor = kTextBase;
+  for (unsigned i = 0; i < kNumSegments; ++i) {
+    if (static_cast<Segment>(i) == Segment::kStack) {
+      bases[i] = kStackTop - stack_capacity;
+      continue;
+    }
+    bases[i] = cursor;
+    cursor = align_up(cursor + sizes[i]);
+  }
+  return bases;
+}
+
+/// PC value that signals a clean return from the program's entry function.
+/// The loader pushes it as `main`'s return address; the interpreter treats a
+/// jump to it as process exit rather than a fetch fault.
+inline constexpr Addr kExitSentinel = 0xfffffff0;
+
+}  // namespace fsim::svm

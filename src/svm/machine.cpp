@@ -1,0 +1,409 @@
+#include "svm/machine.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/status.hpp"
+
+namespace fsim::svm {
+
+namespace {
+
+std::array<std::uint32_t, kNumSegments> image_sizes(const Program& p) {
+  std::array<std::uint32_t, kNumSegments> sizes{};
+  for (unsigned i = 0; i < kNumSegments; ++i)
+    sizes[i] = p.segment_size(static_cast<Segment>(i));
+  return sizes;
+}
+
+}  // namespace
+
+Machine::Machine(const Program& program, const Config& config, int rank)
+    : mem_(image_sizes(program),
+           Memory::Config{config.heap_capacity, config.stack_capacity}),
+      program_(&program),
+      rank_(rank) {
+  // Copy the static images in with the privileged interface.
+  for (unsigned i = 0; i < kNumSegments; ++i) {
+    const Segment seg = static_cast<Segment>(i);
+    const auto& img = program.image(seg);
+    if (img.empty()) continue;
+    FSIM_CHECK(mem_.extent(seg).base == program.segment_base(seg));
+    FSIM_CHECK(mem_.poke_span(mem_.extent(seg).base, img));
+  }
+  // Start at main with the exit sentinel as its return address, the same
+  // fiction crt0 provides on a real system.
+  regs_.pc = program.entry();
+  const Addr stack_top = mem_.extent(Segment::kStack).end();
+  regs_.set_sp(stack_top - 4);
+  regs_.set_fp(stack_top - 4);
+  FSIM_CHECK(mem_.poke32(regs_.sp(), kExitSentinel));
+}
+
+std::uint64_t Machine::step(std::uint64_t max_instructions) {
+  std::uint64_t executed = 0;
+  while (executed < max_instructions && state_ == RunState::kReady) {
+    const std::uint64_t before = icount_;
+    if (!exec_one()) break;
+    // exec_one advances icount_ by >= 1 (syscalls may charge extra).
+    executed += icount_ - before;
+  }
+  return executed;
+}
+
+bool Machine::exec_one() {
+  std::uint32_t word = 0;
+  if (regs_.pc == kExitSentinel) {
+    finish(static_cast<int>(regs_.gpr[1]));
+    return false;
+  }
+  if (Trap t = mem_.fetch32(regs_.pc, word); t != Trap::kNone) {
+    raise(t, regs_.pc);
+    return false;
+  }
+  const Instr in = decode(word);
+  if (!is_valid_opcode(static_cast<std::uint8_t>(in.op))) {
+    raise(Trap::kIllegalInstruction, regs_.pc);
+    return false;
+  }
+
+  ++icount_;
+  auto& g = regs_.gpr;
+  Fpu& f = regs_.fpu;
+  std::uint32_t next_pc = regs_.pc + 4;
+
+  auto mem_fail = [&](Trap t, Addr a) {
+    raise(t, a);
+    return false;
+  };
+
+  switch (in.op) {
+    case Op::kNop:
+      break;
+    case Op::kMov:
+      g[in.a] = g[in.b];
+      break;
+    case Op::kLdi:
+      g[in.a] = static_cast<std::uint32_t>(in.simm());
+      break;
+    case Op::kLui:
+      g[in.a] = static_cast<std::uint32_t>(in.imm) << 16;
+      break;
+    case Op::kAdd:
+      g[in.a] = g[in.b] + g[in.c()];
+      break;
+    case Op::kSub:
+      g[in.a] = g[in.b] - g[in.c()];
+      break;
+    case Op::kMul:
+      g[in.a] = g[in.b] * g[in.c()];
+      break;
+    case Op::kDivs: {
+      const std::int32_t d = static_cast<std::int32_t>(g[in.c()]);
+      if (d == 0) return mem_fail(Trap::kIntDivideByZero, regs_.pc);
+      const std::int32_t n = static_cast<std::int32_t>(g[in.b]);
+      // INT_MIN / -1 overflows on x86 (SIGFPE); model the same.
+      if (n == std::numeric_limits<std::int32_t>::min() && d == -1)
+        return mem_fail(Trap::kIntDivideByZero, regs_.pc);
+      g[in.a] = static_cast<std::uint32_t>(n / d);
+      break;
+    }
+    case Op::kRems: {
+      const std::int32_t d = static_cast<std::int32_t>(g[in.c()]);
+      if (d == 0) return mem_fail(Trap::kIntDivideByZero, regs_.pc);
+      const std::int32_t n = static_cast<std::int32_t>(g[in.b]);
+      if (n == std::numeric_limits<std::int32_t>::min() && d == -1)
+        return mem_fail(Trap::kIntDivideByZero, regs_.pc);
+      g[in.a] = static_cast<std::uint32_t>(n % d);
+      break;
+    }
+    case Op::kAnd:
+      g[in.a] = g[in.b] & g[in.c()];
+      break;
+    case Op::kOr:
+      g[in.a] = g[in.b] | g[in.c()];
+      break;
+    case Op::kXor:
+      g[in.a] = g[in.b] ^ g[in.c()];
+      break;
+    case Op::kShl:
+      g[in.a] = g[in.b] << (g[in.c()] & 31);
+      break;
+    case Op::kShr:
+      g[in.a] = g[in.b] >> (g[in.c()] & 31);
+      break;
+    case Op::kSra:
+      g[in.a] = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(g[in.b]) >> (g[in.c()] & 31));
+      break;
+    case Op::kAddi:
+      g[in.a] = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      break;
+    case Op::kMuli:
+      g[in.a] = g[in.b] * static_cast<std::uint32_t>(in.simm());
+      break;
+    case Op::kAndi:
+      g[in.a] = g[in.b] & in.imm;
+      break;
+    case Op::kOri:
+      g[in.a] = g[in.b] | in.imm;
+      break;
+    case Op::kXori:
+      g[in.a] = g[in.b] ^ in.imm;
+      break;
+    case Op::kShli:
+      g[in.a] = g[in.b] << (in.imm & 31);
+      break;
+    case Op::kShri:
+      g[in.a] = g[in.b] >> (in.imm & 31);
+      break;
+    case Op::kSrai:
+      g[in.a] = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(g[in.b]) >> (in.imm & 31));
+      break;
+    case Op::kSlt:
+      g[in.a] = static_cast<std::int32_t>(g[in.b]) <
+                        static_cast<std::int32_t>(g[in.c()])
+                    ? 1
+                    : 0;
+      break;
+    case Op::kSltu:
+      g[in.a] = g[in.b] < g[in.c()] ? 1 : 0;
+      break;
+    case Op::kLdw: {
+      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      std::uint32_t v = 0;
+      if (Trap t = mem_.load32(a, v); t != Trap::kNone) return mem_fail(t, a);
+      g[in.a] = v;
+      break;
+    }
+    case Op::kStw: {
+      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      if (Trap t = mem_.store32(a, g[in.a]); t != Trap::kNone)
+        return mem_fail(t, a);
+      break;
+    }
+    case Op::kLdb: {
+      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      std::uint8_t v = 0;
+      if (Trap t = mem_.load8(a, v); t != Trap::kNone) return mem_fail(t, a);
+      g[in.a] = v;
+      break;
+    }
+    case Op::kStb: {
+      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      if (Trap t = mem_.store8(a, static_cast<std::uint8_t>(g[in.a]));
+          t != Trap::kNone)
+        return mem_fail(t, a);
+      break;
+    }
+    case Op::kPush: {
+      const Addr a = g[kSp] - 4;
+      if (Trap t = mem_.store32(a, g[in.a]); t != Trap::kNone)
+        return mem_fail(t == Trap::kBadAddress ? Trap::kStackOverflow : t, a);
+      g[kSp] = a;
+      break;
+    }
+    case Op::kPop: {
+      std::uint32_t v = 0;
+      if (Trap t = mem_.load32(g[kSp], v); t != Trap::kNone)
+        return mem_fail(t, g[kSp]);
+      g[in.a] = v;
+      g[kSp] += 4;
+      break;
+    }
+    case Op::kBeq:
+      if (g[in.a] == g[in.b]) next_pc = regs_.pc + 4 + in.simm() * 4;
+      break;
+    case Op::kBne:
+      if (g[in.a] != g[in.b]) next_pc = regs_.pc + 4 + in.simm() * 4;
+      break;
+    case Op::kBlt:
+      if (static_cast<std::int32_t>(g[in.a]) <
+          static_cast<std::int32_t>(g[in.b]))
+        next_pc = regs_.pc + 4 + in.simm() * 4;
+      break;
+    case Op::kBge:
+      if (static_cast<std::int32_t>(g[in.a]) >=
+          static_cast<std::int32_t>(g[in.b]))
+        next_pc = regs_.pc + 4 + in.simm() * 4;
+      break;
+    case Op::kBltu:
+      if (g[in.a] < g[in.b]) next_pc = regs_.pc + 4 + in.simm() * 4;
+      break;
+    case Op::kBgeu:
+      if (g[in.a] >= g[in.b]) next_pc = regs_.pc + 4 + in.simm() * 4;
+      break;
+    case Op::kJmp:
+      next_pc = regs_.pc + 4 + in.simm() * 4;
+      break;
+    case Op::kJmpr:
+      next_pc = g[in.a];
+      break;
+    case Op::kCall: {
+      const Addr a = g[kSp] - 4;
+      if (Trap t = mem_.store32(a, regs_.pc + 4); t != Trap::kNone)
+        return mem_fail(t == Trap::kBadAddress ? Trap::kStackOverflow : t, a);
+      g[kSp] = a;
+      next_pc = regs_.pc + 4 + in.simm() * 4;
+      break;
+    }
+    case Op::kCallr: {
+      const Addr a = g[kSp] - 4;
+      if (Trap t = mem_.store32(a, regs_.pc + 4); t != Trap::kNone)
+        return mem_fail(t == Trap::kBadAddress ? Trap::kStackOverflow : t, a);
+      g[kSp] = a;
+      next_pc = g[in.a];
+      break;
+    }
+    case Op::kRet: {
+      std::uint32_t v = 0;
+      if (Trap t = mem_.load32(g[kSp], v); t != Trap::kNone)
+        return mem_fail(t, g[kSp]);
+      g[kSp] += 4;
+      next_pc = v;
+      break;
+    }
+    case Op::kEnter: {
+      const Addr a = g[kSp] - 4;
+      if (Trap t = mem_.store32(a, g[kFp]); t != Trap::kNone)
+        return mem_fail(t == Trap::kBadAddress ? Trap::kStackOverflow : t, a);
+      g[kSp] = a;
+      g[kFp] = a;
+      g[kSp] -= in.imm;
+      break;
+    }
+    case Op::kLeave: {
+      g[kSp] = g[kFp];
+      std::uint32_t v = 0;
+      if (Trap t = mem_.load32(g[kSp], v); t != Trap::kNone)
+        return mem_fail(t, g[kSp]);
+      g[kFp] = v;
+      g[kSp] += 4;
+      break;
+    }
+    case Op::kSys: {
+      if (handler_ == nullptr) return mem_fail(Trap::kBadSyscall, regs_.pc);
+      const SysResult r = handler_->on_syscall(*this, in.imm);
+      switch (r) {
+        case SysResult::kDone:
+          break;
+        case SysResult::kBlock:
+          state_ = RunState::kBlocked;
+          return false;  // PC stays on the SYS instruction
+        case SysResult::kExit:
+          return false;  // finish() already called by the handler
+        case SysResult::kTrap:
+          return false;  // raise() already called by the handler
+      }
+      break;
+    }
+
+    // --- x87-style floating point ---
+    case Op::kFld: {
+      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      std::uint64_t bits = 0;
+      if (Trap t = mem_.load64(a, bits); t != Trap::kNone)
+        return mem_fail(t, a);
+      f.push(std::bit_cast<double>(bits));
+      break;
+    }
+    case Op::kFst: {
+      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      const double v = f.st(0);
+      if (Trap t = mem_.store64(a, std::bit_cast<std::uint64_t>(v));
+          t != Trap::kNone)
+        return mem_fail(t, a);
+      f.pop();
+      break;
+    }
+    case Op::kFstnp: {
+      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      const double v = f.st(0);
+      if (Trap t = mem_.store64(a, std::bit_cast<std::uint64_t>(v));
+          t != Trap::kNone)
+        return mem_fail(t, a);
+      break;
+    }
+    case Op::kFldz:
+      f.push(0.0);
+      break;
+    case Op::kFld1:
+      f.push(1.0);
+      break;
+    case Op::kFaddp: {
+      const double b = f.pop();
+      f.set_st(0, f.st(0) + b);
+      break;
+    }
+    case Op::kFsubp: {
+      const double b = f.pop();
+      f.set_st(0, f.st(0) - b);
+      break;
+    }
+    case Op::kFmulp: {
+      const double b = f.pop();
+      f.set_st(0, f.st(0) * b);
+      break;
+    }
+    case Op::kFdivp: {
+      const double b = f.pop();
+      f.set_st(0, f.st(0) / b);  // IEEE: x/0 = inf, 0/0 = NaN, no trap
+      break;
+    }
+    case Op::kFchs:
+      f.set_st(0, -f.st(0));
+      break;
+    case Op::kFabs:
+      f.set_st(0, std::fabs(f.st(0)));
+      break;
+    case Op::kFsqrt:
+      f.set_st(0, std::sqrt(f.st(0)));
+      break;
+    case Op::kFsin:
+      f.set_st(0, std::sin(f.st(0)));
+      break;
+    case Op::kFcos:
+      f.set_st(0, std::cos(f.st(0)));
+      break;
+    case Op::kFxch:
+      f.exchange(in.imm & 7);
+      break;
+    case Op::kFdup:
+      f.push(f.st(in.imm & 7));
+      break;
+    case Op::kFcmp: {
+      const double a = f.st(0), b = f.st(1);
+      std::int32_t r;
+      if (a != a || b != b) r = 2;           // unordered
+      else if (a < b) r = -1;
+      else if (a > b) r = 1;
+      else r = 0;
+      g[in.a] = static_cast<std::uint32_t>(r);
+      break;
+    }
+    case Op::kF2i: {
+      const double v = f.pop();
+      // x86 CVTTSD2SI semantics: out-of-range / NaN -> integer indefinite.
+      std::int32_t r;
+      if (v != v || v >= 2147483648.0 || v < -2147483648.0)
+        r = std::numeric_limits<std::int32_t>::min();
+      else
+        r = static_cast<std::int32_t>(v);
+      g[in.a] = static_cast<std::uint32_t>(r);
+      break;
+    }
+    case Op::kI2f:
+      f.push(static_cast<double>(static_cast<std::int32_t>(g[in.a])));
+      break;
+    case Op::kFpop:
+      f.pop();
+      break;
+  }
+
+  regs_.pc = next_pc;
+  return true;
+}
+
+}  // namespace fsim::svm

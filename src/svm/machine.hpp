@@ -1,0 +1,131 @@
+// The Machine: one simulated MPI process — register file, address space and
+// interpreter.
+//
+// The campaign driver steps machines in instruction quanta; between quanta
+// the injector may peek/poke any architectural state, which is the moral
+// equivalent of the paper's ptrace()-based stop-modify-resume loop (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "svm/isa.hpp"
+#include "svm/layout.hpp"
+#include "svm/memory.hpp"
+#include "svm/program.hpp"
+#include "svm/regfile.hpp"
+#include "svm/syscall.hpp"
+#include "svm/trap.hpp"
+
+namespace fsim::svm {
+
+enum class RunState : std::uint8_t {
+  kReady,    // runnable
+  kBlocked,  // parked on a blocking syscall (MPI recv/barrier/...)
+  kExited,   // finished, exit_code() valid
+  kTrapped,  // crashed, trap() valid
+};
+
+/// How an exited process ended; distinguishes the abort flavours the
+/// classifier needs (§5.1).
+enum class ExitKind : std::uint8_t {
+  kNormal,       // returned from main / SYS exit
+  kAppAbort,     // application assertion or consistency check fired
+  kMpiFatal,     // MPI library aborted the job (MPICH-style fatal error)
+  kMpiHandler,   // user-registered MPI error handler was invoked
+};
+
+class Machine {
+ public:
+  struct Config {
+    std::uint32_t heap_capacity = 1u << 20;
+    std::uint32_t stack_capacity = 1u << 16;
+  };
+
+  Machine(const Program& program, const Config& config, int rank = 0);
+
+  // --- Execution ---
+
+  /// Run up to `max_instructions`; returns the number actually executed.
+  /// Stops early on block, exit or trap (see state()).
+  std::uint64_t step(std::uint64_t max_instructions);
+
+  /// Unblock a machine parked on a syscall (the syscall will re-execute).
+  void wake() {
+    if (state_ == RunState::kBlocked) state_ = RunState::kReady;
+  }
+
+  RunState state() const noexcept { return state_; }
+  Trap trap() const noexcept { return trap_; }
+  std::uint32_t fault_addr() const noexcept { return fault_addr_; }
+  int exit_code() const noexcept { return exit_code_; }
+  ExitKind exit_kind() const noexcept { return exit_kind_; }
+  std::uint64_t instructions() const noexcept { return icount_; }
+  int rank() const noexcept { return rank_; }
+
+  // --- Architectural state (fault-injection surface) ---
+  RegFile& regs() noexcept { return regs_; }
+  const RegFile& regs() const noexcept { return regs_; }
+  Memory& memory() noexcept { return mem_; }
+  const Memory& memory() const noexcept { return mem_; }
+  const Program& program() const noexcept { return *program_; }
+
+  // --- Used by syscall handlers ---
+  void set_handler(SyscallHandler* h) noexcept { handler_ = h; }
+  std::uint32_t arg(unsigned i) const noexcept { return regs_.gpr[1 + i]; }
+  void set_result(std::uint32_t v) noexcept { regs_.gpr[1] = v; }
+  void finish(int code, ExitKind kind = ExitKind::kNormal) noexcept {
+    exit_code_ = code;
+    exit_kind_ = kind;
+    state_ = RunState::kExited;
+  }
+  void raise(Trap t, Addr addr = 0) noexcept {
+    trap_ = t;
+    fault_addr_ = addr;
+    state_ = RunState::kTrapped;
+  }
+  /// Charge extra simulated cycles (e.g. checksum syscalls cost ~len/8).
+  void charge(std::uint64_t cycles) noexcept { icount_ += cycles; }
+
+  // --- Checkpoint/restart support ---
+  struct CoreState {
+    RegFile regs;
+    RunState state = RunState::kReady;
+    Trap trap = Trap::kNone;
+    Addr fault_addr = 0;
+    int exit_code = 0;
+    ExitKind exit_kind = ExitKind::kNormal;
+    std::uint64_t icount = 0;
+  };
+  CoreState core_state() const {
+    return CoreState{regs_, state_, trap_, fault_addr_,
+                     exit_code_, exit_kind_, icount_};
+  }
+  void restore_core_state(const CoreState& s) {
+    regs_ = s.regs;
+    state_ = s.state;
+    trap_ = s.trap;
+    fault_addr_ = s.fault_addr;
+    exit_code_ = s.exit_code;
+    exit_kind_ = s.exit_kind;
+    icount_ = s.icount;
+  }
+
+ private:
+  bool exec_one();  // returns false when execution must stop
+
+  Memory mem_;
+  RegFile regs_;
+  const Program* program_;
+  SyscallHandler* handler_ = nullptr;
+  RunState state_ = RunState::kReady;
+  Trap trap_ = Trap::kNone;
+  Addr fault_addr_ = 0;
+  int exit_code_ = 0;
+  ExitKind exit_kind_ = ExitKind::kNormal;
+  std::uint64_t icount_ = 0;
+  int rank_ = 0;
+};
+
+}  // namespace fsim::svm

@@ -1,0 +1,204 @@
+#include "svm/memory.hpp"
+
+#include <cstring>
+
+#include "util/status.hpp"
+
+namespace fsim::svm {
+
+Memory::Memory(const std::array<std::uint32_t, kNumSegments>& image_sizes,
+               const Config& config) {
+  // Lay segments out using the canonical layout shared with the assembler.
+  std::array<std::uint32_t, kNumSegments> sizes = image_sizes;
+  sizes[static_cast<unsigned>(Segment::kHeap)] = config.heap_capacity;
+  sizes[static_cast<unsigned>(Segment::kStack)] = config.stack_capacity;
+  const auto bases = compute_segment_bases(sizes, config.stack_capacity);
+  for (unsigned i = 0; i < kNumSegments; ++i) {
+    extents_[i].base = bases[i];
+    extents_[i].size = sizes[i];
+    bytes_[i].assign(sizes[i], std::byte{0});
+  }
+  // The heap must never collide with the stack reservation.
+  const auto& heap = extents_[static_cast<unsigned>(Segment::kHeap)];
+  const auto& stack = extents_[static_cast<unsigned>(Segment::kStack)];
+  FSIM_CHECK(heap.end() <= stack.base);
+}
+
+std::optional<Segment> Memory::resolve(Addr addr) const noexcept {
+  for (unsigned i = 0; i < kNumSegments; ++i) {
+    if (extents_[i].contains(addr)) return static_cast<Segment>(i);
+  }
+  return std::nullopt;
+}
+
+std::byte* Memory::locate(Addr addr, unsigned size, Segment& seg) noexcept {
+  for (unsigned i = 0; i < kNumSegments; ++i) {
+    const auto& e = extents_[i];
+    if (e.contains(addr) && addr - e.base + size <= e.size) {
+      seg = static_cast<Segment>(i);
+      return bytes_[i].data() + (addr - e.base);
+    }
+  }
+  return nullptr;
+}
+
+const std::byte* Memory::locate(Addr addr, unsigned size,
+                                Segment& seg) const noexcept {
+  return const_cast<Memory*>(this)->locate(addr, size, seg);
+}
+
+Trap Memory::fetch32(Addr addr, std::uint32_t& out) noexcept {
+  if (addr % 4 != 0) return Trap::kMisaligned;
+  Segment seg{};
+  const std::byte* p = locate(addr, 4, seg);
+  if (p == nullptr) return Trap::kBadAddress;
+  if (seg != Segment::kText && seg != Segment::kLibText)
+    return Trap::kBadAddress;  // only code segments are executable
+  std::memcpy(&out, p, 4);
+  if (observer_) observer_->on_fetch(addr);
+  return Trap::kNone;
+}
+
+Trap Memory::load32(Addr addr, std::uint32_t& out) noexcept {
+  if (addr % 4 != 0) return Trap::kMisaligned;
+  Segment seg{};
+  const std::byte* p = locate(addr, 4, seg);
+  if (p == nullptr) return Trap::kBadAddress;
+  std::memcpy(&out, p, 4);
+  if (observer_) observer_->on_load(addr, 4, seg);
+  return Trap::kNone;
+}
+
+Trap Memory::store32(Addr addr, std::uint32_t value) noexcept {
+  if (addr % 4 != 0) return Trap::kMisaligned;
+  Segment seg{};
+  std::byte* p = locate(addr, 4, seg);
+  if (p == nullptr) return Trap::kBadAddress;
+  if (seg == Segment::kText || seg == Segment::kLibText)
+    return Trap::kWriteProtected;
+  std::memcpy(p, &value, 4);
+  if (observer_) observer_->on_store(addr, 4, seg);
+  return Trap::kNone;
+}
+
+Trap Memory::load8(Addr addr, std::uint8_t& out) noexcept {
+  Segment seg{};
+  const std::byte* p = locate(addr, 1, seg);
+  if (p == nullptr) return Trap::kBadAddress;
+  out = static_cast<std::uint8_t>(*p);
+  if (observer_) observer_->on_load(addr, 1, seg);
+  return Trap::kNone;
+}
+
+Trap Memory::store8(Addr addr, std::uint8_t value) noexcept {
+  Segment seg{};
+  std::byte* p = locate(addr, 1, seg);
+  if (p == nullptr) return Trap::kBadAddress;
+  if (seg == Segment::kText || seg == Segment::kLibText)
+    return Trap::kWriteProtected;
+  *p = static_cast<std::byte>(value);
+  if (observer_) observer_->on_store(addr, 1, seg);
+  return Trap::kNone;
+}
+
+Trap Memory::load64(Addr addr, std::uint64_t& out) noexcept {
+  if (addr % 4 != 0) return Trap::kMisaligned;  // x86 tolerates 4-byte alignment
+  Segment seg{};
+  const std::byte* p = locate(addr, 8, seg);
+  if (p == nullptr) return Trap::kBadAddress;
+  std::memcpy(&out, p, 8);
+  if (observer_) observer_->on_load(addr, 8, seg);
+  return Trap::kNone;
+}
+
+Trap Memory::store64(Addr addr, std::uint64_t value) noexcept {
+  if (addr % 4 != 0) return Trap::kMisaligned;
+  Segment seg{};
+  std::byte* p = locate(addr, 8, seg);
+  if (p == nullptr) return Trap::kBadAddress;
+  if (seg == Segment::kText || seg == Segment::kLibText)
+    return Trap::kWriteProtected;
+  std::memcpy(p, &value, 8);
+  if (observer_) observer_->on_store(addr, 8, seg);
+  return Trap::kNone;
+}
+
+bool Memory::peek8(Addr addr, std::uint8_t& out) const noexcept {
+  Segment seg{};
+  const std::byte* p = locate(addr, 1, seg);
+  if (!p) return false;
+  out = static_cast<std::uint8_t>(*p);
+  return true;
+}
+
+bool Memory::poke8(Addr addr, std::uint8_t value) noexcept {
+  Segment seg{};
+  std::byte* p = locate(addr, 1, seg);
+  if (!p) return false;
+  *p = static_cast<std::byte>(value);
+  return true;
+}
+
+bool Memory::peek32(Addr addr, std::uint32_t& out) const noexcept {
+  Segment seg{};
+  const std::byte* p = locate(addr, 4, seg);
+  if (!p) return false;
+  std::memcpy(&out, p, 4);
+  return true;
+}
+
+bool Memory::poke32(Addr addr, std::uint32_t value) noexcept {
+  Segment seg{};
+  std::byte* p = locate(addr, 4, seg);
+  if (!p) return false;
+  std::memcpy(p, &value, 4);
+  return true;
+}
+
+bool Memory::peek64(Addr addr, std::uint64_t& out) const noexcept {
+  Segment seg{};
+  const std::byte* p = locate(addr, 8, seg);
+  if (!p) return false;
+  std::memcpy(&out, p, 8);
+  return true;
+}
+
+bool Memory::poke64(Addr addr, std::uint64_t value) noexcept {
+  Segment seg{};
+  std::byte* p = locate(addr, 8, seg);
+  if (!p) return false;
+  std::memcpy(p, &value, 8);
+  return true;
+}
+
+bool Memory::peek_span(Addr addr, std::span<std::byte> out) const noexcept {
+  Segment seg{};
+  const std::byte* p = locate(addr, static_cast<unsigned>(out.size()), seg);
+  if (!p) return false;
+  std::memcpy(out.data(), p, out.size());
+  return true;
+}
+
+bool Memory::poke_span(Addr addr, std::span<const std::byte> in) noexcept {
+  Segment seg{};
+  std::byte* p = locate(addr, static_cast<unsigned>(in.size()), seg);
+  if (!p) return false;
+  std::memcpy(p, in.data(), in.size());
+  return true;
+}
+
+bool Memory::flip_bit(Addr addr, unsigned bit) noexcept {
+  std::uint8_t v{};
+  if (!peek8(addr, v)) return false;
+  return poke8(addr, static_cast<std::uint8_t>(v ^ (1u << (bit & 7u))));
+}
+
+std::span<std::byte> Memory::segment_bytes(Segment s) noexcept {
+  return bytes_[static_cast<unsigned>(s)];
+}
+
+std::span<const std::byte> Memory::segment_bytes(Segment s) const noexcept {
+  return bytes_[static_cast<unsigned>(s)];
+}
+
+}  // namespace fsim::svm

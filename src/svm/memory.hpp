@@ -1,0 +1,105 @@
+// Segmented address space of one SVM process.
+//
+// Accesses are validated against segment bounds — touching an unmapped
+// address raises the SIGSEGV-analogue trap, stores into text raise the
+// write-protection trap — while the fault injector uses the privileged
+// peek/poke interface that bypasses protection, exactly as ptrace() lets the
+// paper's injector overwrite a halted process (§3.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "svm/layout.hpp"
+#include "svm/trap.hpp"
+
+namespace fsim::svm {
+
+/// Observer for the working-set analysis (Tables 5-7). Fetches and loads are
+/// reported with their resolved segment.
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+  virtual void on_fetch(Addr addr) = 0;
+  virtual void on_load(Addr addr, unsigned bytes, Segment seg) = 0;
+  virtual void on_store(Addr addr, unsigned bytes, Segment seg) = 0;
+};
+
+struct SegmentExtent {
+  Addr base = 0;
+  std::uint32_t size = 0;  // mapped bytes; 0 means segment absent
+  bool contains(Addr a) const noexcept {
+    return a >= base && a - base < size;
+  }
+  Addr end() const noexcept { return base + size; }
+};
+
+class Memory {
+ public:
+  struct Config {
+    std::uint32_t heap_capacity = 1u << 20;   // 1 MiB malloc arena
+    std::uint32_t stack_capacity = 1u << 16;  // 64 KiB stack reservation
+  };
+
+  /// Lay out segments given the image sizes (text/data/... contents are
+  /// copied in by the loader afterwards via poke_span).
+  Memory(const std::array<std::uint32_t, kNumSegments>& image_sizes,
+         const Config& config);
+
+  const SegmentExtent& extent(Segment s) const noexcept {
+    return extents_[static_cast<unsigned>(s)];
+  }
+
+  /// Segment containing `addr`, if mapped.
+  std::optional<Segment> resolve(Addr addr) const noexcept;
+
+  // --- Program-visible accessors (protection-checked, observed) ---
+  Trap fetch32(Addr addr, std::uint32_t& out) noexcept;   // text/libtext only
+  Trap load32(Addr addr, std::uint32_t& out) noexcept;
+  Trap store32(Addr addr, std::uint32_t value) noexcept;
+  Trap load8(Addr addr, std::uint8_t& out) noexcept;
+  Trap store8(Addr addr, std::uint8_t value) noexcept;
+  Trap load64(Addr addr, std::uint64_t& out) noexcept;    // FPU doubles
+  Trap store64(Addr addr, std::uint64_t value) noexcept;
+
+  // --- Privileged accessors (injector / loader / host runtime) ---
+  // No protection checks, no observer callbacks; false when unmapped.
+  bool peek8(Addr addr, std::uint8_t& out) const noexcept;
+  bool poke8(Addr addr, std::uint8_t value) noexcept;
+  bool peek32(Addr addr, std::uint32_t& out) const noexcept;
+  bool poke32(Addr addr, std::uint32_t value) noexcept;
+  bool peek64(Addr addr, std::uint64_t& out) const noexcept;
+  bool poke64(Addr addr, std::uint64_t value) noexcept;
+  bool peek_span(Addr addr, std::span<std::byte> out) const noexcept;
+  bool poke_span(Addr addr, std::span<const std::byte> in) noexcept;
+
+  /// Flip a single bit anywhere in the mapped address space (privileged).
+  bool flip_bit(Addr addr, unsigned bit) noexcept;
+
+  void set_observer(AccessObserver* obs) noexcept { observer_ = obs; }
+
+  /// Raw backing bytes of a segment (host-side, e.g. for output capture).
+  std::span<std::byte> segment_bytes(Segment s) noexcept;
+  std::span<const std::byte> segment_bytes(Segment s) const noexcept;
+
+  // --- Checkpoint/restart support ---
+  std::array<std::vector<std::byte>, kNumSegments> snapshot_contents() const {
+    return bytes_;
+  }
+  void restore_contents(const std::array<std::vector<std::byte>, kNumSegments>& b) {
+    bytes_ = b;
+  }
+
+ private:
+  std::byte* locate(Addr addr, unsigned size, Segment& seg) noexcept;
+  const std::byte* locate(Addr addr, unsigned size, Segment& seg) const noexcept;
+
+  std::array<SegmentExtent, kNumSegments> extents_{};
+  std::array<std::vector<std::byte>, kNumSegments> bytes_{};
+  AccessObserver* observer_ = nullptr;
+};
+
+}  // namespace fsim::svm

@@ -1,0 +1,34 @@
+#include "svm/program.hpp"
+
+#include "util/status.hpp"
+
+namespace fsim::svm {
+
+const Symbol* Program::find_symbol(const std::string& name) const noexcept {
+  for (const auto& s : symbols_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const Symbol* Program::symbol_covering(Addr addr) const noexcept {
+  const Symbol* best = nullptr;
+  for (const auto& s : symbols_) {
+    if (s.size == 0) {
+      if (s.address == addr && best == nullptr) best = &s;
+      continue;
+    }
+    if (addr >= s.address && addr - s.address < s.size) {
+      if (best == nullptr || s.size < best->size) best = &s;
+    }
+  }
+  return best;
+}
+
+Addr Program::entry() const {
+  const Symbol* m = find_symbol("main");
+  if (m == nullptr)
+    throw util::SetupError("program has no 'main' symbol");
+  return m->address;
+}
+
+}  // namespace fsim::svm

@@ -1,0 +1,73 @@
+// A linked program image: per-segment bytes plus a symbol table.
+//
+// The symbol table is what the paper extracts with objdump/nm to build the
+// fault dictionary for static regions (§3.2): {symbolic name, address}
+// pairs, with any name that also appears in the MPI library's list removed
+// as an injection point.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svm/layout.hpp"
+
+namespace fsim::svm {
+
+struct Symbol {
+  std::string name;
+  Segment segment = Segment::kText;
+  Addr address = 0;        // absolute virtual address
+  std::uint32_t size = 0;  // bytes covered (0 for code labels)
+};
+
+class Program {
+ public:
+  Program() : images_(kNumSegments) {}
+
+  std::vector<std::byte>& image(Segment s) { return images_[static_cast<unsigned>(s)]; }
+  const std::vector<std::byte>& image(Segment s) const {
+    return images_[static_cast<unsigned>(s)];
+  }
+
+  /// Size of a segment's static image. BSS-like segments have a declared
+  /// size but an empty byte image (they are zero-filled at load time).
+  std::uint32_t segment_size(Segment s) const noexcept {
+    const std::uint32_t declared = declared_sizes_[static_cast<unsigned>(s)];
+    const auto& img = images_[static_cast<unsigned>(s)];
+    return declared > img.size() ? declared : static_cast<std::uint32_t>(img.size());
+  }
+  void declare_size(Segment s, std::uint32_t size) noexcept {
+    declared_sizes_[static_cast<unsigned>(s)] = size;
+  }
+
+  /// Absolute base address of each segment under the canonical layout.
+  Addr segment_base(Segment s) const noexcept {
+    return bases_[static_cast<unsigned>(s)];
+  }
+  void set_bases(const std::array<Addr, kNumSegments>& bases) noexcept {
+    bases_ = bases;
+  }
+
+  void add_symbol(Symbol sym) { symbols_.push_back(std::move(sym)); }
+  const std::vector<Symbol>& symbols() const noexcept { return symbols_; }
+
+  /// First symbol with the given name, if any.
+  const Symbol* find_symbol(const std::string& name) const noexcept;
+
+  /// Symbol whose [address, address+size) covers `addr` (size-0 code labels
+  /// match exactly); used to attribute faults in reports.
+  const Symbol* symbol_covering(Addr addr) const noexcept;
+
+  /// Entry point (the `main` label). Setup error if absent.
+  Addr entry() const;
+
+ private:
+  std::vector<std::vector<std::byte>> images_;
+  std::array<std::uint32_t, kNumSegments> declared_sizes_{};
+  std::array<Addr, kNumSegments> bases_{};
+  std::vector<Symbol> symbols_;
+};
+
+}  // namespace fsim::svm

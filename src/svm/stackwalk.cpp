@@ -1,0 +1,67 @@
+#include "svm/stackwalk.hpp"
+
+namespace fsim::svm {
+
+namespace {
+
+bool in_segment(const Memory& mem, Segment seg, Addr a) {
+  return mem.extent(seg).contains(a);
+}
+
+/// Which code segment owns address `a`? Determines whether a frame belongs
+/// to user code or the MPI library stubs.
+bool is_user_code(const Memory& mem, Addr a) {
+  return in_segment(mem, Segment::kText, a);
+}
+
+bool is_any_code(const Memory& mem, Addr a) {
+  return in_segment(mem, Segment::kText, a) ||
+         in_segment(mem, Segment::kLibText, a);
+}
+
+}  // namespace
+
+std::vector<Frame> walk_stack(const Machine& m) {
+  std::vector<Frame> frames;
+  const Memory& mem = m.memory();
+  const auto& stack = mem.extent(Segment::kStack);
+
+  Addr fp = m.regs().fp();
+  Addr inner_lo = m.regs().sp();
+  // The code the innermost frame is executing right now.
+  Addr owner_pc = m.regs().pc;
+
+  while (frames.size() < 256) {
+    if (!stack.contains(fp) || fp % 4 != 0) break;
+    std::uint32_t saved_fp = 0, ret = 0;
+    if (!mem.peek32(fp, saved_fp) || !mem.peek32(fp + 4, ret)) break;
+
+    Frame f;
+    f.fp = fp;
+    f.ret_addr = ret;
+    f.lo = inner_lo;
+    f.hi = fp + 8;  // include the saved-FP and return-address slots
+    // A frame is user context when the code that owns it is user text. For
+    // the innermost frame that is the current PC; for outer frames it is the
+    // return address recorded by their callee (paper §3.2's rule).
+    f.user = is_user_code(mem, owner_pc);
+    frames.push_back(f);
+
+    if (ret == kExitSentinel) break;           // reached main's pseudo-caller
+    if (!is_any_code(mem, ret)) break;         // chain corrupted
+    if (saved_fp <= fp) break;                 // frames must grow upward
+    owner_pc = ret;                            // the caller owns the next frame
+    inner_lo = fp + 8;
+    fp = saved_fp;
+  }
+  return frames;
+}
+
+std::vector<Frame> user_frames(const Machine& m) {
+  std::vector<Frame> out;
+  for (const Frame& f : walk_stack(m))
+    if (f.user && f.hi > f.lo) out.push_back(f);
+  return out;
+}
+
+}  // namespace fsim::svm

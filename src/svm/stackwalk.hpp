@@ -1,0 +1,40 @@
+// Stack-frame walker for stack-region fault injection.
+//
+// Paper §3.2: "The stack frames in use by an application can be identified
+// by a walk-through from the top to bottom frames (using the EBP and ESP
+// registers) and by examination of the 'return address' field in each frame.
+// If the return address falls within user application's text region, then
+// the frame immediately below is in user application's context and is
+// subject to our fault injection."
+//
+// SVM frames have the same shape as x86 frames built by ENTER/LEAVE:
+//   [fp]   -> saved caller FP
+//   [fp+4] -> return address
+//   locals live below fp (towards lower addresses, down to sp for the
+//   innermost frame, or down to the callee's saved-FP slot otherwise).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "svm/machine.hpp"
+
+namespace fsim::svm {
+
+struct Frame {
+  Addr fp = 0;        // frame pointer of this frame
+  Addr ret_addr = 0;  // return address stored at fp+4
+  Addr lo = 0;        // lowest address of the frame's locals/args (inclusive)
+  Addr hi = 0;        // one past the frame's highest byte (ret addr slot end)
+  bool user = false;  // does this frame belong to user-application code?
+};
+
+/// Walk the frame chain of a (typically paused) machine. Returns frames from
+/// innermost to outermost; stops at the sentinel frame or on a broken chain.
+std::vector<Frame> walk_stack(const Machine& m);
+
+/// Byte extents of live *user* frames, for the stack fault injector.
+/// Total size is typically the 5-10 KB the paper measures.
+std::vector<Frame> user_frames(const Machine& m);
+
+}  // namespace fsim::svm

@@ -1,0 +1,85 @@
+// Host syscall interface of the SVM.
+//
+// Syscalls are the boundary between simulated user code and host-implemented
+// services: console/output I/O, the tagged heap allocator, and the simmpi
+// library (whose internals are host C++ — mirroring the paper's decision not
+// to inject faults into the MPI implementation itself, §3.1).
+//
+// Calling convention: arguments in r1..r4, result in r1. A handler may
+// report kBlock, in which case the PC is *not* advanced and the SYS
+// instruction re-executes when the scheduler resumes the process — this is
+// how blocking MPI receives and barriers are expressed.
+#pragma once
+
+#include <cstdint>
+
+namespace fsim::svm {
+
+class Machine;
+
+enum class Sys : std::uint16_t {
+  // Process control and I/O.
+  kExit = 0,        // r1 = exit code
+  kPrintStr = 1,    // console <- bytes [r1, r1+r2)
+  kPrintI32 = 2,    // console <- decimal r1
+  kOutStr = 3,      // output file <- bytes [r1, r1+r2)
+  kOutF64 = 4,      // output file <- *(double*)r1 printed with r2 sig. digits
+  kOutI32 = 5,      // output file <- decimal r1
+  kOutBinF64 = 6,   // output file <- raw 8 bytes of *(double*)r1
+  kConF64 = 7,      // console <- *(double*)r1 printed with r2 sig. digits
+
+  // Heap (the paper's wrapped malloc with user/MPI chunk tagging).
+  kMalloc = 8,      // r1 = size -> r1 = payload address (0 on exhaustion)
+  kFree = 9,        // r1 = payload address
+  kClock = 10,      // r1 <- low 32 bits of the executed-instruction count
+
+  // Application-level error detection (assertions / NaN checks, §6.2).
+  kAssertFail = 11, // console <- message [r1, r1+r2); aborts (App Detected)
+  kChecksum = 12,   // r1 = addr, r2 = len -> r1 = checksum; costs ~len/8 cycles
+  kRand = 13,       // r1 <- next 31-bit value of the per-process PRNG
+  kRealloc = 14,    // r1 = payload addr, r2 = new size -> r1 = new addr
+                    //   (0 on failure/garbage pointer, C semantics)
+
+  // MPI (serviced by simmpi; stubs in .libtext invoke these).
+  kMpiInit = 32,
+  kMpiFinalize = 33,
+  kMpiCommRank = 34,  // r1 <- rank
+  kMpiCommSize = 35,  // r1 <- world size
+  kMpiSend = 36,      // r1 = buf, r2 = bytes, r3 = dest, r4 = tag
+  kMpiRecv = 37,      // r1 = buf, r2 = capacity, r3 = src (-1 any), r4 = tag
+                      //   -> r1 = received byte count
+  kMpiBarrier = 38,
+  kMpiBcast = 39,     // r1 = buf, r2 = bytes, r3 = root
+  kMpiAllreduceSum = 40,  // r1 = sendbuf, r2 = recvbuf, r3 = f64 count
+  kMpiReduceSum = 41,     // r1 = sendbuf, r2 = recvbuf, r3 = count, r4 = root
+  kMpiErrhandlerSet = 42, // r1 = 1 registers the user error handler (§5.1)
+
+  // Nonblocking point-to-point (MPI 1.1 §3.7) and envelope inspection.
+  kMpiIsend = 43,   // r1 = buf, r2 = bytes, r3 = dest, r4 = tag -> r1 = req
+  kMpiIrecv = 44,   // r1 = buf, r2 = cap, r3 = src, r4 = tag -> r1 = req
+  kMpiWait = 45,    // r1 = req -> r1 = received bytes (0 for sends)
+  kMpiTest = 46,    // r1 = req -> r1 = bytes if complete, 0xffffffff if not
+  kMpiProbe = 47,   // r1 = src, r2 = tag -> r1 = pending payload bytes
+  kMpiSendrecv = 48,// r1 = addr of 8-word block {sbuf,slen,dest,stag,
+                    //                            rbuf,rcap,src,rtag} -> r1 = bytes
+  kMpiGather = 49,  // r1 = sendbuf, r2 = bytes/rank, r3 = recvbuf (root only,
+                    //   holds nranks*bytes in rank order), r4 = root
+  kMpiScatter = 50, // r1 = sendbuf (root only, nranks*bytes), r2 = bytes/rank,
+                    //   r3 = recvbuf, r4 = root
+};
+
+enum class SysResult : std::uint8_t {
+  kDone,   // advance PC past the SYS instruction
+  kBlock,  // keep PC on the SYS instruction; retry when resumed
+  kExit,   // process finished (normally or via abort)
+  kTrap,   // handler raised a machine trap (already set on the Machine)
+};
+
+/// Implemented by the runtime (simmpi::Process environment).
+class SyscallHandler {
+ public:
+  virtual ~SyscallHandler() = default;
+  virtual SysResult on_syscall(Machine& m, std::uint16_t number) = 0;
+};
+
+}  // namespace fsim::svm

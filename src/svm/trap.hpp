@@ -1,0 +1,40 @@
+// Trap taxonomy for the SVM.
+//
+// Traps are the machine-level events the classifier later maps to the
+// paper's "Crash" manifestation (MPICH reports critical signals such as
+// SIGSEGV and SIGBUS on STDERR, §5.1). They are ordinary return values on
+// the interpreter hot path, not C++ exceptions.
+#pragma once
+
+#include <cstdint>
+
+namespace fsim::svm {
+
+enum class Trap : std::uint8_t {
+  kNone = 0,
+  kIllegalInstruction,  // SIGILL: undefined opcode byte
+  kBadAddress,          // SIGSEGV: access outside any mapped segment
+  kMisaligned,          // SIGBUS: unaligned word/double access
+  kWriteProtected,      // SIGSEGV: store to the read-only text segment
+  kIntDivideByZero,     // SIGFPE
+  kStackOverflow,       // SIGSEGV: stack grew past its reservation
+  kBadSyscall,          // SIGSYS: undefined syscall number
+  kHeapExhausted,       // allocation failure surfaced as a crash
+};
+
+constexpr const char* trap_name(Trap t) noexcept {
+  switch (t) {
+    case Trap::kNone: return "none";
+    case Trap::kIllegalInstruction: return "SIGILL";
+    case Trap::kBadAddress: return "SIGSEGV";
+    case Trap::kMisaligned: return "SIGBUS";
+    case Trap::kWriteProtected: return "SIGSEGV(text)";
+    case Trap::kIntDivideByZero: return "SIGFPE";
+    case Trap::kStackOverflow: return "SIGSEGV(stack)";
+    case Trap::kBadSyscall: return "SIGSYS";
+    case Trap::kHeapExhausted: return "ENOMEM";
+  }
+  return "?";
+}
+
+}  // namespace fsim::svm

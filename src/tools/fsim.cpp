@@ -1,0 +1,171 @@
+// fsim — command-line driver for the fault-sensitivity laboratory.
+//
+//   fsim run       --app=wavetoy --region=regular --seed=7
+//   fsim campaign  --app=minimd --runs=400 [--regions=regular,message]
+//                  [--seed=S] [--json] [--csv]
+//   fsim profile   [--app=NAME]            (Table 1 per-process profiles)
+//   fsim trace     --app=atmo [--rank=1]   (working-set curves, Tables 5-7)
+//   fsim mix       --app=wavetoy [--rank=1]  (instruction mix / hot spots)
+//
+// Every command is deterministic given its --seed.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "apps/app.hpp"
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "core/sampling.hpp"
+#include "simmpi/world.hpp"
+#include "trace/mix.hpp"
+#include "trace/profile.hpp"
+#include "trace/working_set.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace fsim;
+
+int usage() {
+  std::printf(
+      "usage: fsim <command> [options]\n"
+      "  run       --app=NAME --region=REGION [--seed=N]\n"
+      "  campaign  --app=NAME [--runs=N] [--regions=a,b,...] [--seed=N]\n"
+      "            [--json] [--csv] [--quiet]\n"
+      "  profile   [--app=NAME]\n"
+      "  trace     --app=NAME [--rank=K] [--points=N]\n"
+      "  mix       --app=NAME [--rank=K]\n"
+      "apps: wavetoy | minimd | atmo | jacobi\n"
+      "regions: regular | fp | bss | data | stack | text | heap | message\n");
+  return 2;
+}
+
+int cmd_run(const util::Cli& cli) {
+  apps::App app = apps::make_app(cli.str("app", "wavetoy"));
+  const core::Region region = core::parse_region(cli.str("region", "regular"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.num("seed", 1));
+
+  const core::Golden golden = core::run_golden(app);
+  std::unique_ptr<core::FaultDictionary> dict;
+  if (region == core::Region::kText || region == core::Region::kData ||
+      region == core::Region::kBss) {
+    const svm::Program program = app.link();
+    util::Rng drng(seed ^ 0xd1c7);
+    dict = std::make_unique<core::FaultDictionary>(program, region, drng);
+  }
+  const core::RunOutcome out =
+      core::run_injected(app, golden, region, dict.get(), seed);
+  std::printf("app:     %s\nregion:  %s\nseed:    %llu\nfault:   %s\n",
+              app.name.c_str(), core::region_name(region),
+              static_cast<unsigned long long>(seed),
+              out.fault_applied ? out.fault_description.c_str()
+                                : "(no viable target)");
+  std::printf("outcome: %s%s%s\n",
+              core::manifestation_name(out.manifestation),
+              out.failure_detail.empty() ? "" : " — ",
+              out.failure_detail.c_str());
+  return 0;
+}
+
+int cmd_campaign(const util::Cli& cli) {
+  apps::App app = apps::make_app(cli.str("app", "wavetoy"));
+  core::CampaignConfig cfg;
+  cfg.runs_per_region = static_cast<int>(cli.num("runs", 200));
+  cfg.seed = static_cast<std::uint64_t>(cli.num("seed", 0xfa));
+  if (cli.has("regions")) {
+    cfg.regions.clear();
+    std::istringstream rs(cli.str("regions", ""));
+    std::string tok;
+    while (std::getline(rs, tok, ','))
+      cfg.regions.push_back(core::parse_region(tok));
+  }
+  if (!cli.flag("quiet")) {
+    cfg.progress = [](core::Region region, int done, int total) {
+      if (done == 1 || done == total || done % 50 == 0)
+        std::fprintf(stderr, "\r  %-13s %4d/%d", core::region_name(region),
+                     done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+  }
+  std::printf("campaign: %s, %d runs/region, seed %llu (d = %.1f%% at 95%%)\n\n",
+              app.name.c_str(), cfg.runs_per_region,
+              static_cast<unsigned long long>(cfg.seed),
+              100.0 * core::estimation_error(
+                          0.05, static_cast<std::uint64_t>(cfg.runs_per_region)));
+  const core::CampaignResult res = core::run_campaign(app, cfg);
+  if (cli.flag("json")) {
+    std::printf("%s\n", core::campaign_json(res).c_str());
+  } else if (cli.flag("csv")) {
+    std::printf("%s", core::campaign_csv(res).c_str());
+  } else {
+    std::printf("%s", core::format_campaign(res).c_str());
+  }
+  return 0;
+}
+
+int cmd_profile(const util::Cli& cli) {
+  std::vector<trace::ProcessProfile> profiles;
+  if (cli.has("app")) {
+    profiles.push_back(trace::profile_app(apps::make_app(cli.str("app", ""))));
+  } else {
+    for (const auto& name : apps::app_names())
+      profiles.push_back(trace::profile_app(apps::make_app(name)));
+  }
+  std::printf("%s", trace::format_profiles(profiles).c_str());
+  return 0;
+}
+
+int cmd_trace(const util::Cli& cli) {
+  apps::App app = apps::make_app(cli.str("app", "wavetoy"));
+  const int rank = static_cast<int>(cli.num("rank", 1));
+  const std::size_t points = static_cast<std::size_t>(cli.num("points", 20));
+  if (rank < 0 || rank >= app.world.nranks) {
+    std::fprintf(stderr, "rank out of range\n");
+    return 1;
+  }
+  svm::Program program = app.link();
+  simmpi::World world(program, app.world);
+  trace::AccessTracer tracer(world.machine(rank));
+  if (world.run(2'000'000'000ull) != simmpi::JobStatus::kCompleted) {
+    std::fprintf(stderr, "run failed:\n%s", world.console().c_str());
+    return 1;
+  }
+  tracer.set_heap_denominator(world.process(rank).heap().peak_usage());
+  std::printf("%s\n", trace::format_series(tracer.text_series(points)).c_str());
+  std::printf("%s",
+              trace::format_series(tracer.data_combined_series(points)).c_str());
+  return 0;
+}
+
+int cmd_mix(const util::Cli& cli) {
+  apps::App app = apps::make_app(cli.str("app", "wavetoy"));
+  const int rank = static_cast<int>(cli.num("rank", 1));
+  svm::Program program = app.link();
+  simmpi::World world(program, app.world);
+  trace::InstructionMixProfiler mix(program, world.machine(rank));
+  if (world.run(2'000'000'000ull) != simmpi::JobStatus::kCompleted) {
+    std::fprintf(stderr, "run failed\n");
+    return 1;
+  }
+  std::printf("%s", mix.format().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  util::Cli cli(argc - 1, argv + 1);
+  try {
+    if (command == "run") return cmd_run(cli);
+    if (command == "campaign") return cmd_campaign(cli);
+    if (command == "profile") return cmd_profile(cli);
+    if (command == "trace") return cmd_trace(cli);
+    if (command == "mix") return cmd_mix(cli);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fsim %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}

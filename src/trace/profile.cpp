@@ -1,0 +1,107 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+
+#include "simmpi/world.hpp"
+#include "util/status.hpp"
+#include "util/table.hpp"
+
+namespace fsim::trace {
+
+ProcessProfile profile_app(const apps::App& app) {
+  const svm::Program program = app.link();
+  simmpi::World world(program, app.world);
+
+  ProcessProfile p;
+  p.app = app.name;
+  p.ranks = app.world.nranks;
+  p.text_size = program.segment_size(svm::Segment::kText);
+  p.data_size = program.segment_size(svm::Segment::kData);
+  p.bss_size = program.segment_size(svm::Segment::kBss);
+
+  const svm::Addr stack_top =
+      world.machine(0).memory().extent(svm::Segment::kStack).end();
+  std::uint64_t min_sp = stack_top;
+
+  // Sample heap composition and stack depth each scheduler round — the
+  // paper's malloc wrapper similarly tracks the heap to its stable point.
+  while (world.status() == simmpi::JobStatus::kRunning) {
+    world.advance();
+    for (int r = 0; r < world.size(); ++r) {
+      const auto& heap = world.process(r).heap();
+      p.heap_stable =
+          std::max(p.heap_stable, heap.live_bytes(svm::AllocTag::kUser));
+      p.heap_mpi_peak =
+          std::max(p.heap_mpi_peak, heap.live_bytes(svm::AllocTag::kMpi));
+      min_sp = std::min<std::uint64_t>(min_sp, world.machine(r).regs().sp());
+    }
+    if (world.global_instructions() > 2'000'000'000ull) break;
+  }
+  if (world.status() != simmpi::JobStatus::kCompleted)
+    throw util::SetupError("profile run of '" + app.name +
+                           "' did not complete cleanly");
+
+  p.stack_peak = stack_top - min_sp;
+  p.golden_instructions = world.global_instructions();
+
+  for (int r = 0; r < world.size(); ++r) {
+    const auto& s = world.process(r).channel().stats();
+    p.traffic.control_messages += s.control_messages;
+    p.traffic.data_messages += s.data_messages;
+    p.traffic.header_bytes += s.header_bytes;
+    p.traffic.payload_bytes += s.payload_bytes;
+  }
+  const double total = static_cast<double>(p.traffic.total_bytes());
+  if (total > 0) {
+    p.header_pct = 100.0 * static_cast<double>(p.traffic.header_bytes) / total;
+    p.user_pct = 100.0 * static_cast<double>(p.traffic.payload_bytes) / total;
+  }
+  p.bytes_per_rank =
+      p.traffic.total_bytes() / static_cast<std::uint64_t>(world.size());
+  return p;
+}
+
+std::string format_profiles(const std::vector<ProcessProfile>& profiles) {
+  util::Table t("Per-Process Profiles of Test Applications (Table 1 analogue)");
+  std::vector<std::string> head = {"Metric"};
+  for (const auto& p : profiles) head.push_back(p.app);
+  t.header(head);
+
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const auto& p : profiles) cells.push_back(getter(p));
+    t.row(std::move(cells));
+  };
+  row("Ranks", [](const ProcessProfile& p) { return std::to_string(p.ranks); });
+  row("Text size",
+      [](const ProcessProfile& p) { return util::fmt_bytes(p.text_size); });
+  row("Data size",
+      [](const ProcessProfile& p) { return util::fmt_bytes(p.data_size); });
+  row("BSS size",
+      [](const ProcessProfile& p) { return util::fmt_bytes(p.bss_size); });
+  row("Heap size (stable, user)",
+      [](const ProcessProfile& p) { return util::fmt_bytes(p.heap_stable); });
+  row("Stack size (peak)",
+      [](const ProcessProfile& p) { return util::fmt_bytes(p.stack_peak); });
+  t.separator();
+  row("Messages received / rank", [](const ProcessProfile& p) {
+    return std::to_string(p.traffic.total_messages() /
+                          static_cast<std::uint64_t>(p.ranks));
+  });
+  row("Message volume / rank", [](const ProcessProfile& p) {
+    return util::fmt_bytes(p.bytes_per_rank);
+  });
+  row("Header %",
+      [](const ProcessProfile& p) { return util::fmt_fixed(p.header_pct, 0); });
+  row("User %",
+      [](const ProcessProfile& p) { return util::fmt_fixed(p.user_pct, 0); });
+  row("Control messages", [](const ProcessProfile& p) {
+    return std::to_string(p.traffic.control_messages);
+  });
+  row("Data messages", [](const ProcessProfile& p) {
+    return std::to_string(p.traffic.data_messages);
+  });
+  return t.ascii();
+}
+
+}  // namespace fsim::trace

@@ -1,0 +1,45 @@
+// Per-process application profiling: reproduces Table 1.
+//
+// The paper profiles each application's memory use (objdump/nm section
+// sizes, the malloc wrapper's stable heap size, observed stack depth) and
+// classifies its incoming traffic at the Channel/ADI level into header
+// bytes and user-data bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/app.hpp"
+#include "simmpi/channel.hpp"
+
+namespace fsim::trace {
+
+struct ProcessProfile {
+  std::string app;
+  int ranks = 0;
+
+  // Memory (bytes) — per process.
+  std::uint64_t text_size = 0;
+  std::uint64_t data_size = 0;
+  std::uint64_t bss_size = 0;
+  std::uint64_t heap_stable = 0;  // peak live user-tagged bytes
+  std::uint64_t heap_mpi_peak = 0;
+  std::uint64_t stack_peak = 0;   // deepest observed stack extent
+
+  // Messages — aggregated over all ranks (per-process mean in `*_per_rank`).
+  simmpi::TrafficStats traffic;
+  double header_pct = 0.0;  // of received bytes
+  double user_pct = 0.0;
+  std::uint64_t bytes_per_rank = 0;
+
+  std::uint64_t golden_instructions = 0;
+};
+
+/// Run the application fault-free and measure its profile. The run must
+/// complete; throws SetupError otherwise.
+ProcessProfile profile_app(const apps::App& app);
+
+/// Render several profiles side by side, Table 1 style.
+std::string format_profiles(const std::vector<ProcessProfile>& profiles);
+
+}  // namespace fsim::trace

@@ -1,0 +1,85 @@
+// Working-set analysis: the Valgrind-based measurement of §6.1.2.
+//
+// The paper instruments one MPI process, records text accesses (executed
+// instructions) and data *loads* (Data, BSS and Heap), and plots the
+// "working set size at time t" — the size of memory accessed at or after t,
+// as a percentage of the section size (Tables 5-7). A large drop marks the
+// transition from the initialisation phase to the computation phase, and
+// the small computation-phase working set explains the low memory fault
+// error rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svm/machine.hpp"
+
+namespace fsim::trace {
+
+/// Observes one machine's fetches and loads and timestamps each touched
+/// granule with the instruction count of its last access.
+class AccessTracer : public svm::AccessObserver {
+ public:
+  /// Attaches itself as the machine's memory observer.
+  explicit AccessTracer(svm::Machine& machine);
+
+  void on_fetch(svm::Addr addr) override;
+  void on_load(svm::Addr addr, unsigned bytes, svm::Segment seg) override;
+  void on_store(svm::Addr addr, unsigned bytes, svm::Segment seg) override;
+
+  std::uint64_t fetches() const noexcept { return fetches_; }
+  std::uint64_t loads() const noexcept { return loads_; }
+
+  /// Bytes of a segment touched (fetch for text, load for data segments)
+  /// at any time — the working set at t = 0.
+  std::uint64_t touched_bytes(svm::Segment seg) const;
+
+  /// Working-set series: `points` samples evenly spaced over the run.
+  struct Series {
+    std::string label;
+    std::uint64_t section_bytes = 0;  // denominator
+    std::vector<std::uint64_t> times;
+    std::vector<double> ws_pct;  // % of section accessed at or after times[i]
+  };
+
+  Series text_series(std::size_t points = 50) const;
+  Series segment_series(svm::Segment seg, std::size_t points = 50) const;
+  /// Combined Data+BSS+Heap loads, the paper's right-hand plots.
+  Series data_combined_series(std::size_t points = 50) const;
+
+  /// Override the heap denominator (default: heap segment capacity). The
+  /// profiler passes the observed stable heap size for meaningful %.
+  void set_heap_denominator(std::uint64_t bytes) noexcept {
+    heap_denominator_ = bytes;
+  }
+
+ private:
+  struct SegTrace {
+    svm::Addr base = 0;
+    unsigned granule = 8;
+    std::vector<std::uint64_t> last_access;  // 0 = never accessed
+  };
+
+  SegTrace& seg_trace(svm::Segment seg) {
+    return traces_[static_cast<unsigned>(seg)];
+  }
+  const SegTrace& seg_trace(svm::Segment seg) const {
+    return traces_[static_cast<unsigned>(seg)];
+  }
+  void touch(svm::Segment seg, svm::Addr addr, unsigned bytes);
+  Series build_series(const std::vector<const SegTrace*>& parts,
+                      std::uint64_t denominator, std::string label,
+                      std::size_t points) const;
+
+  svm::Machine* machine_;
+  std::array<SegTrace, svm::kNumSegments> traces_;
+  std::uint64_t fetches_ = 0;
+  std::uint64_t loads_ = 0;
+  std::uint64_t heap_denominator_ = 0;
+};
+
+/// Render a series as a two-column table (time, ws%), matching the plots.
+std::string format_series(const AccessTracer::Series& series);
+
+}  // namespace fsim::trace

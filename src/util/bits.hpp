@@ -1,0 +1,68 @@
+// Single-bit manipulation helpers.
+//
+// The entire fault model of the paper is "flip exactly one bit", so these
+// helpers are the lowest layer of the injector: flip a bit in a word, in a
+// byte buffer, or in an IEEE-754 double, and report which field of the double
+// was hit (sign / exponent / mantissa) for the §6.2 message analysis.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace fsim::util {
+
+constexpr std::uint32_t flip_bit32(std::uint32_t v, unsigned bit) noexcept {
+  return v ^ (std::uint32_t{1} << (bit & 31u));
+}
+
+constexpr std::uint64_t flip_bit64(std::uint64_t v, unsigned bit) noexcept {
+  return v ^ (std::uint64_t{1} << (bit & 63u));
+}
+
+/// Flip bit `bit` of a byte buffer (bit 0 = LSB of byte 0).
+inline void flip_bit(std::span<std::byte> buf, std::uint64_t bit) noexcept {
+  const std::uint64_t byte = bit / 8;
+  if (byte >= buf.size()) return;
+  buf[byte] ^= static_cast<std::byte>(1u << (bit % 8));
+}
+
+inline bool test_bit(std::span<const std::byte> buf, std::uint64_t bit) noexcept {
+  const std::uint64_t byte = bit / 8;
+  if (byte >= buf.size()) return false;
+  return (static_cast<unsigned>(buf[byte]) >> (bit % 8)) & 1u;
+}
+
+inline double flip_double_bit(double v, unsigned bit) noexcept {
+  std::uint64_t u = std::bit_cast<std::uint64_t>(v);
+  return std::bit_cast<double>(flip_bit64(u, bit));
+}
+
+/// Which IEEE-754 binary64 field does bit index `bit` (0 = mantissa LSB) hit?
+enum class DoubleField { kMantissa, kExponent, kSign };
+
+constexpr DoubleField double_field(unsigned bit) noexcept {
+  if (bit >= 63) return DoubleField::kSign;
+  if (bit >= 52) return DoubleField::kExponent;
+  return DoubleField::kMantissa;
+}
+
+constexpr const char* to_string(DoubleField f) noexcept {
+  switch (f) {
+    case DoubleField::kMantissa: return "mantissa";
+    case DoubleField::kExponent: return "exponent";
+    case DoubleField::kSign: return "sign";
+  }
+  return "?";
+}
+
+/// Population count over a byte span — used by tests to assert that an
+/// injection changed exactly one bit.
+inline std::uint64_t popcount(std::span<const std::byte> buf) noexcept {
+  std::uint64_t n = 0;
+  for (std::byte b : buf) n += std::popcount(static_cast<unsigned>(b) & 0xffu);
+  return n;
+}
+
+}  // namespace fsim::util

@@ -1,0 +1,128 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.hpp"
+
+namespace fsim::util {
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) out_ += ',';
+    has_elem_.back() = true;
+  }
+}
+
+void JsonWriter::raw(const std::string& s) {
+  pre_value();
+  out_ += s;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  raw("{");
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  FSIM_CHECK(!has_elem_.empty());
+  has_elem_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  raw("[");
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  FSIM_CHECK(!has_elem_.empty());
+  has_elem_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  FSIM_CHECK(!pending_key_);
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) out_ += ',';
+    has_elem_.back() = true;
+  }
+  out_ += '"' + escape(name) + "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  raw('"' + escape(v) + '"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    raw("null");  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  raw(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  raw(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  raw(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+JsonWriter& JsonWriter::value(bool v) {
+  raw(v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  raw("null");
+  return *this;
+}
+
+}  // namespace fsim::util

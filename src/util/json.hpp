@@ -1,0 +1,51 @@
+// Minimal JSON emission for experiment artefacts.
+//
+// Campaign results are exported as JSON so downstream tooling (plotting,
+// regression tracking) can consume them without parsing ASCII tables. This
+// is a writer only — the laboratory never needs to parse JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsim::util {
+
+/// Incremental JSON writer with correct string escaping and comma handling.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("app").value("wavetoy");
+///   w.key("regions").begin_array();
+///   ...
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The serialised document. Valid once all containers are closed.
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void pre_value();
+  void raw(const std::string& s);
+  static std::string escape(const std::string& s);
+
+  std::string out_;
+  // Per-nesting-level flag: has this container already emitted an element?
+  std::vector<bool> has_elem_;
+  bool pending_key_ = false;
+};
+
+}  // namespace fsim::util

@@ -1,0 +1,13 @@
+#include "util/status.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fsim::util {
+
+void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "FSIM_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace fsim::util

@@ -1,0 +1,30 @@
+// Lightweight error propagation without exceptions on hot paths.
+//
+// The VM interpreter and channel layers run millions of times per campaign;
+// they report recoverable conditions (traps, would-block) through explicit
+// status codes, reserving C++ exceptions for programmer errors during setup
+// (assembler syntax errors, bad configuration).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fsim::util {
+
+/// Thrown for configuration/setup mistakes (not simulated faults).
+class SetupError : public std::runtime_error {
+ public:
+  explicit SetupError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// FSIM_CHECK: internal invariant check, active in all build types. These
+/// guard *host* correctness — a failure here is a bug in the laboratory, not
+/// a simulated fault manifestation.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line);
+
+#define FSIM_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) ::fsim::util::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+}  // namespace fsim::util

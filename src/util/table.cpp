@@ -1,0 +1,129 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace fsim::util {
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  width_ = std::max(width_, header_.size());
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  width_ = std::max(width_, cells.size());
+  rows_.push_back(Row{std::move(cells), false});
+  return *this;
+}
+
+Table& Table::separator() {
+  rows_.push_back(Row{{}, true});
+  return *this;
+}
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t w, bool left_align) {
+  if (s.size() >= w) return s;
+  std::string out;
+  if (left_align) {
+    out = s + std::string(w - s.size(), ' ');
+  } else {
+    out = std::string(w - s.size(), ' ') + s;
+  }
+  return out;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::ascii() const {
+  std::vector<std::size_t> w(width_, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      w[i] = std::max(w[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_)
+    if (!r.is_separator) widen(r.cells);
+
+  std::size_t total = 0;
+  for (std::size_t c : w) total += c + 3;
+  if (total >= 3) total -= 3;
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < width_; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << pad(cell, w[i], i == 0);
+      if (i + 1 < width_) os << " | ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      emit(r.cells);
+    }
+  }
+  return os.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(cells[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_)
+    if (!r.is_separator) emit(r.cells);
+  return os.str();
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_pct(double numerator, double denominator, int decimals) {
+  if (denominator == 0.0) return "-";
+  return fmt_fixed(100.0 * numerator / denominator, decimals);
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= 1024ull * 1024ull) {
+    std::snprintf(buf, sizeof buf, "%.2f MB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024ull) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace fsim::util

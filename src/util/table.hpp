@@ -1,0 +1,58 @@
+// Plain-text table rendering for experiment reports.
+//
+// Every bench binary regenerates one of the paper's tables; this renderer
+// produces aligned ASCII tables (and optionally CSV) so the output can be
+// diffed against EXPERIMENTS.md and post-processed by scripts.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsim::util {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row. Resets column count.
+  Table& header(std::vector<std::string> cells);
+
+  /// Append a data row; short rows are padded with empty cells.
+  Table& row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator between row groups.
+  Table& separator();
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return width_; }
+
+  /// Render as an aligned ASCII table (first column left-aligned, the rest
+  /// right-aligned, which suits numeric experiment tables).
+  std::string ascii() const;
+
+  /// Render as CSV (RFC-4180 quoting for cells containing commas/quotes).
+  std::string csv() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::size_t width_ = 0;
+};
+
+/// Format a double with `digits` significant digits (matches how the paper's
+/// tables print percentages, e.g. "62.8").
+std::string fmt_fixed(double v, int decimals = 1);
+
+/// Format as a percentage with one decimal, or "-" when the denominator is 0.
+std::string fmt_pct(double numerator, double denominator, int decimals = 1);
+
+/// Format byte counts as human-readable KB/MB (profile tables).
+std::string fmt_bytes(std::uint64_t bytes);
+
+}  // namespace fsim::util

@@ -1,0 +1,136 @@
+// The naturally fault-tolerant Jacobi solver (§8.2 extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "apps/app.hpp"
+#include "simmpi/world.hpp"
+
+namespace fsim::apps {
+namespace {
+
+using simmpi::JobStatus;
+using simmpi::World;
+
+struct Sim {
+  svm::Program program;
+  World world;
+  explicit Sim(const App& app)
+      : program(app.link()), world(program, app.world) {}
+  JobStatus go() { return world.run(500'000'000ull); }
+};
+
+int iteration_count(const World& world) {
+  const std::string console = const_cast<World&>(world).console();
+  const auto pos = console.find("ITERS ");
+  if (pos == std::string::npos) return -1;
+  return std::atoi(console.c_str() + pos + 6);
+}
+
+TEST(Jacobi, ConvergesToAnalyticSolution) {
+  JacobiConfig cfg;
+  App app = make_jacobi(cfg);
+  Sim run(app);
+  ASSERT_EQ(run.go(), JobStatus::kCompleted);
+
+  // -u'' = 1, u(0)=u(1)=0  =>  u(x) = x(1-x)/2.
+  const int total = cfg.ranks * cfg.cells;
+  const double h = 1.0 / (total + 1);
+  std::istringstream in(run.world.output());
+  std::string line;
+  std::getline(in, line);  // banner
+  int i = 1;
+  while (std::getline(in, line)) {
+    const double got = std::strtod(line.c_str(), nullptr);
+    const double x = i * h;
+    EXPECT_NEAR(got, 0.5 * x * (1.0 - x), 2e-3) << "point " << i;
+    ++i;
+  }
+  EXPECT_EQ(i - 1, total);
+}
+
+TEST(Jacobi, ReportsIterationCountOnConsole) {
+  App app = make_jacobi();
+  Sim run(app);
+  ASSERT_EQ(run.go(), JobStatus::kCompleted);
+  const int iters = iteration_count(run.world);
+  EXPECT_GT(iters, 10);
+  EXPECT_LT(iters, 20000);
+}
+
+TEST(Jacobi, Deterministic) {
+  App app = make_jacobi();
+  Sim a(app), b(app);
+  a.go();
+  b.go();
+  EXPECT_EQ(a.world.output(), b.world.output());
+  EXPECT_EQ(iteration_count(a.world), iteration_count(b.world));
+}
+
+TEST(Jacobi, TighterToleranceCostsMoreIterations) {
+  JacobiConfig loose;
+  loose.tolerance = 1e-7;
+  JacobiConfig tight;
+  tight.tolerance = 1e-12;
+  Sim a(make_jacobi(loose)), b(make_jacobi(tight));
+  ASSERT_EQ(a.go(), JobStatus::kCompleted);
+  ASSERT_EQ(b.go(), JobStatus::kCompleted);
+  EXPECT_LT(iteration_count(a.world), iteration_count(b.world));
+}
+
+TEST(Jacobi, AbsorbsSmallMidRunPerturbation) {
+  // Flip a low-order mantissa-side chunk of one solution value mid-run: the
+  // contraction must re-converge to the same output, possibly later.
+  App app = make_jacobi();
+  Sim clean(app);
+  ASSERT_EQ(clean.go(), JobStatus::kCompleted);
+  const int clean_iters = iteration_count(clean.world);
+
+  Sim hurt(app);
+  for (int i = 0; i < 120; ++i) hurt.world.advance();
+  ASSERT_EQ(hurt.world.status(), JobStatus::kRunning);
+  const svm::Symbol* u = hurt.program.find_symbol("ubuf");
+  ASSERT_NE(u, nullptr);
+  // Perturb u[2] of rank 1 by adding ~1e-3 worth of error (bit 45).
+  std::uint64_t bits = 0;
+  ASSERT_TRUE(hurt.world.machine(1).memory().peek64(u->address + 16, bits));
+  ASSERT_TRUE(
+      hurt.world.machine(1).memory().poke64(u->address + 16, bits ^ (1ull << 45)));
+  ASSERT_EQ(hurt.go(), JobStatus::kCompleted);
+
+  EXPECT_EQ(hurt.world.output(), clean.world.output())
+      << "perturbation must be absorbed, not persist";
+  EXPECT_GE(iteration_count(hurt.world), clean_iters);
+}
+
+TEST(Jacobi, NaNPerturbationNeverConverges) {
+  App app = make_jacobi();
+  Sim run(app);
+  for (int i = 0; i < 120; ++i) run.world.advance();
+  ASSERT_EQ(run.world.status(), JobStatus::kRunning);
+  const svm::Symbol* u = run.program.find_symbol("ubuf");
+  ASSERT_NE(u, nullptr);
+  ASSERT_TRUE(run.world.machine(2).memory().poke64(u->address + 16,
+                                                   0x7ff8000000000000ull));
+  // NaN infects the whole field through the sweeps; the convergence test
+  // (NaN < tol is false) never passes, so the run only ends at max_iters.
+  const JobStatus st = run.go();
+  if (st == JobStatus::kCompleted) {
+    // Ended via the max-iteration bound: output is poisoned.
+    EXPECT_NE(run.world.output().find("nan"), std::string::npos);
+  } else {
+    EXPECT_EQ(st, JobStatus::kDeadlocked);
+  }
+}
+
+TEST(Jacobi, RegistryIncludesJacobi) {
+  App app = make_app("jacobi");
+  EXPECT_EQ(app.name, "jacobi");
+  EXPECT_NO_THROW(app.link());
+  // But the paper-suite list stays at three applications.
+  EXPECT_EQ(app_names().size(), 3u);
+}
+
+}  // namespace
+}  // namespace fsim::apps

@@ -1,0 +1,177 @@
+// Control-flow signature checking (§8.2 extension).
+#include "core/cfc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "simmpi/world.hpp"
+#include "svm/assembler.hpp"
+#include "svm/env.hpp"
+#include "svm/isa.hpp"
+
+namespace fsim::core {
+namespace {
+
+struct Proc {
+  svm::Program program;
+  svm::Machine machine;
+  svm::BasicEnv env;
+  ControlFlowChecker cfc;
+  explicit Proc(const std::string& src)
+      : program(svm::assemble(src)),
+        machine(program, {}),
+        env(machine),
+        cfc(program, machine) {}
+};
+
+constexpr const char* kBranchy = R"(
+.text
+main:
+    enter 16
+    ldi r1, 0
+    ldi r2, 0
+loop:
+    addi r2, r2, 1
+    call helper
+    add r1, r1, r2
+    ldi r3, 10
+    blt r2, r3, loop
+    leave
+    ret
+helper:
+    enter 0
+    muli r2, r2, 1
+    leave
+    ret
+)";
+
+TEST(Cfc, CleanRunHasNoViolations) {
+  Proc p(kBranchy);
+  p.machine.step(100000);
+  ASSERT_EQ(p.machine.state(), svm::RunState::kExited);
+  EXPECT_FALSE(p.cfc.violated());
+  EXPECT_GT(p.cfc.transfers_checked(), 50u);
+}
+
+TEST(Cfc, CleanAppRunsHaveNoViolations) {
+  // End-to-end over every benchmark application: the model must produce
+  // zero false positives across calls, branches, syscall retries and the
+  // user <-> library boundary.
+  for (const auto& name : apps::app_names()) {
+    apps::App app = apps::make_app(name);
+    svm::Program program = app.link();
+    simmpi::World world(program, app.world);
+    ControlFlowChecker cfc(program, world.machine(1));
+    ASSERT_EQ(world.run(2'000'000'000ull), simmpi::JobStatus::kCompleted)
+        << name;
+    EXPECT_FALSE(cfc.violated())
+        << name << ": " << (cfc.violated() ? cfc.violation()->kind : "");
+  }
+}
+
+TEST(Cfc, DetectsBranchRetargeting) {
+  Proc p(kBranchy);
+  // Corrupt the blt offset (low bit of the imm16 field): the branch now
+  // lands one instruction off — a valid address, an illegal edge.
+  const svm::Symbol* main_sym = p.program.find_symbol("main");
+  ASSERT_NE(main_sym, nullptr);
+  // Find the blt instruction in text.
+  const auto& img = p.program.image(svm::Segment::kText);
+  for (std::size_t off = 0; off + 4 <= img.size(); off += 4) {
+    std::uint32_t w = 0;
+    std::memcpy(&w, img.data() + off, 4);
+    if (svm::decode(w).op == svm::Op::kBlt) {
+      p.machine.memory().flip_bit(
+          p.program.segment_base(svm::Segment::kText) +
+              static_cast<svm::Addr>(off) + 2,
+          0);  // low bit of imm16
+      break;
+    }
+  }
+  p.machine.step(100000);
+  EXPECT_TRUE(p.cfc.violated());
+  EXPECT_STREQ(p.cfc.violation()->kind, "edge");
+}
+
+TEST(Cfc, DetectsOpcodeTurnedIntoJump) {
+  Proc p(kBranchy);
+  // Turn the add (0x05) inside the loop into a jmp (0x26) by flipping
+  // opcode bits; find an add first.
+  const auto& img = p.program.image(svm::Segment::kText);
+  const svm::Addr base = p.program.segment_base(svm::Segment::kText);
+  for (std::size_t off = 0; off + 4 <= img.size(); off += 4) {
+    std::uint32_t w = 0;
+    std::memcpy(&w, img.data() + off, 4);
+    if (svm::decode(w).op == svm::Op::kAdd) {
+      const std::uint32_t corrupted =
+          (w & ~0xffu) | static_cast<std::uint32_t>(svm::Op::kJmp);
+      p.machine.memory().poke32(base + static_cast<svm::Addr>(off), corrupted);
+      break;
+    }
+  }
+  p.machine.step(100000);
+  EXPECT_TRUE(p.cfc.violated());
+}
+
+TEST(Cfc, DetectsCorruptedReturnAddress) {
+  Proc p(kBranchy);
+  // Run until inside helper, then corrupt the return address on the stack.
+  const svm::Symbol* helper = p.program.find_symbol("helper");
+  ASSERT_NE(helper, nullptr);
+  while (p.machine.state() == svm::RunState::kReady &&
+         p.machine.regs().pc != helper->address)
+    p.machine.step(1);
+  ASSERT_EQ(p.machine.state(), svm::RunState::kReady);
+  p.machine.step(1);  // execute helper's enter so fp points at its frame
+  // Return address sits at [fp+4].
+  std::uint32_t ret = 0;
+  ASSERT_TRUE(p.machine.memory().peek32(p.machine.regs().fp() + 4, ret));
+  ASSERT_TRUE(p.machine.memory().poke32(p.machine.regs().fp() + 4, ret + 8));
+  p.machine.step(100000);
+  EXPECT_TRUE(p.cfc.violated());
+  EXPECT_STREQ(p.cfc.violation()->kind, "return");
+}
+
+TEST(Cfc, PureDataFaultIsInvisible) {
+  // CFC covers control flow only: a corrupted ALU operand that does not
+  // change any transfer must not be flagged (and the run still "succeeds").
+  Proc p(kBranchy);
+  const auto& img = p.program.image(svm::Segment::kText);
+  const svm::Addr base = p.program.segment_base(svm::Segment::kText);
+  for (std::size_t off = 0; off + 4 <= img.size(); off += 4) {
+    std::uint32_t w = 0;
+    std::memcpy(&w, img.data() + off, 4);
+    const svm::Instr in = svm::decode(w);
+    if (in.op == svm::Op::kMuli) {
+      // Flip an immediate bit: r2 *= 1 becomes r2 *= 3.
+      p.machine.memory().flip_bit(base + static_cast<svm::Addr>(off) + 2, 1);
+      break;
+    }
+  }
+  p.machine.step(100000);
+  EXPECT_EQ(p.machine.state(), svm::RunState::kExited);
+  EXPECT_FALSE(p.cfc.violated());
+  EXPECT_NE(p.machine.exit_code(), 55);  // the data damage happened, though
+}
+
+TEST(Cfc, ViolationRecordsLocation) {
+  Proc p(kBranchy);
+  const auto& img = p.program.image(svm::Segment::kText);
+  const svm::Addr base = p.program.segment_base(svm::Segment::kText);
+  for (std::size_t off = 0; off + 4 <= img.size(); off += 4) {
+    std::uint32_t w = 0;
+    std::memcpy(&w, img.data() + off, 4);
+    if (svm::decode(w).op == svm::Op::kBlt) {
+      p.machine.memory().flip_bit(base + static_cast<svm::Addr>(off) + 2, 2);
+      break;
+    }
+  }
+  p.machine.step(100000);
+  ASSERT_TRUE(p.cfc.violated());
+  const auto& v = *p.cfc.violation();
+  EXPECT_GE(v.from, base);
+  EXPECT_GT(v.at, 0u);
+}
+
+}  // namespace
+}  // namespace fsim::core

@@ -1,0 +1,141 @@
+#include "core/dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "simmpi/stubs.hpp"
+#include "svm/assembler.hpp"
+
+namespace fsim::core {
+namespace {
+
+svm::Program linked_probe() {
+  // User program with a symbol ("buffer") that collides with a library
+  // symbol name — the §3.2 exclusion case.
+  return svm::assemble_units({R"(
+.text
+main:
+    nop
+    ret
+helper:
+    nop
+    nop
+    ret
+.data
+coef: .f64 1.0, 2.0, 3.0
+.bss
+buffer: .space 64
+state: .space 32
+)",
+                              simmpi::stub_library_asm()});
+}
+
+TEST(Dictionary, EntriesLieInsideUserSymbols) {
+  svm::Program p = linked_probe();
+  util::Rng rng(1);
+  FaultDictionary dict(p, Region::kData, rng, 256);
+  ASSERT_FALSE(dict.empty());
+  for (const auto& e : dict.entries()) {
+    const svm::Symbol* sym = p.symbol_covering(e.address);
+    ASSERT_NE(sym, nullptr);
+    EXPECT_EQ(sym->segment, svm::Segment::kData);
+    EXPECT_EQ(sym->name, e.symbol);
+  }
+}
+
+TEST(Dictionary, ExcludesNameCollisionsWithLibrary) {
+  svm::Program p = linked_probe();
+  util::Rng rng(2);
+  FaultDictionary dict(p, Region::kBss, rng, 512);
+  ASSERT_FALSE(dict.empty());
+  for (const auto& e : dict.entries()) {
+    EXPECT_NE(e.symbol, "buffer") << "library-colliding symbol not excluded";
+    EXPECT_EQ(e.symbol, "state");
+  }
+  EXPECT_EQ(dict.excluded_bytes(), 64u);
+  EXPECT_EQ(dict.candidate_bytes(), 32u);
+}
+
+TEST(Dictionary, NeverContainsLibraryAddresses) {
+  svm::Program p = linked_probe();
+  util::Rng rng(3);
+  for (Region r : {Region::kText, Region::kData, Region::kBss}) {
+    FaultDictionary dict(p, r, rng, 512);
+    for (const auto& e : dict.entries()) {
+      const svm::Symbol* sym = p.symbol_covering(e.address);
+      ASSERT_NE(sym, nullptr);
+      EXPECT_FALSE(svm::is_library_segment(sym->segment));
+    }
+  }
+}
+
+TEST(Dictionary, TextEntriesCoverInstructions) {
+  svm::Program p = linked_probe();
+  util::Rng rng(4);
+  FaultDictionary dict(p, Region::kText, rng, 512);
+  ASSERT_FALSE(dict.empty());
+  bool saw_main = false, saw_helper = false;
+  for (const auto& e : dict.entries()) {
+    saw_main |= e.symbol == "main";
+    saw_helper |= e.symbol == "helper";
+  }
+  EXPECT_TRUE(saw_main);
+  EXPECT_TRUE(saw_helper);
+}
+
+TEST(Dictionary, RespectsMaxEntries) {
+  svm::Program p = linked_probe();
+  util::Rng rng(5);
+  FaultDictionary dict(p, Region::kText, rng, 7);
+  EXPECT_LE(dict.size(), 7u);
+}
+
+TEST(Dictionary, DeterministicForSameSeed) {
+  svm::Program p = linked_probe();
+  util::Rng r1(6), r2(6);
+  FaultDictionary a(p, Region::kData, r1, 64);
+  FaultDictionary b(p, Region::kData, r2, 64);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.entries()[i].address, b.entries()[i].address);
+}
+
+TEST(Dictionary, NonStaticRegionRejected) {
+  svm::Program p = linked_probe();
+  util::Rng rng(7);
+  EXPECT_THROW(FaultDictionary(p, Region::kHeap, rng, 16), util::SetupError);
+  EXPECT_THROW(FaultDictionary(p, Region::kMessage, rng, 16),
+               util::SetupError);
+}
+
+TEST(Dictionary, RealAppsYieldThousandsOfCandidates) {
+  for (const auto& name : apps::app_names()) {
+    svm::Program p = apps::make_app(name).link();
+    util::Rng rng(8);
+    FaultDictionary text(p, Region::kText, rng, 4096);
+    EXPECT_GT(text.candidate_bytes(), 1000u) << name;
+    EXPECT_FALSE(text.empty()) << name;
+  }
+}
+
+TEST(Dictionary, SamplingIsRoughlyProportionalToSymbolSize) {
+  svm::Program p = svm::assemble_units({R"(
+.text
+main: ret
+.data
+big: .space 900
+small: .space 100
+)",
+                                        simmpi::stub_library_asm()});
+  util::Rng rng(9);
+  FaultDictionary dict(p, Region::kData, rng, 2000);
+  int big = 0, small = 0;
+  for (const auto& e : dict.entries()) {
+    if (e.symbol == "big") ++big;
+    if (e.symbol == "small") ++small;
+  }
+  EXPECT_NEAR(static_cast<double>(big) / (big + small), 0.9, 0.05);
+}
+
+}  // namespace
+}  // namespace fsim::core

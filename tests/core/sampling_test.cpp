@@ -1,0 +1,97 @@
+#include "core/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fsim::core {
+namespace {
+
+TEST(Sampling, NormalQuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.84134), 1.0, 1e-3);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+}
+
+TEST(Sampling, QuantileIsSymmetric) {
+  for (double p : {0.6, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9);
+  }
+}
+
+TEST(Sampling, ZAlphaHalf95Percent) {
+  // The paper: alpha = 5% gives z = 1.96.
+  EXPECT_NEAR(z_alpha_half(0.05), 1.96, 0.001);
+}
+
+TEST(Sampling, PaperSampleSizeNumbers) {
+  // §4.3: 400-500 injections at 95% confidence give d = 4.4-4.9%.
+  EXPECT_NEAR(estimation_error(0.05, 400), 0.049, 0.0005);
+  EXPECT_NEAR(estimation_error(0.05, 500), 0.0438, 0.0005);
+}
+
+TEST(Sampling, RequiredSampleSizeInvertsEstimationError) {
+  for (double d : {0.02, 0.044, 0.049, 0.1}) {
+    const std::uint64_t n = required_sample_size(0.05, d);
+    EXPECT_LE(estimation_error(0.05, n), d + 1e-12);
+    EXPECT_GT(estimation_error(0.05, n - 1), d);
+  }
+}
+
+TEST(Sampling, OversamplingMaximisesSampleSize) {
+  // P = 0.5 gives the largest n over all proportions.
+  const std::uint64_t n_half = required_sample_size_known_p(0.05, 0.05, 0.5);
+  for (double p : {0.1, 0.3, 0.7, 0.9}) {
+    EXPECT_LE(required_sample_size_known_p(0.05, 0.05, p), n_half);
+  }
+}
+
+TEST(Sampling, InjectionSpaceSize) {
+  // §4.3: the smallest space is 512 * 64 * 120 ~ 3.9e6.
+  EXPECT_EQ(injection_space(512, 64, 120), 3932160ull);
+}
+
+TEST(Sampling, MonteCarloConfidenceCheck) {
+  // Empirically verify the coverage claim: estimate a known proportion P
+  // from samples of size n; |P - p| < d in at least ~95% of trials.
+  const double alpha = 0.05;
+  const std::uint64_t n = 400;
+  const double d = estimation_error(alpha, n);
+  const double true_p = 0.3;
+  util::Rng rng(1234);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    int hits = 0;
+    for (std::uint64_t i = 0; i < n; ++i)
+      if (rng.uniform() < true_p) ++hits;
+    const double p_hat = static_cast<double>(hits) / static_cast<double>(n);
+    if (std::fabs(p_hat - true_p) < d) ++covered;
+  }
+  // Oversampling makes the bound conservative for P != 0.5.
+  EXPECT_GE(covered, static_cast<int>(trials * 0.93));
+}
+
+class SampleSizeSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(SampleSizeSweep, FormulaMatchesClosedForm) {
+  const auto [alpha, d] = GetParam();
+  const double z = z_alpha_half(alpha);
+  const std::uint64_t expect =
+      static_cast<std::uint64_t>(std::ceil(0.25 * (z / d) * (z / d)));
+  EXPECT_EQ(required_sample_size(alpha, d), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SampleSizeSweep,
+    ::testing::Values(std::pair{0.05, 0.049}, std::pair{0.05, 0.044},
+                      std::pair{0.05, 0.02}, std::pair{0.01, 0.05},
+                      std::pair{0.1, 0.03}));
+
+}  // namespace
+}  // namespace fsim::core

@@ -1,0 +1,143 @@
+#include "simmpi/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsim::simmpi {
+namespace {
+
+std::vector<std::byte> make_packet(MsgKind kind, std::uint32_t payload_len,
+                                   std::int32_t tag = 5) {
+  MsgHeader h;
+  h.kind = static_cast<std::uint32_t>(kind);
+  h.src = 1;
+  h.dst = 0;
+  h.tag = tag;
+  h.payload_len = payload_len;
+  std::vector<std::byte> payload(payload_len, std::byte{0xaa});
+  return serialize_packet(h, payload);
+}
+
+TEST(Header, WireSizeIs48) {
+  EXPECT_EQ(sizeof(MsgHeader), 48u);
+  EXPECT_EQ(kHeaderBytes, 48u);
+}
+
+TEST(Header, SerializeParseRoundTrip) {
+  MsgHeader h;
+  h.kind = static_cast<std::uint32_t>(MsgKind::kData);
+  h.src = 3;
+  h.dst = 7;
+  h.tag = 42;
+  h.seq = 99;
+  h.payload_len = 16;
+  std::vector<std::byte> payload(16, std::byte{1});
+  const auto packet = serialize_packet(h, payload);
+  EXPECT_EQ(packet.size(), 48u + 16u);
+  const MsgHeader back = parse_header(packet);
+  EXPECT_EQ(back.magic, kHeaderMagic);
+  EXPECT_EQ(back.src, 3);
+  EXPECT_EQ(back.dst, 7);
+  EXPECT_EQ(back.tag, 42);
+  EXPECT_EQ(back.seq, 99u);
+  EXPECT_EQ(back.payload_len, 16u);
+}
+
+TEST(Channel, FifoOrder) {
+  Channel c;
+  c.enqueue(make_packet(MsgKind::kData, 4, 1));
+  c.enqueue(make_packet(MsgKind::kData, 4, 2));
+  auto p1 = c.drain();
+  auto p2 = c.drain();
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_EQ(parse_header(*p1).tag, 1);
+  EXPECT_EQ(parse_header(*p2).tag, 2);
+  EXPECT_FALSE(c.drain().has_value());
+}
+
+TEST(Channel, TrafficAccounting) {
+  Channel c;
+  c.enqueue(make_packet(MsgKind::kControl, 0));
+  c.enqueue(make_packet(MsgKind::kData, 100));
+  c.drain();
+  c.drain();
+  const TrafficStats& s = c.stats();
+  EXPECT_EQ(s.control_messages, 1u);
+  EXPECT_EQ(s.data_messages, 1u);
+  EXPECT_EQ(s.header_bytes, 96u);
+  EXPECT_EQ(s.payload_bytes, 100u);
+  EXPECT_EQ(c.received_bytes(), 196u);
+}
+
+TEST(Channel, PendingBytesTrackQueue) {
+  Channel c;
+  c.enqueue(make_packet(MsgKind::kData, 10));
+  EXPECT_EQ(c.pending_bytes(), 58u);
+  c.drain();
+  EXPECT_EQ(c.pending_bytes(), 0u);
+}
+
+TEST(Channel, FaultFiresAtExactByte) {
+  Channel c;
+  // Target byte 50 = payload byte 2 of the first packet.
+  c.arm_fault(50, 3);
+  c.enqueue(make_packet(MsgKind::kData, 8));
+  auto p = c.drain();
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(c.fault().fired);
+  EXPECT_FALSE(c.fault().hit_header);
+  EXPECT_EQ(c.fault().offset_in_packet, 50u);
+  EXPECT_EQ(static_cast<unsigned>((*p)[50]), 0xaau ^ 0x08u);
+  // All other bytes untouched.
+  EXPECT_EQ(static_cast<unsigned>((*p)[49]), 0xaau);
+  EXPECT_EQ(static_cast<unsigned>((*p)[51]), 0xaau);
+}
+
+TEST(Channel, FaultInHeaderFlagged) {
+  Channel c;
+  c.arm_fault(4, 0);  // byte 4 = the 'kind' field
+  c.enqueue(make_packet(MsgKind::kData, 8));
+  auto p = c.drain();
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(c.fault().fired);
+  EXPECT_TRUE(c.fault().hit_header);
+  EXPECT_EQ(parse_header(*p).kind, 0u);  // data(1) -> control(0)
+}
+
+TEST(Channel, FaultSpansPackets) {
+  Channel c;
+  // First packet is 48+8=56 bytes; byte 60 falls in the second packet.
+  c.arm_fault(60, 0);
+  c.enqueue(make_packet(MsgKind::kData, 8));
+  c.enqueue(make_packet(MsgKind::kData, 8));
+  auto p1 = c.drain();
+  EXPECT_FALSE(c.fault().fired);
+  auto p2 = c.drain();
+  EXPECT_TRUE(c.fault().fired);
+  EXPECT_EQ(c.fault().offset_in_packet, 4u);
+  (void)p1;
+  (void)p2;
+}
+
+TEST(Channel, FaultFiresOnlyOnce) {
+  Channel c;
+  c.arm_fault(48, 0);
+  c.enqueue(make_packet(MsgKind::kData, 8));
+  c.enqueue(make_packet(MsgKind::kData, 8));
+  auto p1 = c.drain();
+  auto p2 = c.drain();
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_EQ(static_cast<unsigned>((*p1)[48]), 0xabu);  // flipped
+  EXPECT_EQ(static_cast<unsigned>((*p2)[48]), 0xaau);  // untouched
+}
+
+TEST(Channel, UnarmedChannelNeverCorrupts) {
+  Channel c;
+  for (int i = 0; i < 10; ++i) c.enqueue(make_packet(MsgKind::kData, 64));
+  while (auto p = c.drain()) {
+    for (std::size_t b = kHeaderBytes; b < p->size(); ++b)
+      ASSERT_EQ(static_cast<unsigned>((*p)[b]), 0xaau);
+  }
+}
+
+}  // namespace
+}  // namespace fsim::simmpi

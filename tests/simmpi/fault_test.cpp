@@ -1,0 +1,197 @@
+// Message fault injection through the Channel layer: the §3.3 mechanism.
+#include <gtest/gtest.h>
+
+#include "simmpi/stubs.hpp"
+#include "simmpi/world.hpp"
+#include "svm/assembler.hpp"
+#include "testutil.hpp"
+
+namespace fsim::simmpi {
+namespace {
+
+using testing::Job;
+
+// Rank 1 sends a 64-byte payload of 0x00 bytes to rank 0, which sums the
+// bytes and exits with the sum — so any payload corruption is visible in the
+// exit code, and header corruption surfaces as protocol failures.
+constexpr const char* kProbe = R"(
+.text
+main:
+    enter 16
+    call MPI_Init
+    call MPI_Comm_rank
+    mov r9, r1
+    ldi r5, 0
+    bne r9, r5, sender
+    la r1, buf
+    ldi r2, 64
+    ldi r3, 1
+    ldi r4, 2
+    call MPI_Recv
+    ; sum the payload bytes
+    la r10, buf
+    ldi r11, 0
+    ldi r12, 0
+sumloop:
+    add r5, r10, r12
+    ldb r6, [r5]
+    add r11, r11, r6
+    addi r12, r12, 1
+    ldi r5, 64
+    blt r12, r5, sumloop
+    call MPI_Finalize
+    mov r1, r11
+    leave
+    ret
+sender:
+    la r1, buf
+    ldi r2, 64
+    ldi r3, 0
+    ldi r4, 2
+    call MPI_Send
+    call MPI_Finalize
+    ldi r1, 0
+    leave
+    ret
+.bss
+buf: .space 64
+)";
+
+WorldOptions two_ranks() {
+  WorldOptions o;
+  o.nranks = 2;
+  return o;
+}
+
+TEST(MessageFault, CleanRunSumsToZero) {
+  Job job(kProbe, two_ranks());
+  EXPECT_EQ(job.run(), JobStatus::kCompleted);
+  EXPECT_EQ(job.world.machine(0).exit_code(), 0);
+}
+
+TEST(MessageFault, PayloadFlipChangesReceivedData) {
+  Job job(kProbe, two_ranks());
+  // Rank 0's first (and only) incoming packet: header 48B + 64B payload.
+  // Target payload byte 10, bit 4 -> received sum becomes 16.
+  job.world.process(0).channel().arm_fault(48 + 10, 4);
+  EXPECT_EQ(job.run(), JobStatus::kCompleted);
+  EXPECT_EQ(job.world.machine(0).exit_code(), 16);
+  EXPECT_TRUE(job.world.process(0).channel().fault().fired);
+  EXPECT_FALSE(job.world.process(0).channel().fault().hit_header);
+}
+
+TEST(MessageFault, MagicCorruptionIsFatal) {
+  Job job(kProbe, two_ranks());
+  job.world.process(0).channel().arm_fault(0, 0);  // header byte 0: magic
+  EXPECT_EQ(job.run(), JobStatus::kMpiFatal);
+  EXPECT_NE(job.world.console().find("bad packet magic"), std::string::npos);
+}
+
+TEST(MessageFault, PayloadLenCorruptionIsFatal) {
+  Job job(kProbe, two_ranks());
+  // payload_len is the 7th field: bytes 24..27.
+  job.world.process(0).channel().arm_fault(24, 1);
+  EXPECT_EQ(job.run(), JobStatus::kMpiFatal);
+  EXPECT_NE(job.world.console().find("payload length mismatch"),
+            std::string::npos);
+}
+
+TEST(MessageFault, SrcCorruptionHangsUnmatchedReceive) {
+  Job job(kProbe, two_ranks());
+  // src field: bytes 8..11. Flipping bit 3 makes src=1 -> 9; the posted
+  // receive names src=1 and never matches (ch_p4 does not validate src).
+  job.world.process(0).channel().arm_fault(8, 3);
+  EXPECT_EQ(job.run(), JobStatus::kDeadlocked);
+}
+
+TEST(MessageFault, DstCorruptionIsHarmless) {
+  Job job(kProbe, two_ranks());
+  // dst field: bytes 12..15. The packet already sits in the right queue.
+  job.world.process(0).channel().arm_fault(12, 5);
+  EXPECT_EQ(job.run(), JobStatus::kCompleted);
+  EXPECT_EQ(job.world.machine(0).exit_code(), 0);
+}
+
+TEST(MessageFault, ReservedBytesAreHarmless) {
+  for (unsigned byte : {36u, 40u, 44u}) {  // the reserved header words
+    Job j(kProbe, two_ranks());
+    j.world.process(0).channel().arm_fault(byte, 2);
+    EXPECT_EQ(j.run(), JobStatus::kCompleted) << "byte " << byte;
+  }
+}
+
+TEST(MessageFault, TagCorruptionHangs) {
+  Job job(kProbe, two_ranks());
+  // tag field: bytes 16..19. tag=2 -> 3: receiver never matches.
+  job.world.process(0).channel().arm_fault(16, 0);
+  EXPECT_EQ(job.run(), JobStatus::kDeadlocked);
+}
+
+TEST(MessageFault, FaultBeyondTrafficNeverFires) {
+  Job job(kProbe, two_ranks());
+  job.world.process(0).channel().arm_fault(1u << 30, 0);
+  EXPECT_EQ(job.run(), JobStatus::kCompleted);
+  EXPECT_FALSE(job.world.process(0).channel().fault().fired);
+  EXPECT_EQ(job.world.machine(0).exit_code(), 0);
+}
+
+TEST(MessageFault, EveryHeaderByteOutcomeIsClassifiable) {
+  // Sweep one bit in each header byte; every run must end in one of the
+  // defined job states (no wedged/undefined behaviour in the ADI).
+  for (unsigned byte = 0; byte < kHeaderBytes; byte += 4) {
+    Job job(kProbe, two_ranks());
+    job.world.process(0).channel().arm_fault(byte, 1);
+    const JobStatus st = job.run(5'000'000);
+    EXPECT_TRUE(st == JobStatus::kCompleted || st == JobStatus::kMpiFatal ||
+                st == JobStatus::kDeadlocked || st == JobStatus::kCrashed)
+        << "header byte " << byte << " produced state "
+        << static_cast<int>(st);
+  }
+}
+
+class PayloadBitSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PayloadBitSweep, FlipMatchesBitWeight) {
+  const unsigned bit = GetParam();
+  Job job(kProbe, two_ranks());
+  job.world.process(0).channel().arm_fault(48, bit);  // payload byte 0
+  EXPECT_EQ(job.run(), JobStatus::kCompleted);
+  EXPECT_EQ(job.world.machine(0).exit_code(), 1 << bit);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, PayloadBitSweep, ::testing::Range(0u, 8u));
+
+TEST(Stubs, LibraryProvidesAllEntryPoints) {
+  svm::Program p = svm::assemble_units(
+      {".text\nmain: ret\n", stub_library_asm()});
+  for (const auto& name : stub_symbol_names()) {
+    const svm::Symbol* s = p.find_symbol(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_TRUE(svm::is_library_segment(s->segment)) << name;
+  }
+}
+
+TEST(Stubs, WrapperMaintainsCallDepthFlag) {
+  // The MPI_* wrapper increments mpi_call_depth on entry and decrements on
+  // exit (§3.2's malloc-tagging flag). After a completed run it must be 0.
+  Job job(R"(
+.text
+main:
+    enter 0
+    call MPI_Init
+    call MPI_Barrier
+    call MPI_Finalize
+    ldi r1, 0
+    leave
+    ret
+)");
+  EXPECT_EQ(job.run(), JobStatus::kCompleted);
+  const svm::Symbol* flag = job.program.find_symbol("mpi_call_depth");
+  ASSERT_NE(flag, nullptr);
+  std::uint32_t depth = 99;
+  ASSERT_TRUE(job.world.machine(0).memory().peek32(flag->address, depth));
+  EXPECT_EQ(depth, 0u);
+}
+
+}  // namespace
+}  // namespace fsim::simmpi

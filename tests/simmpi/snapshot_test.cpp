@@ -1,0 +1,229 @@
+// Checkpoint/restart: the Snapshot value must capture the complete job and
+// restores must be exact (determinism makes equality testable).
+#include "simmpi/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "core/injector.hpp"
+#include "testutil.hpp"
+
+namespace fsim::simmpi {
+namespace {
+
+using testing::Job;
+
+apps::App small_app() {
+  apps::WavetoyConfig cfg;
+  cfg.ranks = 4;
+  cfg.columns = 6;
+  cfg.rows = 8;
+  cfg.steps = 8;
+  cfg.cold_functions = 5;
+  cfg.cold_heap_arrays = 1;
+  return apps::make_wavetoy(cfg);
+}
+
+TEST(Snapshot, RestoreReproducesIdenticalExecution) {
+  apps::App app = small_app();
+  svm::Program program = app.link();
+
+  // Reference: run to completion uninterrupted.
+  World ref(program, app.world);
+  ASSERT_EQ(ref.run(1'000'000'000ull), JobStatus::kCompleted);
+  const std::string want_output = ref.output();
+  const std::uint64_t want_instr = ref.global_instructions();
+
+  // Snapshot mid-run, keep running, then rewind and run again.
+  World w(program, app.world);
+  for (int i = 0; i < 60; ++i) w.advance();
+  ASSERT_EQ(w.status(), JobStatus::kRunning);
+  const Snapshot snap = Snapshot::capture(w);
+  const std::uint64_t at = w.global_instructions();
+
+  ASSERT_EQ(w.run(1'000'000'000ull), JobStatus::kCompleted);
+  EXPECT_EQ(w.output(), want_output);
+
+  snap.restore(w);
+  EXPECT_EQ(w.status(), JobStatus::kRunning);
+  EXPECT_EQ(w.global_instructions(), at);
+  ASSERT_EQ(w.run(1'000'000'000ull), JobStatus::kCompleted);
+  EXPECT_EQ(w.output(), want_output);
+  EXPECT_EQ(w.global_instructions(), want_instr);
+}
+
+TEST(Snapshot, RecoversFromInjectedCrash) {
+  // The classic scenario the paper motivates: a fault kills the job; the
+  // checkpoint turns a total loss into a partial re-execution.
+  apps::App app = small_app();
+  svm::Program program = app.link();
+
+  World ref(program, app.world);
+  ASSERT_EQ(ref.run(1'000'000'000ull), JobStatus::kCompleted);
+
+  World w(program, app.world);
+  for (int i = 0; i < 50; ++i) w.advance();
+  const Snapshot checkpoint = Snapshot::capture(w);
+
+  // Crash it: wild frame pointer on rank 2.
+  w.machine(2).regs().set_fp(0x10);
+  w.machine(2).regs().set_sp(0x10);
+  const JobStatus st = w.run(1'000'000'000ull);
+  ASSERT_TRUE(st == JobStatus::kCrashed || st == JobStatus::kMpiFatal ||
+              st == JobStatus::kDeadlocked);
+
+  // Restore and finish cleanly.
+  checkpoint.restore(w);
+  ASSERT_EQ(w.run(1'000'000'000ull), JobStatus::kCompleted);
+  EXPECT_EQ(w.output(), ref.output());
+}
+
+TEST(Snapshot, CapturesInFlightMessages) {
+  // Snapshot taken while packets sit in a channel queue must preserve them.
+  Job job(R"(
+.text
+main:
+    enter 16
+    call MPI_Init
+    call MPI_Comm_rank
+    mov r9, r1
+    ldi r5, 0
+    bne r9, r5, sender
+    call MPI_Barrier
+    addi r1, fp, -8
+    ldi r2, 4
+    ldi r3, 1
+    ldi r4, 5
+    call MPI_Recv
+    call MPI_Finalize
+    ldw r1, [fp-8]
+    leave
+    ret
+sender:
+    ldi r5, 1234
+    stw [fp-8], r5
+    addi r1, fp, -8
+    ldi r2, 4
+    ldi r3, 0
+    ldi r4, 5
+    call MPI_Send      ; lands in rank 0's queue before the barrier completes
+    call MPI_Barrier
+    call MPI_Finalize
+    ldi r1, 0
+    leave
+    ret
+)");
+  // Advance until the message is in flight (queued or inboxed), snapshot,
+  // finish, restore, finish again.
+  while (job.world.status() == JobStatus::kRunning &&
+         job.world.process(0).channel().queued_packets() == 0)
+    job.world.advance();
+  ASSERT_EQ(job.world.status(), JobStatus::kRunning);
+  const Snapshot snap = Snapshot::capture(job.world);
+  ASSERT_EQ(job.run(), JobStatus::kCompleted);
+  EXPECT_EQ(job.world.machine(0).exit_code(), 1234);
+
+  snap.restore(job.world);
+  ASSERT_EQ(job.run(), JobStatus::kCompleted);
+  EXPECT_EQ(job.world.machine(0).exit_code(), 1234);
+}
+
+TEST(Snapshot, SizeAccountsForMemory) {
+  apps::App app = small_app();
+  svm::Program program = app.link();
+  World w(program, app.world);
+  for (int i = 0; i < 20; ++i) w.advance();
+  const Snapshot snap = Snapshot::capture(w);
+  // At minimum the four address spaces (1 MiB heap + 64 KiB stack each).
+  EXPECT_GT(snap.size_bytes(), 4ull << 20);
+  EXPECT_GT(snap.instructions(), 0u);
+}
+
+TEST(Snapshot, RestoreToMismatchedWorldIsRejected) {
+  apps::App app = small_app();
+  svm::Program program = app.link();
+  World w(program, app.world);
+  const Snapshot snap = Snapshot::capture(w);
+
+  simmpi::WorldOptions other = app.world;
+  other.nranks = 2;
+  World w2(program, other);
+  EXPECT_DEATH(snap.restore(w2), "FSIM_CHECK");
+}
+
+TEST(Snapshot, RepeatedRestoreIsIdempotent) {
+  apps::App app = small_app();
+  svm::Program program = app.link();
+  World w(program, app.world);
+  for (int i = 0; i < 40; ++i) w.advance();
+  const Snapshot snap = Snapshot::capture(w);
+
+  snap.restore(w);
+  ASSERT_EQ(w.run(1'000'000'000ull), JobStatus::kCompleted);
+  const std::string first = w.output();
+  snap.restore(w);
+  ASSERT_EQ(w.run(1'000'000'000ull), JobStatus::kCompleted);
+  EXPECT_EQ(w.output(), first);
+}
+
+TEST(Snapshot, WorksMidTreeCollective) {
+  // Snapshot while a binomial-tree allreduce is mid-flight: the collective
+  // state machines (mask/phase) must be captured and restored exactly.
+  apps::App app = small_app();
+  simmpi::WorldOptions opts = app.world;
+  opts.collectives = CollectiveAlgorithm::kBinomialTree;
+  svm::Program program = app.link();
+
+  World ref(program, opts);
+  ASSERT_EQ(ref.run(1'000'000'000ull), JobStatus::kCompleted);
+
+  World w(program, opts);
+  for (int i = 0; i < 35; ++i) w.advance();
+  ASSERT_EQ(w.status(), JobStatus::kRunning);
+  const Snapshot snap = Snapshot::capture(w);
+  ASSERT_EQ(w.run(1'000'000'000ull), JobStatus::kCompleted);
+  EXPECT_EQ(w.output(), ref.output());
+
+  snap.restore(w);
+  ASSERT_EQ(w.run(1'000'000'000ull), JobStatus::kCompleted);
+  EXPECT_EQ(w.output(), ref.output());
+}
+
+TEST(Snapshot, WorksWithOutstandingNonblockingRequests) {
+  apps::App app = apps::make_jacobi();  // Isend/Irecv/Wait halo exchange
+  svm::Program program = app.link();
+
+  World ref(program, app.world);
+  ASSERT_EQ(ref.run(1'000'000'000ull), JobStatus::kCompleted);
+
+  World w(program, app.world);
+  for (int i = 0; i < 200; ++i) w.advance();
+  ASSERT_EQ(w.status(), JobStatus::kRunning);
+  const Snapshot snap = Snapshot::capture(w);
+  ASSERT_EQ(w.run(1'000'000'000ull), JobStatus::kCompleted);
+  const std::string first = w.output();
+  EXPECT_EQ(first, ref.output());
+
+  snap.restore(w);
+  ASSERT_EQ(w.run(1'000'000'000ull), JobStatus::kCompleted);
+  EXPECT_EQ(w.output(), first);
+}
+
+TEST(Snapshot, ArmedChannelFaultSurvivesRestore) {
+  // A pre-armed (not yet fired) message fault is part of the experiment
+  // configuration and must survive a rewind.
+  apps::App app = small_app();
+  svm::Program program = app.link();
+  World w(program, app.world);
+  w.process(1).channel().arm_fault(1u << 29, 3);  // beyond traffic: benign
+  for (int i = 0; i < 30; ++i) w.advance();
+  const Snapshot snap = Snapshot::capture(w);
+  ASSERT_EQ(w.run(1'000'000'000ull), JobStatus::kCompleted);
+  snap.restore(w);
+  EXPECT_TRUE(w.process(1).channel().fault().armed);
+  EXPECT_FALSE(w.process(1).channel().fault().fired);
+  ASSERT_EQ(w.run(1'000'000'000ull), JobStatus::kCompleted);
+}
+
+}  // namespace
+}  // namespace fsim::simmpi

@@ -1,0 +1,24 @@
+// Shared helpers for simmpi integration tests: assemble a user program with
+// the MPI stub library and run it in a World.
+#pragma once
+
+#include <string>
+
+#include "simmpi/stubs.hpp"
+#include "simmpi/world.hpp"
+#include "svm/assembler.hpp"
+
+namespace fsim::simmpi::testing {
+
+struct Job {
+  svm::Program program;
+  World world;
+
+  explicit Job(const std::string& user_asm, WorldOptions opts = {})
+      : program(svm::assemble_units({user_asm, stub_library_asm()})),
+        world(program, opts) {}
+
+  JobStatus run(std::uint64_t budget = 50'000'000) { return world.run(budget); }
+};
+
+}  // namespace fsim::simmpi::testing

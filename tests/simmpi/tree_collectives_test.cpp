@@ -1,0 +1,223 @@
+// Binomial-tree collective algorithms: must be semantically identical to the
+// flat algorithms across world sizes (including non-powers of two), while
+// reshaping the traffic from root-concentrated to log-depth.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace fsim::simmpi {
+namespace {
+
+using testing::Job;
+
+WorldOptions tree(int n) {
+  WorldOptions o;
+  o.nranks = n;
+  o.collectives = CollectiveAlgorithm::kBinomialTree;
+  return o;
+}
+
+constexpr const char* kBarrierLoop = R"(
+.text
+main:
+    enter 0
+    call MPI_Init
+    call MPI_Barrier
+    call MPI_Barrier
+    call MPI_Barrier
+    call MPI_Finalize
+    ldi r1, 0
+    leave
+    ret
+)";
+
+class TreeBarrierSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeBarrierSizes, CompletesAtEverySize) {
+  Job job(kBarrierLoop, tree(GetParam()));
+  EXPECT_EQ(job.run(), JobStatus::kCompleted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeBarrierSizes,
+                         ::testing::Values(2, 3, 5, 7, 8, 13, 16));
+
+constexpr const char* kAllreduce = R"(
+.text
+main:
+    enter 0
+    call MPI_Init
+    call MPI_Comm_rank
+    addi r5, r1, 1
+    i2f r5
+    la r9, val
+    fst [r9]
+    la r1, val
+    la r2, res
+    ldi r3, 1
+    call MPI_Allreduce_sum
+    la r9, res
+    fld [r9]
+    f2i r9
+    call MPI_Finalize
+    mov r1, r9
+    leave
+    ret
+.bss
+val: .space 8
+res: .space 8
+)";
+
+class TreeAllreduceSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeAllreduceSizes, SumsCorrectlyOnEveryRank) {
+  const int n = GetParam();
+  Job job(kAllreduce, tree(n));
+  ASSERT_EQ(job.run(), JobStatus::kCompleted);
+  for (int r = 0; r < n; ++r)
+    EXPECT_EQ(job.world.machine(r).exit_code(), n * (n + 1) / 2)
+        << "rank " << r << " of " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeAllreduceSizes,
+                         ::testing::Values(2, 3, 5, 8, 11, 16));
+
+TEST(TreeCollectives, BcastDistributesFromNonzeroRoot) {
+  Job job(R"(
+.text
+main:
+    enter 0
+    call MPI_Init
+    call MPI_Comm_rank
+    mov r9, r1
+    ldi r5, 2
+    bne r9, r5, recvside
+    la r10, arr
+    ldi r5, 7
+    stw [r10+0], r5
+    ldi r5, 28
+    stw [r10+12], r5
+recvside:
+    la r1, arr
+    ldi r2, 16
+    ldi r3, 2
+    call MPI_Bcast
+    la r10, arr
+    ldw r5, [r10+0]
+    ldw r6, [r10+12]
+    add r9, r5, r6
+    call MPI_Finalize
+    mov r1, r9
+    leave
+    ret
+.bss
+arr: .space 16
+)",
+          tree(5));
+  EXPECT_EQ(job.run(), JobStatus::kCompleted);
+  for (int r = 0; r < 5; ++r)
+    EXPECT_EQ(job.world.machine(r).exit_code(), 35) << "rank " << r;
+}
+
+TEST(TreeCollectives, ReduceToNonzeroRoot) {
+  Job job(R"(
+.text
+main:
+    enter 0
+    call MPI_Init
+    call MPI_Comm_rank
+    mov r10, r1
+    addi r5, r1, 1
+    i2f r5
+    la r9, val
+    fst [r9]
+    la r1, val
+    la r2, res
+    ldi r3, 1
+    ldi r4, 3
+    call MPI_Reduce_sum
+    ldi r5, 3
+    bne r10, r5, notroot
+    la r9, res
+    fld [r9]
+    f2i r9
+    call MPI_Finalize
+    mov r1, r9
+    leave
+    ret
+notroot:
+    call MPI_Finalize
+    ldi r1, 0
+    leave
+    ret
+.bss
+val: .space 8
+res: .space 8
+)",
+          tree(6));
+  EXPECT_EQ(job.run(), JobStatus::kCompleted);
+  EXPECT_EQ(job.world.machine(3).exit_code(), 21);  // 1+..+6
+}
+
+TEST(TreeCollectives, RepeatedMixedCollectivesStaySynchronised) {
+  // Epochs must keep consecutive tree collectives apart.
+  Job job(R"(
+.text
+main:
+    enter 0
+    call MPI_Init
+    ldi r9, 0
+loop:
+    call MPI_Barrier
+    la r1, val
+    la r2, res
+    ldi r3, 1
+    call MPI_Allreduce_sum
+    la r1, res
+    ldi r2, 8
+    ldi r3, 0
+    call MPI_Bcast
+    addi r9, r9, 1
+    ldi r5, 5
+    blt r9, r5, loop
+    call MPI_Finalize
+    ldi r1, 0
+    leave
+    ret
+.data
+val: .f64 1.0
+.bss
+res: .space 8
+)",
+          tree(7));
+  EXPECT_EQ(job.run(), JobStatus::kCompleted);
+}
+
+TEST(TreeCollectives, RootTrafficDropsVersusFlat) {
+  // With the flat algorithm rank 0 receives O(n) messages per collective;
+  // the tree caps it at O(log n).
+  auto root_messages = [&](CollectiveAlgorithm algo) {
+    WorldOptions o;
+    o.nranks = 16;
+    o.collectives = algo;
+    Job job(kBarrierLoop, o);
+    EXPECT_EQ(job.run(), JobStatus::kCompleted);
+    return job.world.process(0).channel().stats().total_messages();
+  };
+  const std::uint64_t flat = root_messages(CollectiveAlgorithm::kFlat);
+  const std::uint64_t treed = root_messages(CollectiveAlgorithm::kBinomialTree);
+  EXPECT_GT(flat, 3 * treed);  // 15 tokens/barrier vs 4
+}
+
+TEST(TreeCollectives, SameResultsAsFlat) {
+  WorldOptions flat;
+  flat.nranks = 8;
+  Job a(kAllreduce, flat);
+  Job b(kAllreduce, tree(8));
+  a.run();
+  b.run();
+  for (int r = 0; r < 8; ++r)
+    EXPECT_EQ(a.world.machine(r).exit_code(), b.world.machine(r).exit_code());
+}
+
+}  // namespace
+}  // namespace fsim::simmpi

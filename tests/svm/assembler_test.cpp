@@ -1,0 +1,320 @@
+#include "svm/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "svm/isa.hpp"
+
+namespace fsim::svm {
+namespace {
+
+std::uint32_t word_at(const Program& p, Segment seg, std::uint32_t off) {
+  std::uint32_t w = 0;
+  std::memcpy(&w, p.image(seg).data() + off, 4);
+  return w;
+}
+
+TEST(Assembler, MinimalProgram) {
+  Program p = assemble(R"(
+.text
+main:
+    ldi r1, 42
+    ret
+)");
+  EXPECT_EQ(p.segment_size(Segment::kText), 8u);
+  EXPECT_EQ(word_at(p, Segment::kText, 0), encode(Op::kLdi, 1, 0, 42));
+  EXPECT_EQ(word_at(p, Segment::kText, 4), encode(Op::kRet));
+  EXPECT_EQ(p.entry(), kTextBase);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  Program p = assemble(R"(
+; leading comment
+.text
+main:           # trailing comment
+    nop         ; another
+    ret
+)");
+  EXPECT_EQ(p.segment_size(Segment::kText), 8u);
+}
+
+TEST(Assembler, RegistersAndAliases) {
+  Program p = assemble(R"(
+.text
+main:
+    mov sp, fp
+    mov r13, r14
+    ret
+)");
+  // "sp"/"fp" assemble to the same encoding as r13/r14.
+  EXPECT_EQ(word_at(p, Segment::kText, 0), word_at(p, Segment::kText, 4));
+}
+
+TEST(Assembler, MemoryOperands) {
+  Program p = assemble(R"(
+.text
+main:
+    ldw r1, [r2+8]
+    ldw r1, [r2-8]
+    ldw r1, [r2]
+    stw [sp+4], r3
+    ret
+)");
+  EXPECT_EQ(word_at(p, Segment::kText, 0),
+            encode(Op::kLdw, 1, 2, 8));
+  EXPECT_EQ(word_at(p, Segment::kText, 4),
+            encode(Op::kLdw, 1, 2, static_cast<std::uint16_t>(-8)));
+  EXPECT_EQ(word_at(p, Segment::kText, 8), encode(Op::kLdw, 1, 2, 0));
+  EXPECT_EQ(word_at(p, Segment::kText, 12), encode(Op::kStw, 3, kSp, 4));
+}
+
+TEST(Assembler, BranchOffsetsResolve) {
+  Program p = assemble(R"(
+.text
+main:
+    ldi r1, 0
+loop:
+    addi r1, r1, 1
+    bne r1, r2, loop
+    ret
+)");
+  // bne at offset 8, target at offset 4: delta = (4 - 12)/4 = -2.
+  EXPECT_EQ(word_at(p, Segment::kText, 8),
+            encode(Op::kBne, 1, 2, static_cast<std::uint16_t>(-2)));
+}
+
+TEST(Assembler, ForwardReferences) {
+  Program p = assemble(R"(
+.text
+main:
+    jmp done
+    nop
+done:
+    ret
+)");
+  EXPECT_EQ(word_at(p, Segment::kText, 0), encode(Op::kJmp, 0, 0, 1));
+}
+
+TEST(Assembler, CallAndPseudoBranches) {
+  Program p = assemble(R"(
+.text
+main:
+    call f
+    bgt r1, r2, main
+    ret
+f:
+    ret
+)");
+  // bgt a,b == blt b,a.
+  const Instr i = decode(word_at(p, Segment::kText, 4));
+  EXPECT_EQ(i.op, Op::kBlt);
+  EXPECT_EQ(i.a, 2u);
+  EXPECT_EQ(i.b, 1u);
+}
+
+TEST(Assembler, LaMaterialisesAbsoluteAddress) {
+  Program p = assemble(R"(
+.text
+main:
+    la r5, table
+    ret
+.data
+table: .word 1, 2, 3
+)");
+  const Addr want = p.find_symbol("table")->address;
+  const Instr lui = decode(word_at(p, Segment::kText, 0));
+  const Instr ori = decode(word_at(p, Segment::kText, 4));
+  EXPECT_EQ(lui.op, Op::kLui);
+  EXPECT_EQ(ori.op, Op::kOri);
+  EXPECT_EQ((static_cast<Addr>(lui.imm) << 16) | ori.imm, want);
+}
+
+TEST(Assembler, LiSmallAndWide) {
+  Program p = assemble(R"(
+.text
+main:
+    li r1, 100
+    li r2, 0x12345678
+    ret
+)");
+  EXPECT_EQ(word_at(p, Segment::kText, 0), encode(Op::kLdi, 1, 0, 100));
+  const Instr lui = decode(word_at(p, Segment::kText, 4));
+  const Instr ori = decode(word_at(p, Segment::kText, 8));
+  EXPECT_EQ(lui.imm, 0x1234u);
+  EXPECT_EQ(ori.imm, 0x5678u);
+}
+
+TEST(Assembler, DataDirectives) {
+  Program p = assemble(R"(
+.text
+main: ret
+.data
+w: .word 0x11223344
+d: .f64 1.5
+s: .asciz "hi"
+.align 8
+q: .word 7
+)");
+  const auto& img = p.image(Segment::kData);
+  std::uint32_t w = 0;
+  std::memcpy(&w, img.data(), 4);
+  EXPECT_EQ(w, 0x11223344u);
+  double d = 0;
+  std::memcpy(&d, img.data() + 4, 8);
+  EXPECT_DOUBLE_EQ(d, 1.5);
+  EXPECT_EQ(static_cast<char>(img[12]), 'h');
+  EXPECT_EQ(static_cast<char>(img[13]), 'i');
+  EXPECT_EQ(static_cast<unsigned>(img[14]), 0u);
+  // q is aligned to 8: offset 16.
+  EXPECT_EQ(p.find_symbol("q")->address - p.segment_base(Segment::kData), 16u);
+}
+
+TEST(Assembler, BssSpaceHasNoImage) {
+  Program p = assemble(R"(
+.text
+main: ret
+.bss
+buf: .space 1024
+)");
+  EXPECT_EQ(p.segment_size(Segment::kBss), 1024u);
+  EXPECT_TRUE(p.image(Segment::kBss).empty());
+}
+
+TEST(Assembler, SymbolSizesNmStyle) {
+  Program p = assemble(R"(
+.text
+main:
+    nop
+    ret
+helper:
+    ret
+.data
+a: .word 1, 2
+b: .word 3
+)");
+  EXPECT_EQ(p.find_symbol("main")->size, 8u);
+  EXPECT_EQ(p.find_symbol("helper")->size, 4u);
+  EXPECT_EQ(p.find_symbol("a")->size, 8u);
+  EXPECT_EQ(p.find_symbol("b")->size, 4u);
+}
+
+TEST(Assembler, SymbolCovering) {
+  Program p = assemble(R"(
+.text
+main:
+    nop
+    nop
+    ret
+.data
+arr: .word 1, 2, 3, 4
+)");
+  const Symbol* s = p.symbol_covering(p.segment_base(Segment::kData) + 9);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->name, "arr");
+  const Symbol* c = p.symbol_covering(kTextBase + 4);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->name, "main");
+}
+
+TEST(Assembler, LibrarySegments) {
+  Program p = assemble(R"(
+.text
+main:
+    call MPI_Send
+    ret
+.libtext
+MPI_Send:
+    sys 36
+    ret
+.libdata
+mpi_state: .word 0
+)");
+  EXPECT_EQ(p.find_symbol("MPI_Send")->segment, Segment::kLibText);
+  EXPECT_EQ(p.find_symbol("mpi_state")->segment, Segment::kLibData);
+  EXPECT_GT(p.find_symbol("MPI_Send")->address,
+            p.find_symbol("main")->address);
+}
+
+TEST(Assembler, WordRelocationEmitsSymbolAddress) {
+  Program p = assemble(R"(
+.text
+main:
+    ret
+f1:
+    ret
+.data
+table: .word f1, main, 42
+)");
+  const auto& img = p.image(Segment::kData);
+  std::uint32_t w0 = 0, w1 = 0, w2 = 0;
+  std::memcpy(&w0, img.data() + 0, 4);
+  std::memcpy(&w1, img.data() + 4, 4);
+  std::memcpy(&w2, img.data() + 8, 4);
+  EXPECT_EQ(w0, p.find_symbol("f1")->address);
+  EXPECT_EQ(w1, p.find_symbol("main")->address);
+  EXPECT_EQ(w2, 42u);
+}
+
+TEST(Assembler, WordRelocationToUndefinedSymbolFails) {
+  EXPECT_THROW(assemble(".text\nmain: ret\n.data\nt: .word nowhere\n"),
+               AsmError);
+}
+
+TEST(Assembler, WordRelocationAcrossSides) {
+  // A user data table may point into the library (e.g. a vtable of MPI
+  // entry points).
+  Program p = assemble(R"(
+.text
+main: ret
+.libtext
+MPI_Fn: ret
+.data
+vt: .word MPI_Fn
+)");
+  std::uint32_t w = 0;
+  std::memcpy(&w, p.image(Segment::kData).data(), 4);
+  EXPECT_EQ(w, p.find_symbol("MPI_Fn")->address);
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assemble(".text\nmain: bogus r1\n"), AsmError);
+  EXPECT_THROW(assemble(".text\nmain: ldi r1, 99999\n"), AsmError);
+  EXPECT_THROW(assemble(".text\nmain: jmp nowhere\n"), AsmError);
+  EXPECT_THROW(assemble(".text\nmain: nop\nmain: nop\n"), AsmError);
+  EXPECT_THROW(assemble(".data\nx: nop\n"), AsmError);          // code in data
+  EXPECT_THROW(assemble(".bss\nx: .word 1\n"), AsmError);       // data in bss
+  EXPECT_THROW(assemble(".text\nmain: ldw r1, [r99]\n"), AsmError);
+  EXPECT_THROW(assemble(".text\nmain: add r1, r2\n"), AsmError);  // arity
+}
+
+TEST(Assembler, MissingMainDetectedAtEntry) {
+  Program p = assemble(".text\nstart: ret\n");
+  EXPECT_THROW(p.entry(), util::SetupError);
+}
+
+TEST(Assembler, AssembleUnitsConcatenates) {
+  Program p = assemble_units({
+      ".text\nmain:\n    call MPI_Init\n    ret\n",
+      ".libtext\nMPI_Init:\n    sys 32\n    ret\n",
+  });
+  EXPECT_NE(p.find_symbol("main"), nullptr);
+  EXPECT_NE(p.find_symbol("MPI_Init"), nullptr);
+}
+
+TEST(Assembler, NegativeAndHexAndCharImmediates) {
+  Program p = assemble(R"(
+.text
+main:
+    ldi r1, -1
+    ldi r2, 0x7f
+    ldi r3, 'A'
+    ret
+)");
+  EXPECT_EQ(decode(word_at(p, Segment::kText, 0)).simm(), -1);
+  EXPECT_EQ(decode(word_at(p, Segment::kText, 4)).imm, 0x7fu);
+  EXPECT_EQ(decode(word_at(p, Segment::kText, 8)).imm, 65u);
+}
+
+}  // namespace
+}  // namespace fsim::svm

@@ -1,0 +1,234 @@
+#include "svm/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "svm/assembler.hpp"
+
+namespace fsim::svm {
+namespace {
+
+struct Proc {
+  Program program;
+  Machine machine;
+  BasicEnv env;
+  explicit Proc(const std::string& src, std::uint64_t seed = 1)
+      : program(assemble(src)), machine(program, {}), env(machine, seed) {}
+  RunState run() {
+    machine.step(1'000'000);
+    return machine.state();
+  }
+};
+
+TEST(Env, PrintStrGoesToConsole) {
+  Proc p(R"(
+.text
+main:
+    la r1, msg
+    ldi r2, 5
+    sys 1
+    ret
+.data
+msg: .asciz "hello"
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.env.console(), "hello");
+  EXPECT_TRUE(p.env.output().empty());
+}
+
+TEST(Env, OutStrGoesToOutputFile) {
+  Proc p(R"(
+.text
+main:
+    la r1, msg
+    ldi r2, 3
+    sys 3
+    ret
+.data
+msg: .asciz "abc"
+)");
+  p.run();
+  EXPECT_EQ(p.env.output(), "abc");
+  EXPECT_TRUE(p.env.console().empty());
+}
+
+TEST(Env, OutF64LowPrecisionMasksSmallChanges) {
+  // §6.2: plain-text output with few digits hides low-order perturbations.
+  Proc p(R"(
+.text
+main:
+    la r1, v
+    ldi r2, 3
+    sys 4
+    ret
+.data
+v: .f64 0.123456789
+)");
+  p.run();
+  EXPECT_EQ(p.env.output(), "0.123");
+}
+
+TEST(Env, OutBinF64CapturesEveryBit) {
+  Proc p(R"(
+.text
+main:
+    la r1, v
+    sys 6
+    ret
+.data
+v: .f64 1.0
+)");
+  p.run();
+  EXPECT_EQ(p.env.output(), "3ff0000000000000");
+}
+
+TEST(Env, OutI32AndPrintI32) {
+  Proc p(R"(
+.text
+main:
+    ldi r1, -42
+    sys 5
+    ldi r1, 17
+    sys 2
+    ret
+)");
+  p.run();
+  EXPECT_EQ(p.env.output(), "-42");
+  EXPECT_EQ(p.env.console(), "17");
+}
+
+TEST(Env, MallocFreeFromGuest) {
+  Proc p(R"(
+.text
+main:
+    ldi r1, 64
+    sys 8          ; malloc -> r1
+    mov r9, r1
+    ldi r3, 123
+    stw [r9+0], r3
+    ldw r4, [r9+60]
+    mov r1, r9
+    sys 9          ; free
+    ldw r1, [r9+0] ; use-after-free still mapped (arena memory)
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 123);
+  EXPECT_EQ(p.env.heap().live_chunks().size(), 0u);
+}
+
+TEST(Env, AssertFailIsAppAbort) {
+  Proc p(R"(
+.text
+main:
+    la r1, msg
+    ldi r2, 13
+    sys 11
+    ret
+.data
+msg: .asciz "NaN detected!"
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_kind(), ExitKind::kAppAbort);
+  EXPECT_NE(p.env.console().find("APPLICATION ERROR: NaN detected!"),
+            std::string::npos);
+}
+
+TEST(Env, ChecksumDetectsBitFlip) {
+  Proc p(R"(
+.text
+main:
+    la r1, buf
+    ldi r2, 16
+    sys 12
+    ret
+.data
+buf: .word 1, 2, 3, 4
+)");
+  p.run();
+  const std::uint32_t before = static_cast<std::uint32_t>(p.machine.exit_code());
+
+  Proc q(R"(
+.text
+main:
+    la r1, buf
+    ldi r2, 16
+    sys 12
+    ret
+.data
+buf: .word 1, 2, 3, 4
+)");
+  // Flip one payload bit before the checksum runs.
+  const Addr buf = q.program.find_symbol("buf")->address;
+  q.machine.memory().flip_bit(buf + 5, 2);
+  q.run();
+  EXPECT_NE(static_cast<std::uint32_t>(q.machine.exit_code()), before);
+}
+
+TEST(Env, ChecksumChargesCycles) {
+  const std::string src = R"(
+.text
+main:
+    la r1, buf
+    ldi r2, 4096
+    sys 12
+    ret
+.bss
+buf: .space 4096
+)";
+  Proc p(src);
+  p.run();
+  // ~len/8 extra cycles were charged on top of the few real instructions.
+  EXPECT_GE(p.machine.instructions(), 4096u / 8u);
+}
+
+TEST(Env, RandIsDeterministicPerSeed) {
+  const std::string src = R"(
+.text
+main:
+    sys 13
+    ret
+)";
+  Proc a(src, 7), b(src, 7), c(src, 8);
+  a.run();
+  b.run();
+  c.run();
+  EXPECT_EQ(a.machine.exit_code(), b.machine.exit_code());
+  EXPECT_NE(a.machine.exit_code(), c.machine.exit_code());
+}
+
+TEST(Env, MpiSyscallWithoutRuntimeTraps) {
+  Proc p(R"(
+.text
+main:
+    sys 32
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kTrapped);
+  EXPECT_EQ(p.machine.trap(), Trap::kBadSyscall);
+}
+
+TEST(Env, BadSyscallNumberTraps) {
+  Proc p(R"(
+.text
+main:
+    sys 29
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kTrapped);
+  EXPECT_EQ(p.machine.trap(), Trap::kBadSyscall);
+}
+
+TEST(Env, HeapExhaustionTraps) {
+  Proc p(R"(
+.text
+main:
+    lui r1, 0x1000   ; far more than the 1 MiB arena
+    sys 8
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kTrapped);
+  EXPECT_EQ(p.machine.trap(), Trap::kHeapExhausted);
+}
+
+}  // namespace
+}  // namespace fsim::svm

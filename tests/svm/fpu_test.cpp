@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "svm/regfile.hpp"
+
+namespace fsim::svm {
+namespace {
+
+TEST(Fpu, StartsEmpty) {
+  Fpu f;
+  EXPECT_EQ(f.depth(), 0u);
+  for (unsigned i = 0; i < kNumFpr; ++i)
+    EXPECT_EQ(f.tag(i), FpuTag::kEmpty);
+}
+
+TEST(Fpu, PushPopLifo) {
+  Fpu f;
+  f.push(1.0);
+  f.push(2.0);
+  f.push(3.0);
+  EXPECT_EQ(f.depth(), 3u);
+  EXPECT_DOUBLE_EQ(f.pop(), 3.0);
+  EXPECT_DOUBLE_EQ(f.pop(), 2.0);
+  EXPECT_DOUBLE_EQ(f.pop(), 1.0);
+  EXPECT_EQ(f.depth(), 0u);
+}
+
+TEST(Fpu, StIndexing) {
+  Fpu f;
+  f.push(10.0);
+  f.push(20.0);
+  EXPECT_DOUBLE_EQ(f.st(0), 20.0);
+  EXPECT_DOUBLE_EQ(f.st(1), 10.0);
+}
+
+TEST(Fpu, TagsTrackValueClass) {
+  Fpu f;
+  f.push(3.5);
+  EXPECT_EQ(f.tag(f.top()), FpuTag::kValid);
+  f.push(0.0);
+  EXPECT_EQ(f.tag(f.top()), FpuTag::kZero);
+  f.push(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(f.tag(f.top()), FpuTag::kSpecial);
+  f.push(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(f.tag(f.top()), FpuTag::kSpecial);
+  f.push(1e-310);  // denormal
+  EXPECT_EQ(f.tag(f.top()), FpuTag::kSpecial);
+}
+
+TEST(Fpu, ReadingEmptySlotGivesNaN) {
+  Fpu f;
+  EXPECT_TRUE(std::isnan(f.st(0)));
+}
+
+TEST(Fpu, UnderflowSetsStatusBits) {
+  Fpu f;
+  f.push(1.0);
+  f.pop();
+  // Popping again underflows; a masked x87 returns indefinite (NaN).
+  EXPECT_TRUE(std::isnan(f.pop()));
+}
+
+TEST(Fpu, TagCorruptionTurnsValueIntoZero) {
+  // §6.1.1: a single TWD bit flip can turn a valid number into zero.
+  Fpu f;
+  f.push(42.0);
+  const unsigned phys = f.top();
+  // Valid (00) -> flip low tag bit -> Zero (01).
+  f.twd() ^= static_cast<std::uint16_t>(1u << (2 * phys));
+  EXPECT_EQ(f.tag(phys), FpuTag::kZero);
+  EXPECT_DOUBLE_EQ(f.st(0), 0.0);
+}
+
+TEST(Fpu, TagCorruptionTurnsValueIntoNaN) {
+  // Valid (00) -> flip high tag bit -> Special (10): reads as NaN.
+  Fpu f;
+  f.push(42.0);
+  const unsigned phys = f.top();
+  f.twd() ^= static_cast<std::uint16_t>(2u << (2 * phys));
+  EXPECT_EQ(f.tag(phys), FpuTag::kSpecial);
+  EXPECT_TRUE(std::isnan(f.st(0)));
+}
+
+TEST(Fpu, DataBitCorruptionVisibleThroughValidTag) {
+  Fpu f;
+  f.push(1.0);
+  f.raw(f.top()) ^= 1ull << 62;  // exponent bit
+  EXPECT_GT(std::abs(f.st(0)), 1e100);
+}
+
+TEST(Fpu, Exchange) {
+  Fpu f;
+  f.push(1.0);
+  f.push(2.0);
+  f.exchange(1);
+  EXPECT_DOUBLE_EQ(f.st(0), 1.0);
+  EXPECT_DOUBLE_EQ(f.st(1), 2.0);
+}
+
+TEST(Fpu, ExchangeSwapsTagsToo) {
+  Fpu f;
+  f.push(0.0);   // tagged zero
+  f.push(5.0);   // tagged valid
+  f.exchange(1);
+  EXPECT_EQ(f.tag(f.top()), FpuTag::kZero);
+}
+
+TEST(Fpu, StackWrapsModulo8) {
+  Fpu f;
+  for (int i = 0; i < 8; ++i) f.push(static_cast<double>(i));
+  EXPECT_EQ(f.depth(), 8u);
+  // Ninth push overflows: status bits set, value overwritten.
+  f.push(99.0);
+  EXPECT_NE(f.swd() & Fpu::kStackFaultBits, 0);
+  EXPECT_DOUBLE_EQ(f.st(0), 99.0);
+}
+
+TEST(Fpu, SetStRetags) {
+  Fpu f;
+  f.push(1.0);
+  f.set_st(0, 0.0);
+  EXPECT_EQ(f.tag(f.top()), FpuTag::kZero);
+  EXPECT_DOUBLE_EQ(f.st(0), 0.0);
+}
+
+TEST(Fpu, ResetRestoresPowerOnState) {
+  Fpu f;
+  f.push(1.0);
+  f.swd() |= 0xff;
+  f.reset();
+  EXPECT_EQ(f.depth(), 0u);
+  EXPECT_EQ(f.twd(), 0xffff);
+  EXPECT_EQ(f.swd(), 0);
+  EXPECT_EQ(f.cwd(), 0x037f);
+}
+
+TEST(RegFile, Aliases) {
+  RegFile r;
+  r.set_sp(0x1000);
+  r.set_fp(0x2000);
+  EXPECT_EQ(r.gpr[kSp], 0x1000u);
+  EXPECT_EQ(r.gpr[kFp], 0x2000u);
+  EXPECT_EQ(r.sp(), 0x1000u);
+  EXPECT_EQ(r.fp(), 0x2000u);
+}
+
+}  // namespace
+}  // namespace fsim::svm

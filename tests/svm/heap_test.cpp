@@ -1,0 +1,228 @@
+#include "svm/heap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsim::svm {
+namespace {
+
+Memory make_memory() {
+  std::array<std::uint32_t, kNumSegments> sizes{};
+  sizes[static_cast<unsigned>(Segment::kText)] = 16;
+  return Memory(sizes, Memory::Config{4096, 1u << 16});
+}
+
+TEST(Heap, AllocReturnsPayloadInsideArena) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr p = h.malloc(100);
+  ASSERT_NE(p, 0u);
+  EXPECT_EQ(mem.resolve(p), Segment::kHeap);
+  EXPECT_EQ(mem.resolve(p + 99), Segment::kHeap);
+}
+
+TEST(Heap, HeaderHoldsTagAndSize) {
+  // Paper §3.2: 8 extra bytes store a 32-bit identifier and the chunk size.
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr p = h.malloc(64);
+  std::uint32_t tag = 0, size = 0;
+  ASSERT_TRUE(mem.peek32(p - 8, tag));
+  ASSERT_TRUE(mem.peek32(p - 4, size));
+  EXPECT_EQ(tag, static_cast<std::uint32_t>(AllocTag::kUser));
+  EXPECT_EQ(size, 64u);
+}
+
+TEST(Heap, MpiContextTagsChunks) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr user = h.malloc(16);
+  h.set_mpi_context(true);
+  const Addr mpi = h.malloc(16);
+  h.set_mpi_context(false);
+  const Addr user2 = h.malloc(16);
+
+  const auto chunks = h.live_chunks();
+  ASSERT_EQ(chunks.size(), 3u);
+  auto tag_of = [&](Addr p) {
+    for (const auto& c : chunks)
+      if (c.payload == p) return c.tag;
+    return AllocTag::kUser;
+  };
+  EXPECT_EQ(tag_of(user), AllocTag::kUser);
+  EXPECT_EQ(tag_of(mpi), AllocTag::kMpi);
+  EXPECT_EQ(tag_of(user2), AllocTag::kUser);
+  EXPECT_EQ(h.live_bytes(AllocTag::kUser), 32u);
+  EXPECT_EQ(h.live_bytes(AllocTag::kMpi), 16u);
+}
+
+TEST(Heap, FreeAndReuse) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr a = h.malloc(128);
+  h.free(a);
+  const Addr b = h.malloc(128);
+  EXPECT_EQ(a, b);  // first-fit reuses the freed block
+}
+
+TEST(Heap, FreeUnknownAddressIgnored) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  h.free(0);
+  h.free(0x12345678);
+  EXPECT_EQ(h.live_chunks().size(), 0u);
+}
+
+TEST(Heap, DoubleFreeIgnored) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr a = h.malloc(10);
+  h.free(a);
+  h.free(a);  // second free is a no-op, arena stays consistent
+  const Addr b = h.malloc(10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Heap, ExhaustionReturnsZero) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  EXPECT_EQ(h.malloc(100000), 0u);
+  // Fill it up in pieces.
+  int count = 0;
+  while (h.malloc(512) != 0) ++count;
+  EXPECT_GT(count, 0);
+  EXPECT_LE(count, 8);
+}
+
+TEST(Heap, CoalescingAllowsBigRealloc) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  std::vector<Addr> ptrs;
+  for (int i = 0; i < 6; ++i) ptrs.push_back(h.malloc(256));
+  for (Addr p : ptrs) ASSERT_NE(p, 0u);
+  for (Addr p : ptrs) h.free(p);
+  // After coalescing, one allocation nearly the arena size must fit again.
+  EXPECT_NE(h.malloc(1500), 0u);
+}
+
+TEST(Heap, ZeroSizeAllocationIsDistinct) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr a = h.malloc(0);
+  const Addr b = h.malloc(0);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(Heap, LiveChunksSortedByAddress) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  h.malloc(8);
+  h.malloc(8);
+  h.malloc(8);
+  const auto chunks = h.live_chunks();
+  for (std::size_t i = 1; i < chunks.size(); ++i)
+    EXPECT_LT(chunks[i - 1].payload, chunks[i].payload);
+}
+
+TEST(Heap, PeakUsageTracksHighWater) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr a = h.malloc(1024);
+  const std::uint32_t peak = h.peak_usage();
+  h.free(a);
+  EXPECT_EQ(h.peak_usage(), peak);
+  EXPECT_GE(peak, 1024u);
+}
+
+TEST(Heap, PayloadBitFlipDoesNotBreakAllocator) {
+  // Host book-keeping is authoritative: corrupting payloads (as the heap
+  // injector does) must not corrupt subsequent malloc/free behaviour.
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr a = h.malloc(64);
+  for (unsigned bit = 0; bit < 8; ++bit) mem.flip_bit(a + 3, bit);
+  h.free(a);
+  EXPECT_NE(h.malloc(64), 0u);
+}
+
+TEST(Heap, ReallocGrowPreservesContentAndTag) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr a = h.malloc(16);
+  ASSERT_TRUE(mem.poke32(a, 0xfeedbeef));
+  ASSERT_TRUE(mem.poke32(a + 12, 0x12345678));
+  const Addr b = h.realloc(a, 256);
+  ASSERT_NE(b, 0u);
+  std::uint32_t v = 0;
+  ASSERT_TRUE(mem.peek32(b, v));
+  EXPECT_EQ(v, 0xfeedbeefu);
+  ASSERT_TRUE(mem.peek32(b + 12, v));
+  EXPECT_EQ(v, 0x12345678u);
+  const auto chunks = h.live_chunks();
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].size, 256u);
+  EXPECT_EQ(chunks[0].tag, AllocTag::kUser);
+}
+
+TEST(Heap, ReallocShrinkInPlace) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr a = h.malloc(128);
+  const Addr b = h.realloc(a, 32);
+  EXPECT_EQ(a, b);
+  std::uint32_t size = 0;
+  ASSERT_TRUE(mem.peek32(a - 4, size));
+  EXPECT_EQ(size, 32u);  // the in-heap header was updated too
+}
+
+TEST(Heap, ReallocNullAllocates) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr a = h.realloc(0, 64);
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(h.live_chunks().size(), 1u);
+}
+
+TEST(Heap, ReallocZeroFrees) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr a = h.malloc(64);
+  EXPECT_EQ(h.realloc(a, 0), 0u);
+  EXPECT_EQ(h.live_chunks().size(), 0u);
+}
+
+TEST(Heap, ReallocGarbagePointerRefused) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  EXPECT_EQ(h.realloc(0x1234, 64), 0u);
+}
+
+TEST(Heap, ReallocPreservesMpiTagAcrossContexts) {
+  // An MPI-owned chunk grown while *outside* MPI context stays MPI-owned
+  // (the tag belongs to the allocation, not the grow site).
+  Memory mem = make_memory();
+  Heap h(mem);
+  h.set_mpi_context(true);
+  const Addr a = h.malloc(16);
+  h.set_mpi_context(false);
+  const Addr b = h.realloc(a, 128);
+  ASSERT_NE(b, 0u);
+  EXPECT_EQ(h.live_chunks()[0].tag, AllocTag::kMpi);
+  EXPECT_EQ(h.live_bytes(AllocTag::kMpi), 128u);
+}
+
+TEST(Heap, ReallocExhaustionLeavesChunkIntact) {
+  Memory mem = make_memory();
+  Heap h(mem);
+  const Addr a = h.malloc(64);
+  ASSERT_TRUE(mem.poke32(a, 42));
+  EXPECT_EQ(h.realloc(a, 100000), 0u);  // arena is only 4 KiB
+  std::uint32_t v = 0;
+  ASSERT_TRUE(mem.peek32(a, v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_EQ(h.live_chunks().size(), 1u);
+}
+
+}  // namespace
+}  // namespace fsim::svm

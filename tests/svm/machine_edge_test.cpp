@@ -1,0 +1,235 @@
+// Interpreter edge cases: boundary conditions the campaigns rely on being
+// well-defined (stack exhaustion, indirect control flow, register-indirect
+// dispatch, large frames, deep recursion).
+#include <gtest/gtest.h>
+
+#include "svm/assembler.hpp"
+#include "svm/env.hpp"
+#include "svm/machine.hpp"
+#include "util/bits.hpp"
+
+namespace fsim::svm {
+namespace {
+
+struct Proc {
+  Program program;
+  Machine machine;
+  BasicEnv env;
+  explicit Proc(const std::string& src, Machine::Config cfg = {})
+      : program(assemble(src)), machine(program, cfg), env(machine) {}
+  RunState run(std::uint64_t budget = 5'000'000) {
+    machine.step(budget);
+    return machine.state();
+  }
+};
+
+TEST(MachineEdge, UnboundedRecursionOverflowsStack) {
+  Proc p(R"(
+.text
+main:
+    enter 64
+    call main
+    leave
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kTrapped);
+  // PUSH/CALL past the reservation surfaces as the stack-overflow flavour
+  // of SIGSEGV.
+  EXPECT_TRUE(p.machine.trap() == Trap::kStackOverflow ||
+              p.machine.trap() == Trap::kBadAddress);
+}
+
+TEST(MachineEdge, DeepButBoundedRecursionSucceeds) {
+  // factorial-style countdown: 100 nested frames fit comfortably in 64 KiB.
+  Proc p(R"(
+.text
+main:
+    enter 0
+    ldi r1, 100
+    call count
+    leave
+    ret
+count:
+    enter 16
+    stw [fp-4], r1
+    ldi r5, 0
+    beq r1, r5, base
+    addi r1, r1, -1
+    call count
+    ldw r5, [fp-4]
+    add r1, r1, r5
+base:
+    leave
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 5050);  // 100+99+...+1 + 0
+}
+
+TEST(MachineEdge, IndirectCallThroughFunctionTable) {
+  Proc p(R"(
+.text
+main:
+    enter 0
+    la r5, table
+    ldw r6, [r5+4]     ; second entry
+    callr r6
+    leave
+    ret
+f1:
+    ldi r1, 11
+    ret
+f2:
+    ldi r1, 22
+    ret
+.data
+table: .word f1, f2
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 22);
+}
+
+TEST(MachineEdge, JmprToCorruptedPointerTraps) {
+  Proc p(R"(
+.text
+main:
+    ldi r5, 12
+    jmpr r5
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kTrapped);
+  EXPECT_EQ(p.machine.trap(), Trap::kBadAddress);
+}
+
+TEST(MachineEdge, MisalignedJumpTargetTraps) {
+  Proc p(R"(
+.text
+main:
+    la r5, main
+    addi r5, r5, 2     ; not instruction-aligned
+    jmpr r5
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kTrapped);
+  EXPECT_EQ(p.machine.trap(), Trap::kMisaligned);
+}
+
+TEST(MachineEdge, ExecutionOfLibTextIsAllowed) {
+  Proc p(R"(
+.text
+main:
+    enter 0
+    call helper
+    leave
+    ret
+.libtext
+helper:
+    ldi r1, 7
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 7);
+}
+
+TEST(MachineEdge, HugeFrameWithinReservationWorks) {
+  Proc p(R"(
+.text
+main:
+    enter 32000
+    ldi r5, 5
+    stw [fp-32000], r5
+    ldw r1, [fp-32000]
+    leave
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 5);
+}
+
+TEST(MachineEdge, PopFromEmptyStackReadsSentinelRegion) {
+  // sp starts just below the sentinel slot; a stray extra POP reads the
+  // last mapped stack word, then RET jumps to garbage (clean trap or exit).
+  Proc p(R"(
+.text
+main:
+    pop r1
+    pop r2
+    ret
+)");
+  const RunState st = p.run();
+  EXPECT_TRUE(st == RunState::kTrapped || st == RunState::kExited);
+}
+
+TEST(MachineEdge, ChargeAccumulatesIntoInstructionCount) {
+  Proc p(R"(
+.text
+main:
+    la r1, buf
+    li r2, 1024
+    sys 12          ; checksum charges ~len/2 cycles
+    ldi r1, 0
+    ret
+.bss
+buf: .space 1024
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_GE(p.machine.instructions(), 512u);
+}
+
+TEST(MachineEdge, WakeOnNonBlockedMachineIsNoop) {
+  Proc p(R"(
+.text
+main:
+    ldi r1, 1
+    ret
+)");
+  p.machine.wake();  // not blocked: nothing happens
+  EXPECT_EQ(p.run(), RunState::kExited);
+  p.machine.wake();  // exited: still nothing
+  EXPECT_EQ(p.machine.state(), RunState::kExited);
+}
+
+TEST(MachineEdge, StepZeroBudgetExecutesNothing) {
+  Proc p(R"(
+.text
+main:
+    ldi r1, 1
+    ret
+)");
+  EXPECT_EQ(p.machine.step(0), 0u);
+  EXPECT_EQ(p.machine.state(), RunState::kReady);
+  EXPECT_EQ(p.machine.instructions(), 0u);
+}
+
+class AllGprBitsSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AllGprBitsSweep, FlipThenFlipBackIsTransparent) {
+  // Property: flipping any bit of any dead register twice leaves a paused
+  // machine's future execution unchanged.
+  const unsigned reg = GetParam();
+  Proc p(R"(
+.text
+main:
+    ldi r1, 0
+    ldi r2, 10
+loop:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    ret
+)");
+  p.machine.step(5);
+  for (unsigned bit = 0; bit < 32; bit += 5)
+    p.machine.regs().gpr[reg] =
+        util::flip_bit32(p.machine.regs().gpr[reg], bit);
+  for (unsigned bit = 0; bit < 32; bit += 5)
+    p.machine.regs().gpr[reg] =
+        util::flip_bit32(p.machine.regs().gpr[reg], bit);
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Registers, AllGprBitsSweep,
+                         ::testing::Values(0u, 3u, 7u, 12u, 15u));
+
+}  // namespace
+}  // namespace fsim::svm

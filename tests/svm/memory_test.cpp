@@ -1,0 +1,180 @@
+#include "svm/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsim::svm {
+namespace {
+
+std::array<std::uint32_t, kNumSegments> sizes(std::uint32_t text,
+                                              std::uint32_t data,
+                                              std::uint32_t bss) {
+  std::array<std::uint32_t, kNumSegments> s{};
+  s[static_cast<unsigned>(Segment::kText)] = text;
+  s[static_cast<unsigned>(Segment::kData)] = data;
+  s[static_cast<unsigned>(Segment::kBss)] = bss;
+  return s;
+}
+
+Memory make() { return Memory(sizes(0x1000, 0x100, 0x200), {}); }
+
+TEST(Memory, LayoutMatchesLinuxModel) {
+  Memory m = make();
+  EXPECT_EQ(m.extent(Segment::kText).base, kTextBase);
+  EXPECT_GT(m.extent(Segment::kData).base, m.extent(Segment::kText).base);
+  EXPECT_EQ(m.extent(Segment::kStack).end(), kStackTop);
+  EXPECT_LT(m.extent(Segment::kHeap).end(), m.extent(Segment::kStack).base);
+}
+
+TEST(Memory, ResolveFindsSegments) {
+  Memory m = make();
+  EXPECT_EQ(m.resolve(kTextBase), Segment::kText);
+  EXPECT_EQ(m.resolve(m.extent(Segment::kHeap).base), Segment::kHeap);
+  EXPECT_EQ(m.resolve(kStackTop - 4), Segment::kStack);
+  EXPECT_FALSE(m.resolve(0x1000).has_value());
+  EXPECT_FALSE(m.resolve(kStackTop).has_value());
+}
+
+TEST(Memory, LoadStoreRoundTrip) {
+  Memory m = make();
+  const Addr a = m.extent(Segment::kData).base;
+  EXPECT_EQ(m.store32(a, 0xcafebabe), Trap::kNone);
+  std::uint32_t v = 0;
+  EXPECT_EQ(m.load32(a, v), Trap::kNone);
+  EXPECT_EQ(v, 0xcafebabeu);
+}
+
+TEST(Memory, UnmappedAccessTraps) {
+  Memory m = make();
+  std::uint32_t v = 0;
+  EXPECT_EQ(m.load32(0x100, v), Trap::kBadAddress);
+  EXPECT_EQ(m.store32(0xdddddddc, 1), Trap::kBadAddress);
+}
+
+TEST(Memory, MisalignedAccessTraps) {
+  Memory m = make();
+  std::uint32_t v = 0;
+  EXPECT_EQ(m.load32(m.extent(Segment::kData).base + 2, v), Trap::kMisaligned);
+}
+
+TEST(Memory, CrossSegmentSpanTraps) {
+  Memory m = make();
+  // A 4-byte access straddling the end of data must not silently read into
+  // the next segment.
+  const Addr end = m.extent(Segment::kData).end();
+  std::uint32_t v = 0;
+  EXPECT_EQ(m.load32(end - 2, v), Trap::kMisaligned);
+  std::uint64_t v64 = 0;
+  EXPECT_EQ(m.load64(end - 4, v64), Trap::kBadAddress);
+}
+
+TEST(Memory, TextIsWriteProtected) {
+  Memory m = make();
+  EXPECT_EQ(m.store32(kTextBase, 1), Trap::kWriteProtected);
+  EXPECT_EQ(m.store8(kTextBase, 1), Trap::kWriteProtected);
+}
+
+TEST(Memory, FetchOnlyFromCodeSegments) {
+  Memory m = make();
+  std::uint32_t v = 0;
+  EXPECT_EQ(m.fetch32(kTextBase, v), Trap::kNone);
+  EXPECT_EQ(m.fetch32(m.extent(Segment::kData).base, v), Trap::kBadAddress);
+  EXPECT_EQ(m.fetch32(kStackTop - 8, v), Trap::kBadAddress);
+}
+
+TEST(Memory, PrivilegedPokeBypassesProtection) {
+  // The injector can overwrite text, like ptrace POKETEXT.
+  Memory m = make();
+  EXPECT_TRUE(m.poke32(kTextBase, 0x12345678));
+  std::uint32_t v = 0;
+  EXPECT_TRUE(m.peek32(kTextBase, v));
+  EXPECT_EQ(v, 0x12345678u);
+}
+
+TEST(Memory, PrivilegedAccessToUnmappedFails) {
+  Memory m = make();
+  std::uint8_t v = 0;
+  EXPECT_FALSE(m.peek8(0x4, v));
+  EXPECT_FALSE(m.poke8(0x4, 1));
+}
+
+TEST(Memory, FlipBitChangesSingleBit) {
+  Memory m = make();
+  const Addr a = m.extent(Segment::kBss).base + 17;
+  EXPECT_TRUE(m.flip_bit(a, 3));
+  std::uint8_t v = 0;
+  EXPECT_TRUE(m.peek8(a, v));
+  EXPECT_EQ(v, 0x08u);
+  EXPECT_TRUE(m.flip_bit(a, 3));
+  EXPECT_TRUE(m.peek8(a, v));
+  EXPECT_EQ(v, 0x00u);
+}
+
+TEST(Memory, Load64RoundTrip) {
+  Memory m = make();
+  const Addr a = m.extent(Segment::kHeap).base + 8;
+  EXPECT_EQ(m.store64(a, 0x0123456789abcdefULL), Trap::kNone);
+  std::uint64_t v = 0;
+  EXPECT_EQ(m.load64(a, v), Trap::kNone);
+  EXPECT_EQ(v, 0x0123456789abcdefULL);
+}
+
+TEST(Memory, SpanAccessors) {
+  Memory m = make();
+  const Addr a = m.extent(Segment::kData).base;
+  const std::array<std::byte, 4> in = {std::byte{1}, std::byte{2},
+                                       std::byte{3}, std::byte{4}};
+  EXPECT_TRUE(m.poke_span(a, in));
+  std::array<std::byte, 4> out{};
+  EXPECT_TRUE(m.peek_span(a, out));
+  EXPECT_EQ(out, in);
+}
+
+class ObserverRecorder : public AccessObserver {
+ public:
+  int fetches = 0, loads = 0, stores = 0;
+  Segment last_load_seg = Segment::kText;
+  void on_fetch(Addr) override { ++fetches; }
+  void on_load(Addr, unsigned, Segment s) override {
+    ++loads;
+    last_load_seg = s;
+  }
+  void on_store(Addr, unsigned, Segment) override { ++stores; }
+};
+
+TEST(Memory, ObserverSeesAccesses) {
+  Memory m = make();
+  ObserverRecorder obs;
+  m.set_observer(&obs);
+  std::uint32_t v = 0;
+  ASSERT_EQ(m.fetch32(kTextBase, v), Trap::kNone);
+  ASSERT_EQ(m.load32(m.extent(Segment::kBss).base, v), Trap::kNone);
+  ASSERT_EQ(m.store32(m.extent(Segment::kData).base, 1), Trap::kNone);
+  EXPECT_EQ(obs.fetches, 1);
+  EXPECT_EQ(obs.loads, 1);
+  EXPECT_EQ(obs.stores, 1);
+  EXPECT_EQ(obs.last_load_seg, Segment::kBss);
+}
+
+TEST(Memory, ObserverNotCalledForPrivilegedAccess) {
+  Memory m = make();
+  ObserverRecorder obs;
+  m.set_observer(&obs);
+  std::uint32_t v = 0;
+  m.peek32(kTextBase, v);
+  m.poke32(m.extent(Segment::kData).base, 7);
+  EXPECT_EQ(obs.fetches + obs.loads + obs.stores, 0);
+}
+
+TEST(Layout, BasesAreDeterministicAndOrdered) {
+  std::array<std::uint32_t, kNumSegments> s{};
+  s[0] = 100;
+  const auto b1 = compute_segment_bases(s, 0x10000);
+  const auto b2 = compute_segment_bases(s, 0x10000);
+  EXPECT_EQ(b1, b2);
+  // Non-stack segments strictly ordered.
+  for (unsigned i = 1; i < kNumSegments - 1; ++i)
+    EXPECT_GE(b1[i], b1[i - 1]);
+}
+
+}  // namespace
+}  // namespace fsim::svm

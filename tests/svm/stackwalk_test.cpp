@@ -1,0 +1,179 @@
+#include "svm/stackwalk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "svm/assembler.hpp"
+#include "svm/env.hpp"
+
+namespace fsim::svm {
+namespace {
+
+// Runs until the machine executes `stop_at_sym` for the first time, then
+// pauses — a crude breakpoint built on single-stepping.
+void run_until(Machine& m, const Program& p, const std::string& stop_at_sym,
+               std::uint64_t budget = 100000) {
+  const Addr target = p.find_symbol(stop_at_sym)->address;
+  while (budget-- > 0 && m.state() == RunState::kReady) {
+    if (m.regs().pc == target) return;
+    m.step(1);
+  }
+  FAIL() << "never reached " << stop_at_sym;
+}
+
+TEST(StackWalk, NestedUserFrames) {
+  Program p = assemble(R"(
+.text
+main:
+    enter 16
+    call level1
+    leave
+    ret
+level1:
+    enter 24
+    call level2
+    leave
+    ret
+level2:
+    enter 8
+    nop
+stop:
+    nop
+    leave
+    ret
+)");
+  Machine m(p, {});
+  BasicEnv env(m);
+  run_until(m, p, "stop");
+
+  const auto frames = walk_stack(m);
+  ASSERT_EQ(frames.size(), 3u);
+  // Innermost frame: level2's, 8 bytes of locals plus saved fp/ret slots.
+  EXPECT_TRUE(frames[0].user);
+  EXPECT_TRUE(frames[1].user);
+  EXPECT_TRUE(frames[2].user);
+  // Frames are ordered inner to outer, growing to higher addresses.
+  EXPECT_LT(frames[0].fp, frames[1].fp);
+  EXPECT_LT(frames[1].fp, frames[2].fp);
+  // Return addresses land in user text.
+  EXPECT_TRUE(m.memory().extent(Segment::kText).contains(frames[0].ret_addr));
+  // The outermost frame's return address is the exit sentinel.
+  EXPECT_EQ(frames[2].ret_addr, kExitSentinel);
+}
+
+TEST(StackWalk, FrameExtentsCoverLocals) {
+  Program p = assemble(R"(
+.text
+main:
+    enter 32
+stop:
+    nop
+    leave
+    ret
+)");
+  Machine m(p, {});
+  BasicEnv env(m);
+  run_until(m, p, "stop");
+  const auto frames = walk_stack(m);
+  ASSERT_EQ(frames.size(), 1u);
+  // 32 bytes of locals between sp and fp.
+  EXPECT_EQ(frames[0].hi - frames[0].lo, 32u + 8u);
+  EXPECT_EQ(frames[0].lo, m.regs().sp());
+}
+
+TEST(StackWalk, LibraryFramesExcludedFromUserSet) {
+  Program p = assemble(R"(
+.text
+main:
+    enter 16
+    call MPI_Stub
+    leave
+    ret
+.libtext
+MPI_Stub:
+    enter 8
+libstop:
+    nop
+    leave
+    ret
+)");
+  Machine m(p, {});
+  BasicEnv env(m);
+  run_until(m, p, "libstop");
+
+  const auto all = walk_stack(m);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_FALSE(all[0].user);  // MPI stub frame
+  EXPECT_TRUE(all[1].user);   // main's frame
+
+  const auto user = user_frames(m);
+  ASSERT_EQ(user.size(), 1u);
+  EXPECT_EQ(user[0].fp, all[1].fp);
+}
+
+TEST(StackWalk, BrokenChainStopsGracefully) {
+  Program p = assemble(R"(
+.text
+main:
+    enter 16
+stop:
+    nop
+    leave
+    ret
+)");
+  Machine m(p, {});
+  BasicEnv env(m);
+  run_until(m, p, "stop");
+  // Corrupt the saved frame pointer (a realistic stack fault).
+  m.memory().poke32(m.regs().fp(), 0x12345678);
+  const auto frames = walk_stack(m);
+  EXPECT_EQ(frames.size(), 1u);  // walk stops at the corrupted link
+}
+
+TEST(StackWalk, GarbageFpYieldsNoFrames) {
+  Program p = assemble(R"(
+.text
+main:
+    enter 16
+stop:
+    nop
+    leave
+    ret
+)");
+  Machine m(p, {});
+  BasicEnv env(m);
+  run_until(m, p, "stop");
+  m.regs().set_fp(0x10);  // way outside the stack
+  EXPECT_TRUE(walk_stack(m).empty());
+}
+
+TEST(StackWalk, TotalUserStackBytesSmall) {
+  // The paper measures 5-10 KB of live stack; our frames are tiny, but the
+  // invariant "sum of user frame extents == sp..stack_top span" holds.
+  Program p = assemble(R"(
+.text
+main:
+    enter 64
+    call f
+    leave
+    ret
+f:
+    enter 128
+stop:
+    nop
+    leave
+    ret
+)");
+  Machine m(p, {});
+  BasicEnv env(m);
+  run_until(m, p, "stop");
+  const auto frames = walk_stack(m);
+  std::uint64_t covered = 0;
+  for (const auto& f : frames) covered += f.hi - f.lo;
+  // Frames cover everything from sp up to and including the outermost
+  // return-address slot (which holds the exit sentinel at stack_top-4).
+  const Addr stack_top = m.memory().extent(Segment::kStack).end();
+  EXPECT_EQ(covered, stack_top - m.regs().sp());
+}
+
+}  // namespace
+}  // namespace fsim::svm

@@ -1,0 +1,95 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fsim::util {
+namespace {
+
+TEST(Bits, Flip32IsInvolution) {
+  for (unsigned bit = 0; bit < 32; ++bit) {
+    const std::uint32_t v = 0xdeadbeef;
+    EXPECT_NE(flip_bit32(v, bit), v);
+    EXPECT_EQ(flip_bit32(flip_bit32(v, bit), bit), v);
+  }
+}
+
+TEST(Bits, Flip64ChangesExactlyOneBit) {
+  for (unsigned bit = 0; bit < 64; ++bit) {
+    const std::uint64_t v = 0x0123456789abcdefULL;
+    const std::uint64_t f = flip_bit64(v, bit);
+    EXPECT_EQ(std::popcount(v ^ f), 1);
+    EXPECT_EQ(std::countr_zero(v ^ f), static_cast<int>(bit));
+  }
+}
+
+TEST(Bits, BufferFlipTargetsCorrectByteAndBit) {
+  std::vector<std::byte> buf(16, std::byte{0});
+  flip_bit(buf, 0);
+  EXPECT_EQ(static_cast<unsigned>(buf[0]), 0x01u);
+  flip_bit(buf, 0);
+  EXPECT_EQ(static_cast<unsigned>(buf[0]), 0x00u);
+  flip_bit(buf, 8 * 5 + 7);
+  EXPECT_EQ(static_cast<unsigned>(buf[5]), 0x80u);
+}
+
+TEST(Bits, BufferFlipOutOfRangeIsNoop) {
+  std::vector<std::byte> buf(4, std::byte{0});
+  flip_bit(buf, 32);  // one past the end
+  for (auto b : buf) EXPECT_EQ(static_cast<unsigned>(b), 0u);
+}
+
+TEST(Bits, TestBitReadsBack) {
+  std::vector<std::byte> buf(8, std::byte{0});
+  for (std::uint64_t bit : {0ull, 13ull, 37ull, 63ull}) {
+    EXPECT_FALSE(test_bit(buf, bit));
+    flip_bit(buf, bit);
+    EXPECT_TRUE(test_bit(buf, bit));
+  }
+  EXPECT_EQ(popcount(buf), 4u);
+}
+
+TEST(Bits, DoubleFlipSignBit) {
+  const double v = 3.25;
+  EXPECT_EQ(flip_double_bit(v, 63), -3.25);
+}
+
+TEST(Bits, DoubleFlipLowMantissaBitIsTiny) {
+  const double v = 1.0;
+  const double f = flip_double_bit(v, 0);
+  EXPECT_NE(f, v);
+  EXPECT_NEAR(f, v, 1e-15);
+}
+
+TEST(Bits, DoubleFlipHighExponentBitIsHuge) {
+  const double v = 1.0;
+  const double f = flip_double_bit(v, 62);  // top exponent bit
+  EXPECT_GT(std::abs(f), 1e100);
+}
+
+TEST(Bits, DoubleFieldClassification) {
+  EXPECT_EQ(double_field(0), DoubleField::kMantissa);
+  EXPECT_EQ(double_field(51), DoubleField::kMantissa);
+  EXPECT_EQ(double_field(52), DoubleField::kExponent);
+  EXPECT_EQ(double_field(62), DoubleField::kExponent);
+  EXPECT_EQ(double_field(63), DoubleField::kSign);
+}
+
+class BitFlipInvolution : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitFlipInvolution, DoubleFlipIsInvolution) {
+  const unsigned bit = GetParam();
+  for (double v : {0.0, 1.0, -2.5, 1e-300, 1e300}) {
+    const double once = flip_double_bit(v, bit);
+    const double twice = flip_double_bit(once, bit);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(twice),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, BitFlipInvolution,
+                         ::testing::Range(0u, 64u, 7u));
+
+}  // namespace
+}  // namespace fsim::util

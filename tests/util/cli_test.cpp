@@ -1,0 +1,77 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace fsim::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  Cli c = make({"--runs=500", "--app=wavetoy"});
+  EXPECT_EQ(c.num("runs", 0), 500);
+  EXPECT_EQ(c.str("app", ""), "wavetoy");
+}
+
+TEST(Cli, SpaceForm) {
+  Cli c = make({"--seed", "99"});
+  EXPECT_EQ(c.num("seed", 0), 99);
+}
+
+TEST(Cli, BooleanFlag) {
+  Cli c = make({"--csv"});
+  EXPECT_TRUE(c.flag("csv"));
+  EXPECT_FALSE(c.flag("quiet"));
+}
+
+TEST(Cli, FlagFalseValues) {
+  EXPECT_FALSE(make({"--csv=false"}).flag("csv", true));
+  EXPECT_FALSE(make({"--csv=0"}).flag("csv", true));
+  EXPECT_FALSE(make({"--csv=no"}).flag("csv", true));
+}
+
+TEST(Cli, Fallbacks) {
+  Cli c = make({});
+  EXPECT_EQ(c.num("runs", 42), 42);
+  EXPECT_EQ(c.str("app", "minimd"), "minimd");
+  EXPECT_DOUBLE_EQ(c.real("alpha", 0.05), 0.05);
+}
+
+TEST(Cli, RealParsing) {
+  Cli c = make({"--alpha=0.01"});
+  EXPECT_DOUBLE_EQ(c.real("alpha", 0.0), 0.01);
+}
+
+TEST(Cli, BadNumberThrows) {
+  Cli c = make({"--runs=abc"});
+  EXPECT_THROW(c.num("runs", 0), SetupError);
+}
+
+TEST(Cli, Positional) {
+  Cli c = make({"wavetoy", "--runs=5", "extra"});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "wavetoy");
+  EXPECT_EQ(c.positional()[1], "extra");
+}
+
+TEST(Cli, UnusedDetectsTypos) {
+  Cli c = make({"--rnus=500"});
+  (void)c.num("runs", 0);
+  const auto unused = c.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "rnus");
+}
+
+TEST(Cli, HexNumbers) {
+  Cli c = make({"--seed=0xff"});
+  EXPECT_EQ(c.num("seed", 0), 255);
+}
+
+}  // namespace
+}  // namespace fsim::util

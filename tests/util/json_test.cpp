@@ -1,0 +1,86 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fsim::util {
+namespace {
+
+TEST(Json, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("wavetoy");
+  w.key("runs").value(500);
+  w.key("rate").value(0.5);
+  w.key("ok").value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"wavetoy","runs":500,"rate":0.5,"ok":true})");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("xs").begin_array().value(1).value(2).value(3).end_array();
+  w.key("inner").begin_object().key("a").null().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2,3],"inner":{"a":null}})");
+}
+
+TEST(Json, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("empty_arr").begin_array().end_array();
+  w.key("empty_obj").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"empty_arr":[],"empty_obj":{}})");
+}
+
+TEST(Json, StringEscaping) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("a\"b\\c\nd\te");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, ControlCharacterEscaping) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value(std::string("\x01"));
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"\\u0001\"}");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(1.0 / 0.0);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, ArrayOfObjects) {
+  JsonWriter w;
+  w.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    w.begin_object();
+    w.key("i").value(i);
+    w.end_object();
+  }
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(Json, Unsigned64RoundTrip) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.end_array();
+  EXPECT_EQ(w.str(), "[18446744073709551615]");
+}
+
+}  // namespace
+}  // namespace fsim::util

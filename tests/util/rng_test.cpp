@@ -1,0 +1,103 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fsim::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroBoundReturnsZero) {
+  Rng r(7);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng r(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = r.range(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(11);
+  std::map<std::uint64_t, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[r.below(6)];
+  for (const auto& [v, c] : counts) {
+    EXPECT_LT(v, 6u);
+    EXPECT_NEAR(c, n / 6, n / 60);  // within 10% of expectation
+  }
+}
+
+TEST(Rng, ChildStreamsAreIndependent) {
+  Rng parent(5);
+  Rng c1 = parent.child(1);
+  Rng c2 = parent.child(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (c1() == c2()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ChildDerivationIsDeterministic) {
+  Rng p1(5), p2(5);
+  Rng a = p1.child(9), b = p2.child(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(HashSeed, DistinctInputsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t region = 0; region < 8; ++region)
+    for (std::uint64_t run = 0; run < 100; ++run)
+      seen.insert(hash_seed({0xabc, region, run}));
+  EXPECT_EQ(seen.size(), 800u);
+}
+
+TEST(HashSeed, OrderSensitive) {
+  EXPECT_NE(hash_seed({1, 2}), hash_seed({2, 1}));
+}
+
+}  // namespace
+}  // namespace fsim::util

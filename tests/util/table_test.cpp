@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsim::util {
+namespace {
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t("T");
+  t.header({"Region", "Errors"});
+  t.row({"Regular Reg.", "62.8"});
+  t.row({"FP Reg.", "4.0"});
+  const std::string out = t.ascii();
+  EXPECT_NE(out.find("Region"), std::string::npos);
+  EXPECT_NE(out.find("62.8"), std::string::npos);
+  // Both data lines end at the same column (right-aligned numerics).
+  const auto l1 = out.find("62.8");
+  const auto l2 = out.find("4.0");
+  ASSERT_NE(l1, std::string::npos);
+  ASSERT_NE(l2, std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t;
+  t.header({"a", "b", "c"});
+  t.row({"1"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_NO_THROW(t.ascii());
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t;
+  t.header({"name", "value"});
+  t.row({"has,comma", "has\"quote"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, SeparatorRendersRule) {
+  Table t;
+  t.header({"xxxx"});
+  t.row({"1111"});
+  t.separator();
+  t.row({"2222"});
+  const std::string out = t.ascii();
+  // Two rules: one under the header, one for the explicit separator.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("---", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(Format, FixedDecimals) {
+  EXPECT_EQ(fmt_fixed(62.84, 1), "62.8");
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-0.05, 1), "-0.1");
+}
+
+TEST(Format, Percentage) {
+  EXPECT_EQ(fmt_pct(319, 508), "62.8");
+  EXPECT_EQ(fmt_pct(0, 100), "0.0");
+  EXPECT_EQ(fmt_pct(5, 0), "-");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.0 KB");
+  EXPECT_EQ(fmt_bytes(3u << 20), "3.00 MB");
+}
+
+}  // namespace
+}  // namespace fsim::util
