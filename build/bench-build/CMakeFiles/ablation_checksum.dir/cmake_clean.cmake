@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_checksum"
+  "../bench/ablation_checksum.pdb"
+  "CMakeFiles/ablation_checksum.dir/ablation_checksum.cpp.o"
+  "CMakeFiles/ablation_checksum.dir/ablation_checksum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

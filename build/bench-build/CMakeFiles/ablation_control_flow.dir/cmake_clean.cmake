@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_control_flow"
+  "../bench/ablation_control_flow.pdb"
+  "CMakeFiles/ablation_control_flow.dir/ablation_control_flow.cpp.o"
+  "CMakeFiles/ablation_control_flow.dir/ablation_control_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_control_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multibit"
+  "../bench/ablation_multibit.pdb"
+  "CMakeFiles/ablation_multibit.dir/ablation_multibit.cpp.o"
+  "CMakeFiles/ablation_multibit.dir/ablation_multibit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multibit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_output_format"
+  "../bench/ablation_output_format.pdb"
+  "CMakeFiles/ablation_output_format.dir/ablation_output_format.cpp.o"
+  "CMakeFiles/ablation_output_format.dir/ablation_output_format.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_output_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_register_opt"
+  "../bench/ablation_register_opt.pdb"
+  "CMakeFiles/ablation_register_opt.dir/ablation_register_opt.cpp.o"
+  "CMakeFiles/ablation_register_opt.dir/ablation_register_opt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_register_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

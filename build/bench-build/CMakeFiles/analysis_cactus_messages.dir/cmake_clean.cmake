@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_cactus_messages"
+  "../bench/analysis_cactus_messages.pdb"
+  "CMakeFiles/analysis_cactus_messages.dir/analysis_cactus_messages.cpp.o"
+  "CMakeFiles/analysis_cactus_messages.dir/analysis_cactus_messages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_cactus_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_checkpoint"
+  "../bench/analysis_checkpoint.pdb"
+  "CMakeFiles/analysis_checkpoint.dir/analysis_checkpoint.cpp.o"
+  "CMakeFiles/analysis_checkpoint.dir/analysis_checkpoint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

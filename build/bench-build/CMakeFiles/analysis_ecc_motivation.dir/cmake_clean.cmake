@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_ecc_motivation"
+  "../bench/analysis_ecc_motivation.pdb"
+  "CMakeFiles/analysis_ecc_motivation.dir/analysis_ecc_motivation.cpp.o"
+  "CMakeFiles/analysis_ecc_motivation.dir/analysis_ecc_motivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_ecc_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_fault_tolerance"
+  "../bench/analysis_fault_tolerance.pdb"
+  "CMakeFiles/analysis_fault_tolerance.dir/analysis_fault_tolerance.cpp.o"
+  "CMakeFiles/analysis_fault_tolerance.dir/analysis_fault_tolerance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_instruction_mix"
+  "../bench/analysis_instruction_mix.pdb"
+  "CMakeFiles/analysis_instruction_mix.dir/analysis_instruction_mix.cpp.o"
+  "CMakeFiles/analysis_instruction_mix.dir/analysis_instruction_mix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

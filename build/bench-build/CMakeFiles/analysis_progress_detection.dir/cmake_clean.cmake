@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_progress_detection"
+  "../bench/analysis_progress_detection.pdb"
+  "CMakeFiles/analysis_progress_detection.dir/analysis_progress_detection.cpp.o"
+  "CMakeFiles/analysis_progress_detection.dir/analysis_progress_detection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_progress_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

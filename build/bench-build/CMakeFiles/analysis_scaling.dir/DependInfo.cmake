@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/analysis_scaling.cpp" "bench-build/CMakeFiles/analysis_scaling.dir/analysis_scaling.cpp.o" "gcc" "bench-build/CMakeFiles/analysis_scaling.dir/analysis_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/fsim_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/fsim_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

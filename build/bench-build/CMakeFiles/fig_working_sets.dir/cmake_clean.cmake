@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_working_sets"
+  "../bench/fig_working_sets.pdb"
+  "CMakeFiles/fig_working_sets.dir/fig_working_sets.cpp.o"
+  "CMakeFiles/fig_working_sets.dir/fig_working_sets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_working_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

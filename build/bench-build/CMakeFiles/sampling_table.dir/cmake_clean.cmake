@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sampling_table"
+  "../bench/sampling_table.pdb"
+  "CMakeFiles/sampling_table.dir/sampling_table.cpp.o"
+  "CMakeFiles/sampling_table.dir/sampling_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_profiles"
+  "../bench/table1_profiles.pdb"
+  "CMakeFiles/table1_profiles.dir/table1_profiles.cpp.o"
+  "CMakeFiles/table1_profiles.dir/table1_profiles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_wavetoy"
+  "../bench/table2_wavetoy.pdb"
+  "CMakeFiles/table2_wavetoy.dir/table2_wavetoy.cpp.o"
+  "CMakeFiles/table2_wavetoy.dir/table2_wavetoy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_wavetoy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_minimd"
+  "../bench/table3_minimd.pdb"
+  "CMakeFiles/table3_minimd.dir/table3_minimd.cpp.o"
+  "CMakeFiles/table3_minimd.dir/table3_minimd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_minimd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_atmo"
+  "../bench/table4_atmo.pdb"
+  "CMakeFiles/table4_atmo.dir/table4_atmo.cpp.o"
+  "CMakeFiles/table4_atmo.dir/table4_atmo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_atmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

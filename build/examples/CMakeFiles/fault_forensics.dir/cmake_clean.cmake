@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_forensics.dir/fault_forensics.cpp.o"
+  "CMakeFiles/fault_forensics.dir/fault_forensics.cpp.o.d"
+  "fault_forensics"
+  "fault_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

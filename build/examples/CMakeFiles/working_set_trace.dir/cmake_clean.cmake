@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/working_set_trace.dir/working_set_trace.cpp.o"
+  "CMakeFiles/working_set_trace.dir/working_set_trace.cpp.o.d"
+  "working_set_trace"
+  "working_set_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/working_set_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

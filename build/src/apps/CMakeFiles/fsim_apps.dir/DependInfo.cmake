@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cpp" "src/apps/CMakeFiles/fsim_apps.dir/app.cpp.o" "gcc" "src/apps/CMakeFiles/fsim_apps.dir/app.cpp.o.d"
+  "/root/repo/src/apps/atmo.cpp" "src/apps/CMakeFiles/fsim_apps.dir/atmo.cpp.o" "gcc" "src/apps/CMakeFiles/fsim_apps.dir/atmo.cpp.o.d"
+  "/root/repo/src/apps/coldcode.cpp" "src/apps/CMakeFiles/fsim_apps.dir/coldcode.cpp.o" "gcc" "src/apps/CMakeFiles/fsim_apps.dir/coldcode.cpp.o.d"
+  "/root/repo/src/apps/jacobi.cpp" "src/apps/CMakeFiles/fsim_apps.dir/jacobi.cpp.o" "gcc" "src/apps/CMakeFiles/fsim_apps.dir/jacobi.cpp.o.d"
+  "/root/repo/src/apps/minimd.cpp" "src/apps/CMakeFiles/fsim_apps.dir/minimd.cpp.o" "gcc" "src/apps/CMakeFiles/fsim_apps.dir/minimd.cpp.o.d"
+  "/root/repo/src/apps/wavetoy.cpp" "src/apps/CMakeFiles/fsim_apps.dir/wavetoy.cpp.o" "gcc" "src/apps/CMakeFiles/fsim_apps.dir/wavetoy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/fsim_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/fsim_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

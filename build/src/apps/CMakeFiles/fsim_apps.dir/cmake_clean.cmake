@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_apps.dir/app.cpp.o"
+  "CMakeFiles/fsim_apps.dir/app.cpp.o.d"
+  "CMakeFiles/fsim_apps.dir/atmo.cpp.o"
+  "CMakeFiles/fsim_apps.dir/atmo.cpp.o.d"
+  "CMakeFiles/fsim_apps.dir/coldcode.cpp.o"
+  "CMakeFiles/fsim_apps.dir/coldcode.cpp.o.d"
+  "CMakeFiles/fsim_apps.dir/jacobi.cpp.o"
+  "CMakeFiles/fsim_apps.dir/jacobi.cpp.o.d"
+  "CMakeFiles/fsim_apps.dir/minimd.cpp.o"
+  "CMakeFiles/fsim_apps.dir/minimd.cpp.o.d"
+  "CMakeFiles/fsim_apps.dir/wavetoy.cpp.o"
+  "CMakeFiles/fsim_apps.dir/wavetoy.cpp.o.d"
+  "libfsim_apps.a"
+  "libfsim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/fsim_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/fsim_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/cfc.cpp" "src/core/CMakeFiles/fsim_core.dir/cfc.cpp.o" "gcc" "src/core/CMakeFiles/fsim_core.dir/cfc.cpp.o.d"
+  "/root/repo/src/core/dictionary.cpp" "src/core/CMakeFiles/fsim_core.dir/dictionary.cpp.o" "gcc" "src/core/CMakeFiles/fsim_core.dir/dictionary.cpp.o.d"
+  "/root/repo/src/core/injector.cpp" "src/core/CMakeFiles/fsim_core.dir/injector.cpp.o" "gcc" "src/core/CMakeFiles/fsim_core.dir/injector.cpp.o.d"
+  "/root/repo/src/core/outcome.cpp" "src/core/CMakeFiles/fsim_core.dir/outcome.cpp.o" "gcc" "src/core/CMakeFiles/fsim_core.dir/outcome.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/fsim_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/fsim_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/run.cpp" "src/core/CMakeFiles/fsim_core.dir/run.cpp.o" "gcc" "src/core/CMakeFiles/fsim_core.dir/run.cpp.o.d"
+  "/root/repo/src/core/sampling.cpp" "src/core/CMakeFiles/fsim_core.dir/sampling.cpp.o" "gcc" "src/core/CMakeFiles/fsim_core.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/fsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/fsim_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/fsim_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_core.dir/campaign.cpp.o"
+  "CMakeFiles/fsim_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/fsim_core.dir/cfc.cpp.o"
+  "CMakeFiles/fsim_core.dir/cfc.cpp.o.d"
+  "CMakeFiles/fsim_core.dir/dictionary.cpp.o"
+  "CMakeFiles/fsim_core.dir/dictionary.cpp.o.d"
+  "CMakeFiles/fsim_core.dir/injector.cpp.o"
+  "CMakeFiles/fsim_core.dir/injector.cpp.o.d"
+  "CMakeFiles/fsim_core.dir/outcome.cpp.o"
+  "CMakeFiles/fsim_core.dir/outcome.cpp.o.d"
+  "CMakeFiles/fsim_core.dir/report.cpp.o"
+  "CMakeFiles/fsim_core.dir/report.cpp.o.d"
+  "CMakeFiles/fsim_core.dir/run.cpp.o"
+  "CMakeFiles/fsim_core.dir/run.cpp.o.d"
+  "CMakeFiles/fsim_core.dir/sampling.cpp.o"
+  "CMakeFiles/fsim_core.dir/sampling.cpp.o.d"
+  "libfsim_core.a"
+  "libfsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

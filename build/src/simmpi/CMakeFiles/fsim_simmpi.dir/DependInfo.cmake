@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/channel.cpp" "src/simmpi/CMakeFiles/fsim_simmpi.dir/channel.cpp.o" "gcc" "src/simmpi/CMakeFiles/fsim_simmpi.dir/channel.cpp.o.d"
+  "/root/repo/src/simmpi/process.cpp" "src/simmpi/CMakeFiles/fsim_simmpi.dir/process.cpp.o" "gcc" "src/simmpi/CMakeFiles/fsim_simmpi.dir/process.cpp.o.d"
+  "/root/repo/src/simmpi/snapshot.cpp" "src/simmpi/CMakeFiles/fsim_simmpi.dir/snapshot.cpp.o" "gcc" "src/simmpi/CMakeFiles/fsim_simmpi.dir/snapshot.cpp.o.d"
+  "/root/repo/src/simmpi/stubs.cpp" "src/simmpi/CMakeFiles/fsim_simmpi.dir/stubs.cpp.o" "gcc" "src/simmpi/CMakeFiles/fsim_simmpi.dir/stubs.cpp.o.d"
+  "/root/repo/src/simmpi/world.cpp" "src/simmpi/CMakeFiles/fsim_simmpi.dir/world.cpp.o" "gcc" "src/simmpi/CMakeFiles/fsim_simmpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svm/CMakeFiles/fsim_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

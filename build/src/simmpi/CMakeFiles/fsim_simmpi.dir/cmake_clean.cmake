@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_simmpi.dir/channel.cpp.o"
+  "CMakeFiles/fsim_simmpi.dir/channel.cpp.o.d"
+  "CMakeFiles/fsim_simmpi.dir/process.cpp.o"
+  "CMakeFiles/fsim_simmpi.dir/process.cpp.o.d"
+  "CMakeFiles/fsim_simmpi.dir/snapshot.cpp.o"
+  "CMakeFiles/fsim_simmpi.dir/snapshot.cpp.o.d"
+  "CMakeFiles/fsim_simmpi.dir/stubs.cpp.o"
+  "CMakeFiles/fsim_simmpi.dir/stubs.cpp.o.d"
+  "CMakeFiles/fsim_simmpi.dir/world.cpp.o"
+  "CMakeFiles/fsim_simmpi.dir/world.cpp.o.d"
+  "libfsim_simmpi.a"
+  "libfsim_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

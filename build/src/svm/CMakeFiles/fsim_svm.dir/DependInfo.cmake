@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svm/assembler.cpp" "src/svm/CMakeFiles/fsim_svm.dir/assembler.cpp.o" "gcc" "src/svm/CMakeFiles/fsim_svm.dir/assembler.cpp.o.d"
+  "/root/repo/src/svm/env.cpp" "src/svm/CMakeFiles/fsim_svm.dir/env.cpp.o" "gcc" "src/svm/CMakeFiles/fsim_svm.dir/env.cpp.o.d"
+  "/root/repo/src/svm/heap.cpp" "src/svm/CMakeFiles/fsim_svm.dir/heap.cpp.o" "gcc" "src/svm/CMakeFiles/fsim_svm.dir/heap.cpp.o.d"
+  "/root/repo/src/svm/isa.cpp" "src/svm/CMakeFiles/fsim_svm.dir/isa.cpp.o" "gcc" "src/svm/CMakeFiles/fsim_svm.dir/isa.cpp.o.d"
+  "/root/repo/src/svm/machine.cpp" "src/svm/CMakeFiles/fsim_svm.dir/machine.cpp.o" "gcc" "src/svm/CMakeFiles/fsim_svm.dir/machine.cpp.o.d"
+  "/root/repo/src/svm/memory.cpp" "src/svm/CMakeFiles/fsim_svm.dir/memory.cpp.o" "gcc" "src/svm/CMakeFiles/fsim_svm.dir/memory.cpp.o.d"
+  "/root/repo/src/svm/program.cpp" "src/svm/CMakeFiles/fsim_svm.dir/program.cpp.o" "gcc" "src/svm/CMakeFiles/fsim_svm.dir/program.cpp.o.d"
+  "/root/repo/src/svm/stackwalk.cpp" "src/svm/CMakeFiles/fsim_svm.dir/stackwalk.cpp.o" "gcc" "src/svm/CMakeFiles/fsim_svm.dir/stackwalk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

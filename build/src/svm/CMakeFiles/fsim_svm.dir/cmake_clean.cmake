@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_svm.dir/assembler.cpp.o"
+  "CMakeFiles/fsim_svm.dir/assembler.cpp.o.d"
+  "CMakeFiles/fsim_svm.dir/env.cpp.o"
+  "CMakeFiles/fsim_svm.dir/env.cpp.o.d"
+  "CMakeFiles/fsim_svm.dir/heap.cpp.o"
+  "CMakeFiles/fsim_svm.dir/heap.cpp.o.d"
+  "CMakeFiles/fsim_svm.dir/isa.cpp.o"
+  "CMakeFiles/fsim_svm.dir/isa.cpp.o.d"
+  "CMakeFiles/fsim_svm.dir/machine.cpp.o"
+  "CMakeFiles/fsim_svm.dir/machine.cpp.o.d"
+  "CMakeFiles/fsim_svm.dir/memory.cpp.o"
+  "CMakeFiles/fsim_svm.dir/memory.cpp.o.d"
+  "CMakeFiles/fsim_svm.dir/program.cpp.o"
+  "CMakeFiles/fsim_svm.dir/program.cpp.o.d"
+  "CMakeFiles/fsim_svm.dir/stackwalk.cpp.o"
+  "CMakeFiles/fsim_svm.dir/stackwalk.cpp.o.d"
+  "libfsim_svm.a"
+  "libfsim_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

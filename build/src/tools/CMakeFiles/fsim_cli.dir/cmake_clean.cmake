@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_cli.dir/fsim.cpp.o"
+  "CMakeFiles/fsim_cli.dir/fsim.cpp.o.d"
+  "fsim"
+  "fsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

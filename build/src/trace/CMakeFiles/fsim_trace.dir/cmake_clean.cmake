@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_trace.dir/mix.cpp.o"
+  "CMakeFiles/fsim_trace.dir/mix.cpp.o.d"
+  "CMakeFiles/fsim_trace.dir/profile.cpp.o"
+  "CMakeFiles/fsim_trace.dir/profile.cpp.o.d"
+  "CMakeFiles/fsim_trace.dir/working_set.cpp.o"
+  "CMakeFiles/fsim_trace.dir/working_set.cpp.o.d"
+  "libfsim_trace.a"
+  "libfsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

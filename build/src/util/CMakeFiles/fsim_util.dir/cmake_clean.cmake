@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsim_util.dir/cli.cpp.o"
+  "CMakeFiles/fsim_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fsim_util.dir/json.cpp.o"
+  "CMakeFiles/fsim_util.dir/json.cpp.o.d"
+  "CMakeFiles/fsim_util.dir/status.cpp.o"
+  "CMakeFiles/fsim_util.dir/status.cpp.o.d"
+  "CMakeFiles/fsim_util.dir/table.cpp.o"
+  "CMakeFiles/fsim_util.dir/table.cpp.o.d"
+  "libfsim_util.a"
+  "libfsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

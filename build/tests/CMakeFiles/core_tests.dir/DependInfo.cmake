@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cfc_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cfc_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cfc_test.cpp.o.d"
+  "/root/repo/tests/core/dictionary_test.cpp" "tests/CMakeFiles/core_tests.dir/core/dictionary_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/dictionary_test.cpp.o.d"
+  "/root/repo/tests/core/fuzz_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/injector_test.cpp" "tests/CMakeFiles/core_tests.dir/core/injector_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/injector_test.cpp.o.d"
+  "/root/repo/tests/core/run_test.cpp" "tests/CMakeFiles/core_tests.dir/core/run_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/run_test.cpp.o.d"
+  "/root/repo/tests/core/sampling_test.cpp" "tests/CMakeFiles/core_tests.dir/core/sampling_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/sampling_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/fsim_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/fsim_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

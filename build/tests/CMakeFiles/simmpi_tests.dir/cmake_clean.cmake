@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_tests.dir/simmpi/channel_test.cpp.o"
+  "CMakeFiles/simmpi_tests.dir/simmpi/channel_test.cpp.o.d"
+  "CMakeFiles/simmpi_tests.dir/simmpi/fault_test.cpp.o"
+  "CMakeFiles/simmpi_tests.dir/simmpi/fault_test.cpp.o.d"
+  "CMakeFiles/simmpi_tests.dir/simmpi/gather_scatter_test.cpp.o"
+  "CMakeFiles/simmpi_tests.dir/simmpi/gather_scatter_test.cpp.o.d"
+  "CMakeFiles/simmpi_tests.dir/simmpi/nonblocking_test.cpp.o"
+  "CMakeFiles/simmpi_tests.dir/simmpi/nonblocking_test.cpp.o.d"
+  "CMakeFiles/simmpi_tests.dir/simmpi/snapshot_test.cpp.o"
+  "CMakeFiles/simmpi_tests.dir/simmpi/snapshot_test.cpp.o.d"
+  "CMakeFiles/simmpi_tests.dir/simmpi/tree_collectives_test.cpp.o"
+  "CMakeFiles/simmpi_tests.dir/simmpi/tree_collectives_test.cpp.o.d"
+  "CMakeFiles/simmpi_tests.dir/simmpi/world_test.cpp.o"
+  "CMakeFiles/simmpi_tests.dir/simmpi/world_test.cpp.o.d"
+  "simmpi_tests"
+  "simmpi_tests.pdb"
+  "simmpi_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svm_tests.dir/svm/assembler_test.cpp.o"
+  "CMakeFiles/svm_tests.dir/svm/assembler_test.cpp.o.d"
+  "CMakeFiles/svm_tests.dir/svm/env_test.cpp.o"
+  "CMakeFiles/svm_tests.dir/svm/env_test.cpp.o.d"
+  "CMakeFiles/svm_tests.dir/svm/fpu_test.cpp.o"
+  "CMakeFiles/svm_tests.dir/svm/fpu_test.cpp.o.d"
+  "CMakeFiles/svm_tests.dir/svm/heap_test.cpp.o"
+  "CMakeFiles/svm_tests.dir/svm/heap_test.cpp.o.d"
+  "CMakeFiles/svm_tests.dir/svm/isa_test.cpp.o"
+  "CMakeFiles/svm_tests.dir/svm/isa_test.cpp.o.d"
+  "CMakeFiles/svm_tests.dir/svm/machine_edge_test.cpp.o"
+  "CMakeFiles/svm_tests.dir/svm/machine_edge_test.cpp.o.d"
+  "CMakeFiles/svm_tests.dir/svm/machine_test.cpp.o"
+  "CMakeFiles/svm_tests.dir/svm/machine_test.cpp.o.d"
+  "CMakeFiles/svm_tests.dir/svm/memory_test.cpp.o"
+  "CMakeFiles/svm_tests.dir/svm/memory_test.cpp.o.d"
+  "CMakeFiles/svm_tests.dir/svm/stackwalk_test.cpp.o"
+  "CMakeFiles/svm_tests.dir/svm/stackwalk_test.cpp.o.d"
+  "svm_tests"
+  "svm_tests.pdb"
+  "svm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
