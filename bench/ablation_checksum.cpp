@@ -21,12 +21,16 @@ struct MsgStats {
 };
 
 MsgStats message_campaign(const apps::App& app, const core::Golden& golden,
-                          int runs, std::uint64_t seed) {
+                          int runs, std::uint64_t seed, int jobs) {
   MsgStats s;
-  for (int i = 0; i < runs; ++i) {
-    const core::RunOutcome out = core::run_injected(
-        app, golden, core::Region::kMessage, nullptr,
-        util::hash_seed({seed, 0xc5, static_cast<std::uint64_t>(i)}));
+  const svm::Program program = app.link();
+  const auto outcomes = bench::parallel_outcomes(
+      app, program, golden, core::Region::kMessage, nullptr, runs,
+      [seed](int i) {
+        return util::hash_seed({seed, 0xc5, static_cast<std::uint64_t>(i)});
+      },
+      jobs);
+  for (const core::RunOutcome& out : outcomes) {
     if (!out.msg_fired) continue;
     ++s.fired;
     using M = core::Manifestation;
@@ -64,8 +68,10 @@ int main(int argc, char** argv) {
   std::printf("Runtime overhead of checksums: %.2f%% (paper: ~3%%)\n\n",
               overhead);
 
-  const MsgStats on = message_campaign(app_on, g_on, args.runs, args.seed);
-  const MsgStats off = message_campaign(app_off, g_off, args.runs, args.seed);
+  const MsgStats on =
+      message_campaign(app_on, g_on, args.runs, args.seed, args.jobs);
+  const MsgStats off =
+      message_campaign(app_off, g_off, args.runs, args.seed, args.jobs);
 
   util::Table t("Message-fault outcomes (" + std::to_string(args.runs) +
                 " armed faults each)");

@@ -24,15 +24,15 @@ struct Shape {
 };
 
 Shape measure(simmpi::CollectiveAlgorithm algo, int runs,
-              std::uint64_t seed) {
+              std::uint64_t seed, int jobs) {
   apps::App app = apps::make_atmo();
   app.world.collectives = algo;
-  const core::Golden golden = core::run_golden(app);
+  const svm::Program program = app.link();
+  const core::Golden golden = core::run_golden(app, program);
 
   Shape s;
   s.instructions = golden.instructions;
   {
-    const svm::Program program = app.link();
     simmpi::World world(program, app.world);
     world.run(golden.hang_budget);
     std::uint64_t header = 0, payload = 0, total_msgs = 0;
@@ -49,13 +49,15 @@ Shape measure(simmpi::CollectiveAlgorithm algo, int runs,
   }
 
   int errors = 0;
-  for (int i = 0; i < runs; ++i) {
-    const core::RunOutcome out = core::run_injected(
-        app, golden, core::Region::kMessage, nullptr,
-        util::hash_seed({seed, static_cast<std::uint64_t>(algo),
-                         static_cast<std::uint64_t>(i)}));
+  const auto outcomes = bench::parallel_outcomes(
+      app, program, golden, core::Region::kMessage, nullptr, runs,
+      [seed, algo](int i) {
+        return util::hash_seed({seed, static_cast<std::uint64_t>(algo),
+                                static_cast<std::uint64_t>(i)});
+      },
+      jobs);
+  for (const core::RunOutcome& out : outcomes)
     errors += out.manifestation != core::Manifestation::kCorrect;
-  }
   s.msg_error_rate = 100.0 * errors / runs;
   return s;
 }
@@ -67,10 +69,10 @@ int main(int argc, char** argv) {
 
   std::printf("=== Ablation: flat vs binomial-tree collectives (atmo) ===\n\n");
 
-  const Shape flat =
-      measure(simmpi::CollectiveAlgorithm::kFlat, args.runs, args.seed);
+  const Shape flat = measure(simmpi::CollectiveAlgorithm::kFlat, args.runs,
+                             args.seed, args.jobs);
   const Shape tree = measure(simmpi::CollectiveAlgorithm::kBinomialTree,
-                             args.runs, args.seed);
+                             args.runs, args.seed, args.jobs);
 
   util::Table t("Traffic shape and sensitivity (" + std::to_string(args.runs) +
                 " message injections each)");

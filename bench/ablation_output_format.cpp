@@ -19,21 +19,24 @@ struct FormatResult {
 };
 
 FormatResult campaign(const apps::App& app, core::Region region, int runs,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, int jobs) {
   FormatResult r;
-  const core::Golden golden = core::run_golden(app);
   const svm::Program program = app.link();
+  const core::Golden golden = core::run_golden(app, program);
   util::Rng drng(util::hash_seed({seed, 0xd1}));
   std::unique_ptr<core::FaultDictionary> dict;
   if (region == core::Region::kData || region == core::Region::kBss ||
       region == core::Region::kText) {
     dict = std::make_unique<core::FaultDictionary>(program, region, drng);
   }
-  for (int i = 0; i < runs; ++i) {
-    const core::RunOutcome out = core::run_injected(
-        app, golden, region, dict.get(),
-        util::hash_seed({seed, static_cast<std::uint64_t>(region),
-                         static_cast<std::uint64_t>(i)}));
+  const auto outcomes = bench::parallel_outcomes(
+      app, program, golden, region, dict.get(), runs,
+      [seed, region](int i) {
+        return util::hash_seed({seed, static_cast<std::uint64_t>(region),
+                                static_cast<std::uint64_t>(i)});
+      },
+      jobs);
+  for (const core::RunOutcome& out : outcomes) {
     ++r.runs;
     r.errors += out.manifestation != core::Manifestation::kCorrect;
     r.incorrect += out.manifestation == core::Manifestation::kIncorrect;
@@ -66,7 +69,7 @@ int main(int argc, char** argv) {
                     {"binary (all 64 bits)", &binary_cfg}};
     for (const auto& v : variants) {
       const FormatResult r = campaign(apps::make_wavetoy(*v.cfg), region,
-                                      args.runs, args.seed);
+                                      args.runs, args.seed, args.jobs);
       t.row({core::region_name(region), v.name, util::fmt_pct(r.errors, r.runs),
              util::fmt_pct(r.incorrect, r.runs)});
     }

@@ -20,14 +20,18 @@ struct RegResult {
 };
 
 RegResult register_campaign(const apps::App& app, int runs,
-                            std::uint64_t seed) {
+                            std::uint64_t seed, int jobs) {
   RegResult r;
-  const core::Golden golden = core::run_golden(app);
+  const svm::Program program = app.link();
+  const core::Golden golden = core::run_golden(app, program);
   r.golden_instructions = golden.instructions;
-  for (int i = 0; i < runs; ++i) {
-    const core::RunOutcome out = core::run_injected(
-        app, golden, core::Region::kRegularReg, nullptr,
-        util::hash_seed({seed, 0x27, static_cast<std::uint64_t>(i)}));
+  const auto outcomes = bench::parallel_outcomes(
+      app, program, golden, core::Region::kRegularReg, nullptr, runs,
+      [seed](int i) {
+        return util::hash_seed({seed, 0x27, static_cast<std::uint64_t>(i)});
+      },
+      jobs);
+  for (const core::RunOutcome& out : outcomes) {
     ++r.runs;
     r.errors += out.manifestation != core::Manifestation::kCorrect;
   }
@@ -47,10 +51,10 @@ int main(int argc, char** argv) {
   apps::WavetoyConfig spilled;
   spilled.high_register_pressure = false;
 
-  const RegResult opt =
-      register_campaign(apps::make_wavetoy(optimised), args.runs, args.seed);
-  const RegResult spl =
-      register_campaign(apps::make_wavetoy(spilled), args.runs, args.seed);
+  const RegResult opt = register_campaign(apps::make_wavetoy(optimised),
+                                          args.runs, args.seed, args.jobs);
+  const RegResult spl = register_campaign(apps::make_wavetoy(spilled),
+                                          args.runs, args.seed, args.jobs);
 
   util::Table t("Integer-register fault sensitivity (" +
                 std::to_string(args.runs) + " injections each)");

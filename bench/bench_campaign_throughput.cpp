@@ -1,0 +1,111 @@
+// Campaign-executor throughput: injected runs per second at jobs=1 vs
+// jobs=N on a small wavetoy campaign, emitted as JSON (the seed of the
+// BENCH_*.json trajectory). The two configurations produce bit-identical
+// aggregates; the JSON records a digest of the counts so regressions in
+// either speed or determinism are visible from the same artifact.
+//
+//   bench_campaign_throughput [--runs=N] [--seed=S] [--jobs=N]
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "apps/app.hpp"
+#include "bench_util.hpp"
+#include "util/json.hpp"
+
+using namespace fsim;
+
+namespace {
+
+apps::App small_wavetoy() {
+  apps::WavetoyConfig cfg;
+  cfg.ranks = 4;
+  cfg.columns = 8;
+  cfg.rows = 8;
+  cfg.steps = 8;
+  cfg.cold_functions = 10;
+  cfg.cold_heap_arrays = 1;
+  return apps::make_wavetoy(cfg);
+}
+
+struct Measured {
+  double seconds = 0;
+  double runs_per_sec = 0;
+  std::uint64_t digest = 0;  // order-independent checksum of the aggregates
+};
+
+std::uint64_t digest_counts(const core::CampaignResult& res) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  for (const auto& rr : res.regions) {
+    mix(static_cast<std::uint64_t>(rr.region));
+    mix(static_cast<std::uint64_t>(rr.executions));
+    mix(static_cast<std::uint64_t>(rr.skipped));
+    for (int c : rr.counts) mix(static_cast<std::uint64_t>(c));
+    for (int k : rr.crash_kinds) mix(static_cast<std::uint64_t>(k));
+  }
+  return h;
+}
+
+Measured measure(const apps::App& app, const bench::BenchArgs& args,
+                 int jobs, int repeats) {
+  core::CampaignConfig cfg;
+  cfg.runs_per_region = args.runs;
+  cfg.seed = args.seed;
+  cfg.jobs = jobs;
+  cfg.regions = {core::Region::kRegularReg, core::Region::kStack,
+                 core::Region::kMessage};
+  Measured m;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::CampaignResult res = core::run_campaign(app, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    // Best-of-N: the minimum is the least scheduler-noise-polluted sample.
+    if (rep == 0 || s < m.seconds) m.seconds = s;
+    m.digest = digest_counts(res);  // identical every repeat (deterministic)
+  }
+  const int total = args.runs * static_cast<int>(cfg.regions.size());
+  m.runs_per_sec = m.seconds > 0 ? total / m.seconds : 0;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv, 60);
+  args.quiet = true;  // the ticker would dominate the measured loop
+  const int jobs =
+      args.jobs > 1
+          ? args.jobs
+          : static_cast<int>(util::ThreadPool::default_workers());
+
+  const apps::App app = small_wavetoy();
+  std::fprintf(stderr, "campaign throughput: %d runs/region, jobs 1 vs %d\n",
+               args.runs, jobs);
+  constexpr int kRepeats = 3;
+  const Measured serial = measure(app, args, 1, kRepeats);
+  const Measured par = measure(app, args, jobs, kRepeats);
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("campaign_throughput");
+  w.key("app").value(app.name);
+  w.key("runs_per_region").value(args.runs);
+  w.key("seed").value(args.seed);
+  w.key("jobs").value(jobs);
+  w.key("serial_seconds").value(serial.seconds);
+  w.key("serial_runs_per_sec").value(serial.runs_per_sec);
+  w.key("parallel_seconds").value(par.seconds);
+  w.key("parallel_runs_per_sec").value(par.runs_per_sec);
+  w.key("speedup").value(serial.seconds > 0 && par.seconds > 0
+                             ? serial.seconds / par.seconds
+                             : 0.0);
+  w.key("aggregates_identical").value(serial.digest == par.digest);
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+  return serial.digest == par.digest ? 0 : 1;
+}

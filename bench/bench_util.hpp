@@ -3,6 +3,8 @@
 // Every bench accepts:
 //   --runs=N     injections per region (default varies; paper used 400-500)
 //   --seed=S     campaign seed
+//   --jobs=N     campaign worker threads (default: hardware concurrency;
+//                aggregates are bit-identical at any N)
 //   --csv        additionally emit CSV rows
 //   --quiet      suppress the progress ticker
 #pragma once
@@ -16,12 +18,14 @@
 #include "core/sampling.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fsim::bench {
 
 struct BenchArgs {
   int runs = 200;
   std::uint64_t seed = 0xfa;
+  int jobs = 1;
   bool csv = false;
   bool json = false;
   bool quiet = false;
@@ -32,6 +36,8 @@ inline BenchArgs parse_args(int argc, char** argv, int default_runs) {
   BenchArgs a;
   a.runs = static_cast<int>(cli.num("runs", default_runs));
   a.seed = static_cast<std::uint64_t>(cli.num("seed", 0xfa));
+  a.jobs = static_cast<int>(cli.num(
+      "jobs", static_cast<std::int64_t>(util::ThreadPool::default_workers())));
   a.csv = cli.flag("csv");
   a.json = cli.flag("json");
   a.quiet = cli.flag("quiet");
@@ -44,6 +50,7 @@ inline core::CampaignConfig campaign_config(const BenchArgs& a) {
   core::CampaignConfig cfg;
   cfg.runs_per_region = a.runs;
   cfg.seed = a.seed;
+  cfg.jobs = a.jobs;
   if (!a.quiet) {
     cfg.progress = [](core::Region region, int done, int total) {
       if (done == 1 || done == total || done % 50 == 0)
@@ -53,6 +60,32 @@ inline core::CampaignConfig campaign_config(const BenchArgs& a) {
     };
   }
   return cfg;
+}
+
+/// Execute `n` independent injected runs and return the outcomes in index
+/// order — identical to a serial loop over i regardless of `jobs`, since
+/// each run's seed depends only on its index. Used by the ablation drivers
+/// whose custom loops need per-outcome fields the campaign aggregates drop.
+template <typename SeedFn>
+inline std::vector<core::RunOutcome> parallel_outcomes(
+    const apps::App& app, const svm::Program& program,
+    const core::Golden& golden, core::Region region,
+    const core::FaultDictionary* dict, int n, SeedFn seed_of, int jobs) {
+  std::vector<core::RunOutcome> outs(static_cast<std::size_t>(n));
+  if (jobs <= 1) {
+    for (int i = 0; i < n; ++i)
+      outs[static_cast<std::size_t>(i)] =
+          core::run_injected(app, program, golden, region, dict, seed_of(i));
+    return outs;
+  }
+  util::ThreadPool pool(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < n; ++i)
+    pool.submit([&outs, &app, &program, &golden, region, dict, &seed_of, i] {
+      outs[static_cast<std::size_t>(i)] =
+          core::run_injected(app, program, golden, region, dict, seed_of(i));
+    });
+  pool.wait();
+  return outs;
 }
 
 /// Optional machine-readable emission shared by the table benches.

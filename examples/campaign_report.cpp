@@ -2,7 +2,7 @@
 // regions of one application and print a paper-style results table.
 //
 //   ./build/examples/campaign_report --app=minimd --runs=50
-//       --regions=regular,message
+//       --regions=regular,message --jobs=8
 #include <cstdio>
 #include <sstream>
 
@@ -10,6 +10,7 @@
 #include "core/campaign.hpp"
 #include "core/sampling.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace fsim;
@@ -22,6 +23,8 @@ int main(int argc, char** argv) {
 
   core::CampaignConfig cfg;
   cfg.runs_per_region = runs;
+  cfg.jobs = static_cast<int>(cli.num(
+      "jobs", static_cast<std::int64_t>(util::ThreadPool::default_workers())));
   cfg.regions.clear();
   std::istringstream rs(regions);
   std::string tok;

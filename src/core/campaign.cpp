@@ -1,22 +1,102 @@
 #include "core/campaign.hpp"
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 
 #include "core/dictionary.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fsim::core {
+
+namespace {
+
+std::uint64_t run_seed_for(const CampaignConfig& config, Region region,
+                           int i) {
+  return util::hash_seed({config.seed, static_cast<std::uint64_t>(region),
+                          static_cast<std::uint64_t>(i)});
+}
+
+void accumulate(RegionResult& rr, const RunOutcome& out) {
+  ++rr.executions;
+  if (!out.fault_applied) ++rr.skipped;
+  ++rr.counts[static_cast<unsigned>(out.manifestation)];
+  if (out.manifestation == Manifestation::kCrash)
+    ++rr.crash_kinds[static_cast<unsigned>(out.crash_kind)];
+}
+
+/// Fan the (region, run-index) grid out over a worker pool. Each worker
+/// accumulates lock-free into its own RegionResult partials; partials are
+/// merged worker 0..W-1 per region afterwards. All aggregate fields are
+/// integer sums of per-run contributions, so the merged result is
+/// bit-identical to the serial path regardless of scheduling.
+void run_regions_parallel(const apps::App& app, const svm::Program& program,
+                          const CampaignConfig& config,
+                          const std::array<std::unique_ptr<FaultDictionary>,
+                                           kNumRegions>& dicts,
+                          CampaignResult& result) {
+  util::ThreadPool pool(static_cast<std::size_t>(config.jobs));
+  const std::size_t nregions = config.regions.size();
+  // partials[worker][region_index]
+  std::vector<std::vector<RegionResult>> partials(
+      pool.workers(), std::vector<RegionResult>(nregions));
+  std::vector<std::atomic<int>> done(nregions);
+  for (auto& d : done) d.store(0, std::memory_order_relaxed);
+  std::mutex progress_mu;
+
+  for (std::size_t ri = 0; ri < nregions; ++ri) {
+    const Region region = config.regions[ri];
+    const FaultDictionary* dict = dicts[static_cast<unsigned>(region)].get();
+    for (int i = 0; i < config.runs_per_region; ++i) {
+      const std::uint64_t run_seed = run_seed_for(config, region, i);
+      pool.submit([&, ri, region, dict, run_seed] {
+        const RunOutcome out = run_injected(app, program, result.golden,
+                                            region, dict, run_seed);
+        const int w = util::ThreadPool::current_worker();
+        accumulate(partials[static_cast<std::size_t>(w)][ri], out);
+        if (config.progress) {
+          const int d = 1 + done[ri].fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(progress_mu);
+          config.progress(region, d, config.runs_per_region);
+        }
+      });
+    }
+  }
+  pool.wait();
+
+  for (std::size_t ri = 0; ri < nregions; ++ri) {
+    RegionResult rr;
+    rr.region = config.regions[ri];
+    for (std::size_t w = 0; w < pool.workers(); ++w) {
+      const RegionResult& p = partials[w][ri];
+      rr.executions += p.executions;
+      rr.skipped += p.skipped;
+      for (unsigned m = 0; m < kNumManifestations; ++m)
+        rr.counts[m] += p.counts[m];
+      for (unsigned k = 0; k < kNumCrashKinds; ++k)
+        rr.crash_kinds[k] += p.crash_kinds[k];
+    }
+    result.regions.push_back(rr);
+  }
+}
+
+}  // namespace
 
 CampaignResult run_campaign(const apps::App& app,
                             const CampaignConfig& config) {
   CampaignResult result;
   result.app = app.name;
   result.seed = config.seed;
-  result.golden = run_golden(app);
+
+  // Link exactly once per campaign: the assembler is deterministic and the
+  // image is only ever read after this point, so the golden run, the fault
+  // dictionaries and every injected run (on any worker) share it.
+  const svm::Program program = app.link();
+  result.golden = run_golden(app, program);
 
   // Dictionaries for the static regions are built once per campaign from
   // the linked image (§3.2: "several thousand addresses randomly selected").
-  const svm::Program program = app.link();
   util::Rng dict_rng(util::hash_seed({config.seed, 0xd1c7}));
   std::array<std::unique_ptr<FaultDictionary>, kNumRegions> dicts;
   for (Region r : {Region::kText, Region::kData, Region::kBss}) {
@@ -24,21 +104,20 @@ CampaignResult run_campaign(const apps::App& app,
         program, r, dict_rng, config.dictionary_entries);
   }
 
+  if (config.jobs > 1) {
+    run_regions_parallel(app, program, config, dicts, result);
+    return result;
+  }
+
+  // Serial path (jobs <= 1): the exact legacy execution order.
   for (Region region : config.regions) {
     RegionResult rr;
     rr.region = region;
     const FaultDictionary* dict = dicts[static_cast<unsigned>(region)].get();
     for (int i = 0; i < config.runs_per_region; ++i) {
-      const std::uint64_t run_seed = util::hash_seed(
-          {config.seed, static_cast<std::uint64_t>(region),
-           static_cast<std::uint64_t>(i)});
-      const RunOutcome out =
-          run_injected(app, result.golden, region, dict, run_seed);
-      ++rr.executions;
-      if (!out.fault_applied) ++rr.skipped;
-      ++rr.counts[static_cast<unsigned>(out.manifestation)];
-      if (out.manifestation == Manifestation::kCrash)
-        ++rr.crash_kinds[static_cast<unsigned>(out.crash_kind)];
+      const RunOutcome out = run_injected(app, program, result.golden, region,
+                                          dict, run_seed_for(config, region, i));
+      accumulate(rr, out);
       if (config.progress)
         config.progress(region, i + 1, config.runs_per_region);
     }

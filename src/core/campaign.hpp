@@ -22,7 +22,16 @@ struct CampaignConfig {
       Region::kStack,      Region::kText,  Region::kHeap,  Region::kMessage,
   };
   std::size_t dictionary_entries = 4096;
-  /// Called after every run (for progress display); may be empty.
+  /// Worker threads for the injected runs. 1 (the default) preserves the
+  /// exact legacy serial execution order; N > 1 fans the (region, run)
+  /// grid out over a util::ThreadPool. Aggregates are bit-identical either
+  /// way: every run's seed depends only on (campaign seed, region, index),
+  /// and per-worker partial counts are merged in a fixed order.
+  int jobs = 1;
+  /// Called after every run (for progress display); may be empty. With
+  /// jobs > 1 the callback is invoked under a mutex (never concurrently
+  /// with itself); `done` is the region's monotonically increasing
+  /// completion count, not a run index.
   std::function<void(Region, int done, int total)> progress;
 };
 

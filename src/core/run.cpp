@@ -41,7 +41,11 @@ const std::string& baseline_stream(const apps::App& app,
 }  // namespace
 
 Golden run_golden(const apps::App& app, std::uint64_t seed) {
-  const svm::Program program = app.link();
+  return run_golden(app, app.link(), seed);
+}
+
+Golden run_golden(const apps::App& app, const svm::Program& program,
+                  std::uint64_t seed) {
   simmpi::WorldOptions opts = app.world;
   opts.seed = seed;
   simmpi::World world(program, opts);
@@ -67,11 +71,19 @@ Golden run_golden(const apps::App& app, std::uint64_t seed) {
 RunOutcome run_injected(const apps::App& app, const Golden& golden,
                         Region region, const FaultDictionary* dictionary,
                         std::uint64_t seed) {
+  // Convenience path for one-off runs; campaigns link once and use the
+  // shared-Program overload to avoid ~3200 redundant assembler passes.
+  return run_injected(app, app.link(), golden, region, dictionary, seed);
+}
+
+RunOutcome run_injected(const apps::App& app, const svm::Program& program,
+                        const Golden& golden, Region region,
+                        const FaultDictionary* dictionary,
+                        std::uint64_t seed) {
   util::Rng rng(seed);
-  // One Program per run keeps runs fully independent; linking is cheap
-  // relative to execution but campaigns may pass a shared dictionary that
-  // references the identical layout (the assembler is deterministic).
-  const svm::Program program = app.link();
+  // Every run builds its own World from the shared image, so runs stay
+  // fully independent (and safe to execute concurrently); the fault is
+  // injected into the World's memory, never into `program`.
   simmpi::WorldOptions opts = app.world;
   opts.seed = 1;  // the same world seed as the golden run: differences in
                   // the baseline stream are attributable to the fault alone

@@ -25,6 +25,13 @@ struct Golden {
 /// complete — a broken golden run invalidates the whole campaign.
 Golden run_golden(const apps::App& app, std::uint64_t seed = 1);
 
+/// Same, against an already-linked image. The assembler is deterministic,
+/// so drivers that execute many runs (campaigns, single-run CLI paths) link
+/// once and share the `Program` read-only across every run — including
+/// across the campaign executor's worker threads.
+Golden run_golden(const apps::App& app, const svm::Program& program,
+                  std::uint64_t seed = 1);
+
 /// Run once with a single injected fault and classify the outcome.
 ///  * memory/register regions: the fault fires at a uniformly random global
 ///    instruction t in [0, golden.instructions);
@@ -33,5 +40,10 @@ Golden run_golden(const apps::App& app, std::uint64_t seed = 1);
 RunOutcome run_injected(const apps::App& app, const Golden& golden,
                         Region region, const FaultDictionary* dictionary,
                         std::uint64_t seed);
+
+/// Same, against a shared pre-linked image (see run_golden above).
+RunOutcome run_injected(const apps::App& app, const svm::Program& program,
+                        const Golden& golden, Region region,
+                        const FaultDictionary* dictionary, std::uint64_t seed);
 
 }  // namespace fsim::core

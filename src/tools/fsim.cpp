@@ -21,6 +21,7 @@
 #include "trace/profile.hpp"
 #include "trace/working_set.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -31,7 +32,7 @@ int usage() {
       "usage: fsim <command> [options]\n"
       "  run       --app=NAME --region=REGION [--seed=N]\n"
       "  campaign  --app=NAME [--runs=N] [--regions=a,b,...] [--seed=N]\n"
-      "            [--json] [--csv] [--quiet]\n"
+      "            [--jobs=N] [--json] [--csv] [--quiet]\n"
       "  profile   [--app=NAME]\n"
       "  trace     --app=NAME [--rank=K] [--points=N]\n"
       "  mix       --app=NAME [--rank=K]\n"
@@ -45,16 +46,18 @@ int cmd_run(const util::Cli& cli) {
   const core::Region region = core::parse_region(cli.str("region", "regular"));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.num("seed", 1));
 
-  const core::Golden golden = core::run_golden(app);
+  // Link once; the golden run, the dictionary and the injected run all
+  // read the same image (the assembler is deterministic anyway).
+  const svm::Program program = app.link();
+  const core::Golden golden = core::run_golden(app, program);
   std::unique_ptr<core::FaultDictionary> dict;
   if (region == core::Region::kText || region == core::Region::kData ||
       region == core::Region::kBss) {
-    const svm::Program program = app.link();
     util::Rng drng(seed ^ 0xd1c7);
     dict = std::make_unique<core::FaultDictionary>(program, region, drng);
   }
   const core::RunOutcome out =
-      core::run_injected(app, golden, region, dict.get(), seed);
+      core::run_injected(app, program, golden, region, dict.get(), seed);
   std::printf("app:     %s\nregion:  %s\nseed:    %llu\nfault:   %s\n",
               app.name.c_str(), core::region_name(region),
               static_cast<unsigned long long>(seed),
@@ -72,6 +75,9 @@ int cmd_campaign(const util::Cli& cli) {
   core::CampaignConfig cfg;
   cfg.runs_per_region = static_cast<int>(cli.num("runs", 200));
   cfg.seed = static_cast<std::uint64_t>(cli.num("seed", 0xfa));
+  cfg.jobs = static_cast<int>(cli.num(
+      "jobs",
+      static_cast<std::int64_t>(util::ThreadPool::default_workers())));
   if (cli.has("regions")) {
     cfg.regions.clear();
     std::istringstream rs(cli.str("regions", ""));
@@ -87,9 +93,10 @@ int cmd_campaign(const util::Cli& cli) {
       if (done == total) std::fprintf(stderr, "\n");
     };
   }
-  std::printf("campaign: %s, %d runs/region, seed %llu (d = %.1f%% at 95%%)\n\n",
+  std::printf("campaign: %s, %d runs/region, seed %llu, %d jobs "
+              "(d = %.1f%% at 95%%)\n\n",
               app.name.c_str(), cfg.runs_per_region,
-              static_cast<unsigned long long>(cfg.seed),
+              static_cast<unsigned long long>(cfg.seed), cfg.jobs,
               100.0 * core::estimation_error(
                           0.05, static_cast<std::uint64_t>(cfg.runs_per_region)));
   const core::CampaignResult res = core::run_campaign(app, cfg);

@@ -1,0 +1,105 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fsim::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, WorkerIndicesAreStableAndInRange) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3u);
+  EXPECT_EQ(ThreadPool::current_worker(), -1);  // not a pool thread
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  for (int i = 0; i < 300; ++i)
+    pool.submit([&hits] {
+      const int w = ThreadPool::current_worker();
+      ASSERT_GE(w, 0);
+      ASSERT_LT(w, 3);
+      hits[static_cast<std::size_t>(w)].fetch_add(1);
+    });
+  pool.wait();
+  int total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 300);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 20; ++i)
+    pool.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // Later tasks still executed; the error does not cancel submitted work.
+  EXPECT_EQ(ran.load(), 20);
+  // The error was consumed: the pool is reusable and clean afterwards.
+  pool.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPool, BoundedQueueAppliesBackpressure) {
+  ThreadPool pool(1, /*queue_capacity=*/2);
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  // Block the single worker, then fill the queue.
+  pool.submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::atomic<bool> submitted{false};
+  std::thread producer([&] {
+    for (int i = 0; i < 6; ++i)
+      pool.submit([&done] { done.fetch_add(1); });
+    submitted.store(true);
+  });
+  // The producer must stall: 6 tasks cannot fit a capacity-2 queue while
+  // the worker is blocked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(submitted.load());
+  release.store(true);
+  producer.join();
+  pool.wait();
+  EXPECT_EQ(done.load(), 6);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1);
+      });
+    // No wait(): the destructor itself must finish all 50.
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ZeroWorkerRequestStillWorks) {
+  ThreadPool pool(0);  // clamped to one worker
+  EXPECT_EQ(pool.workers(), 1u);
+  std::atomic<int> done{0};
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(done.load(), 1);
+}
+
+}  // namespace
+}  // namespace fsim::util
