@@ -1,0 +1,123 @@
+// Pre-injection pruning speedup: injected runs per second with --prune=on
+// vs --prune=off on a register-heavy wavetoy campaign, emitted as JSON.
+// Pruning classifies statically dead register flips Correct without
+// resuming the run, so the two configurations must produce bit-identical
+// aggregates; the JSON records a digest over every prune-invariant field
+// (executions, skipped, manifestation counts, crash kinds, activation
+// split) so regressions in either speed or equivalence are visible from
+// the same artifact.
+//
+//   bench_prune_speedup [--runs=N] [--seed=S] [--jobs=N]
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "apps/app.hpp"
+#include "bench_util.hpp"
+#include "util/json.hpp"
+
+using namespace fsim;
+
+namespace {
+
+apps::App small_wavetoy() {
+  apps::WavetoyConfig cfg;
+  cfg.ranks = 4;
+  cfg.columns = 8;
+  cfg.rows = 8;
+  cfg.steps = 8;
+  cfg.cold_functions = 10;
+  cfg.cold_heap_arrays = 1;
+  return apps::make_wavetoy(cfg);
+}
+
+struct Measured {
+  double seconds = 0;
+  double runs_per_sec = 0;
+  int pruned = 0;
+  std::uint64_t digest = 0;  // checksum of the prune-invariant aggregates
+};
+
+std::uint64_t digest_counts(const core::CampaignResult& res) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  for (const auto& rr : res.regions) {
+    mix(static_cast<std::uint64_t>(rr.region));
+    mix(static_cast<std::uint64_t>(rr.executions));
+    mix(static_cast<std::uint64_t>(rr.skipped));
+    for (int c : rr.counts) mix(static_cast<std::uint64_t>(c));
+    for (int k : rr.crash_kinds) mix(static_cast<std::uint64_t>(k));
+    // The activation split is injection-side (tagged before the run is
+    // resumed or short-circuited), so it too must match across modes.
+    // rr.pruned is intentionally NOT part of the digest: it differs by
+    // construction (0 with pruning off).
+    for (int e : rr.act_executions) mix(static_cast<std::uint64_t>(e));
+    for (const auto& per_class : rr.act_counts)
+      for (int c : per_class) mix(static_cast<std::uint64_t>(c));
+  }
+  return h;
+}
+
+Measured measure(const apps::App& app, const bench::BenchArgs& args,
+                 bool prune, int repeats) {
+  core::CampaignConfig cfg;
+  cfg.runs_per_region = args.runs;
+  cfg.seed = args.seed;
+  cfg.jobs = args.jobs > 1 ? args.jobs : 1;
+  cfg.prune = prune;
+  // Register faults only: that is the region pruning short-circuits.
+  cfg.regions = {core::Region::kRegularReg};
+  Measured m;
+  for (int rep = 0; rep < repeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::CampaignResult res = core::run_campaign(app, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    // Best-of-N: the minimum is the least scheduler-noise-polluted sample.
+    if (rep == 0 || s < m.seconds) m.seconds = s;
+    m.digest = digest_counts(res);  // identical every repeat (deterministic)
+    m.pruned = 0;
+    for (const auto& rr : res.regions) m.pruned += rr.pruned;
+  }
+  m.runs_per_sec = m.seconds > 0 ? args.runs / m.seconds : 0;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv, 120);
+  args.quiet = true;
+
+  const apps::App app = small_wavetoy();
+  std::fprintf(stderr, "prune speedup: %d register runs, prune on vs off\n",
+               args.runs);
+  constexpr int kRepeats = 3;
+  const Measured off = measure(app, args, false, kRepeats);
+  const Measured on = measure(app, args, true, kRepeats);
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("prune_speedup");
+  w.key("app").value(app.name);
+  w.key("runs").value(args.runs);
+  w.key("seed").value(args.seed);
+  w.key("pruned_runs").value(on.pruned);
+  w.key("pruned_share").value(args.runs > 0
+                                  ? static_cast<double>(on.pruned) / args.runs
+                                  : 0.0);
+  w.key("unpruned_seconds").value(off.seconds);
+  w.key("unpruned_runs_per_sec").value(off.runs_per_sec);
+  w.key("pruned_seconds").value(on.seconds);
+  w.key("pruned_runs_per_sec").value(on.runs_per_sec);
+  w.key("speedup").value(off.seconds > 0 && on.seconds > 0
+                             ? off.seconds / on.seconds
+                             : 0.0);
+  w.key("aggregates_identical").value(on.digest == off.digest);
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+  return on.digest == off.digest && on.pruned > 0 ? 0 : 1;
+}

@@ -41,6 +41,9 @@ struct App {
   /// Hang timeout: budget = factor * fault-free instruction count (§5.1
   /// waits one minute past the expected completion time).
   double hang_budget_factor = 3.0;
+  /// Symbol-name prefixes whose `fsim lint` warnings are intentional and
+  /// suppressed (the cold-code regions exist precisely to be unreachable).
+  std::vector<std::string> lint_suppress;
 
   /// Assemble the user unit together with the MPI stub library.
   svm::Program link() const;

@@ -550,6 +550,10 @@ tvar: .space 8
   app.world.quantum = 192;
   app.world.quantum_jitter = 0;
   app.baseline = BaselineStream::kOutputFile;
+  // Intentional lint findings: at_* cold functions are unreachable by
+  // construction, and the climatology tables model the paper's large,
+  // mostly-untouched static data (cold by design).
+  app.lint_suppress = {"at_", "clim_coeffs", "climatology"};
   return app;
 }
 

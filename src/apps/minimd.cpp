@@ -561,6 +561,9 @@ workarea: .space 4096
   app.world.quantum = 192;
   app.world.quantum_jitter = cfg.jitter;  // nondeterministic arrival order
   app.baseline = BaselineStream::kConsole;
+  // Intentional lint findings: md_* cold functions are unreachable by
+  // construction; `workarea` is a cold scratch region.
+  app.lint_suppress = {"md_", "workarea"};
   return app;
 }
 

@@ -422,6 +422,9 @@ wbloop:
   app.world.quantum = 256;
   app.world.quantum_jitter = 0;  // wavetoy is deterministic
   app.baseline = BaselineStream::kOutputFile;
+  // Intentional lint findings: the wt_* cold functions are unreachable by
+  // construction (§6.1.2), and `diag` is a cold write-only buffer.
+  app.lint_suppress = {"wt_", "diag"};
   return app;
 }
 

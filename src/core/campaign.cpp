@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "core/dictionary.hpp"
+#include "svm/analysis/analysis.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -24,6 +25,14 @@ void accumulate(RegionResult& rr, const RunOutcome& out) {
   ++rr.counts[static_cast<unsigned>(out.manifestation)];
   if (out.manifestation == Manifestation::kCrash)
     ++rr.crash_kinds[static_cast<unsigned>(out.crash_kind)];
+  if (out.pruned) ++rr.pruned;
+  if (out.activation != Activation::kUnknown) {
+    const unsigned a = out.activation == Activation::kDead
+                           ? RegionResult::kDeadIdx
+                           : RegionResult::kLiveIdx;
+    ++rr.act_executions[a];
+    ++rr.act_counts[a][static_cast<unsigned>(out.manifestation)];
+  }
 }
 
 /// Fan the (region, run-index) grid out over a worker pool. Each worker
@@ -35,7 +44,7 @@ void run_regions_parallel(const apps::App& app, const svm::Program& program,
                           const CampaignConfig& config,
                           const std::array<std::unique_ptr<FaultDictionary>,
                                            kNumRegions>& dicts,
-                          CampaignResult& result) {
+                          const RunContext& ctx, CampaignResult& result) {
   util::ThreadPool pool(static_cast<std::size_t>(config.jobs));
   const std::size_t nregions = config.regions.size();
   // partials[worker][region_index]
@@ -52,7 +61,7 @@ void run_regions_parallel(const apps::App& app, const svm::Program& program,
       const std::uint64_t run_seed = run_seed_for(config, region, i);
       pool.submit([&, ri, region, dict, run_seed] {
         const RunOutcome out = run_injected(app, program, result.golden,
-                                            region, dict, run_seed);
+                                            region, dict, run_seed, ctx);
         const int w = util::ThreadPool::current_worker();
         accumulate(partials[static_cast<std::size_t>(w)][ri], out);
         if (config.progress) {
@@ -76,6 +85,12 @@ void run_regions_parallel(const apps::App& app, const svm::Program& program,
         rr.counts[m] += p.counts[m];
       for (unsigned k = 0; k < kNumCrashKinds; ++k)
         rr.crash_kinds[k] += p.crash_kinds[k];
+      rr.pruned += p.pruned;
+      for (unsigned a = 0; a < 2; ++a) {
+        rr.act_executions[a] += p.act_executions[a];
+        for (unsigned m = 0; m < kNumManifestations; ++m)
+          rr.act_counts[a][m] += p.act_counts[a][m];
+      }
     }
     result.regions.push_back(rr);
   }
@@ -104,8 +119,22 @@ CampaignResult run_campaign(const apps::App& app,
         program, r, dict_rng, config.dictionary_entries);
   }
 
+  // Static analysis of the linked image, built once and shared read-only
+  // by every worker: liveness tags register faults (and prunes the
+  // provably-dead ones when config.prune), reachability and the symbol
+  // access sets tag the static-region dictionary entries.
+  const svm::analysis::ProgramAnalysis analysis(program);
+  if (auto& d = dicts[static_cast<unsigned>(Region::kText)]; d)
+    d->annotate([&](svm::Addr a) { return analysis.text_reachable(a); });
+  for (Region r : {Region::kData, Region::kBss}) {
+    if (auto& d = dicts[static_cast<unsigned>(r)]; d)
+      d->annotate(
+          [&](svm::Addr a) { return analysis.data_symbol_referenced(a); });
+  }
+  const RunContext ctx{&analysis, config.prune};
+
   if (config.jobs > 1) {
-    run_regions_parallel(app, program, config, dicts, result);
+    run_regions_parallel(app, program, config, dicts, ctx, result);
     return result;
   }
 
@@ -115,8 +144,9 @@ CampaignResult run_campaign(const apps::App& app,
     rr.region = region;
     const FaultDictionary* dict = dicts[static_cast<unsigned>(region)].get();
     for (int i = 0; i < config.runs_per_region; ++i) {
-      const RunOutcome out = run_injected(app, program, result.golden, region,
-                                          dict, run_seed_for(config, region, i));
+      const RunOutcome out =
+          run_injected(app, program, result.golden, region, dict,
+                       run_seed_for(config, region, i), ctx);
       accumulate(rr, out);
       if (config.progress)
         config.progress(region, i + 1, config.runs_per_region);
@@ -177,12 +207,64 @@ std::string format_campaign(const CampaignResult& result) {
     out += "Crash breakdown:";
     for (unsigned k = 1; k < kNumCrashKinds; ++k) {
       if (totals[k] == 0) continue;
-      out += " " + std::string(crash_kind_name(static_cast<CrashKind>(k))) +
-             " " + util::fmt_pct(totals[k], crashes) + "%";
+      // Separate appends: GCC 12's -Wrestrict misfires on chained
+      // temporary-string operator+ at -O2.
+      out += " ";
+      out += crash_kind_name(static_cast<CrashKind>(k));
+      out += " ";
+      out += util::fmt_pct(totals[k], crashes);
+      out += "%";
     }
     out += "\n";
   }
+
+  // Footnote: how many register injections were decided statically.
+  int pruned = 0, reg_execs = 0;
+  for (const auto& rr : result.regions) {
+    pruned += rr.pruned;
+    if (rr.region == Region::kRegularReg) reg_execs += rr.executions;
+  }
+  if (pruned > 0) {
+    out += "Pruned (statically dead register targets): ";
+    out += std::to_string(pruned);
+    out += " of ";
+    out += std::to_string(reg_execs);
+    out += " register injections classified Correct without resuming\n";
+  }
   return out;
+}
+
+std::string format_activation(const CampaignResult& result) {
+  bool any = false;
+  for (const auto& rr : result.regions)
+    if (rr.act_executions[0] + rr.act_executions[1] > 0) any = true;
+  if (!any) return std::string();
+
+  util::Table t("Static Activation Split (" + result.app + ")");
+  t.header({"Region", "Live Execs", "Live Errors (%)", "Dead Execs",
+            "Dead Errors (%)", "Dead Share (%)"});
+  for (const auto& rr : result.regions) {
+    const int live = rr.act_executions[RegionResult::kLiveIdx];
+    const int dead = rr.act_executions[RegionResult::kDeadIdx];
+    if (live + dead == 0) continue;
+    auto errors_of = [&](unsigned a) {
+      int e = 0;
+      for (unsigned m = 1; m < kNumManifestations; ++m)
+        e += rr.act_counts[a][m];
+      return e;
+    };
+    const int live_err = errors_of(RegionResult::kLiveIdx);
+    const int dead_err = errors_of(RegionResult::kDeadIdx);
+    t.row({
+        region_name(rr.region),
+        std::to_string(live),
+        live ? util::fmt_pct(live_err, live) : "-",
+        std::to_string(dead),
+        dead ? util::fmt_pct(dead_err, dead) : "-",
+        util::fmt_pct(dead, live + dead),
+    });
+  }
+  return t.ascii();
 }
 
 }  // namespace fsim::core

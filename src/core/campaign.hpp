@@ -28,6 +28,12 @@ struct CampaignConfig {
   /// way: every run's seed depends only on (campaign seed, region, index),
   /// and per-worker partial counts are merged in a fixed order.
   int jobs = 1;
+  /// Pre-injection pruning: classify register faults whose target is
+  /// statically dead at the pause point as Correct without resuming the
+  /// run. Sound (the flip is provably overwritten before any read), so
+  /// aggregates are identical with pruning on or off; on merely skips the
+  /// simulation of runs whose outcome is already decided.
+  bool prune = true;
   /// Called after every run (for progress display); may be empty. With
   /// jobs > 1 the callback is invoked under a mutex (never concurrently
   /// with itself); `done` is the region's monotonically increasing
@@ -41,6 +47,14 @@ struct RegionResult {
   int skipped = 0;  // no viable target existed (counted as correct runs)
   std::array<int, kNumManifestations> counts{};  // indexed by Manifestation
   std::array<int, kNumCrashKinds> crash_kinds{};  // breakdown of Crash
+  int pruned = 0;  // register runs decided statically, never resumed
+
+  /// Activation-class split (paper §6-§7): executions and manifestation
+  /// counts for faults the static analysis tagged live vs dead. Runs with
+  /// an unknown class (uncovered targets) appear in neither bucket.
+  static constexpr unsigned kLiveIdx = 0, kDeadIdx = 1;
+  std::array<int, 2> act_executions{};
+  std::array<std::array<int, kNumManifestations>, 2> act_counts{};
 
   /// Manifested faults: every outcome other than Correct.
   int errors() const noexcept {
@@ -78,5 +92,10 @@ CampaignResult run_campaign(const apps::App& app, const CampaignConfig& config);
 /// Render the campaign as a paper-style table. Detection columns are shown
 /// only when any detected outcome occurred (Table 2 omits them for Cactus).
 std::string format_campaign(const CampaignResult& result);
+
+/// Render the activation-class split: per region, executions and error
+/// rates for statically-live vs statically-dead targets (empty string when
+/// no region has activation data).
+std::string format_activation(const CampaignResult& result);
 
 }  // namespace fsim::core

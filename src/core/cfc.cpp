@@ -2,14 +2,15 @@
 
 #include <cstring>
 
+#include "svm/analysis/cfg.hpp"
 #include "svm/isa.hpp"
 
 namespace fsim::core {
 
 using svm::Addr;
 using svm::Instr;
-using svm::Op;
 using svm::Segment;
+using svm::analysis::FlowKind;
 
 ControlFlowChecker::ControlFlowChecker(const svm::Program& program,
                                        svm::Machine& machine)
@@ -79,53 +80,51 @@ void ControlFlowChecker::on_fetch(Addr addr) {
     flag(addr, "edge");
     return;
   }
+  // The legal-successor model is the same flow_of/rel_target classification
+  // the static analyzer builds its CFG from (svm/analysis/cfg.hpp), so the
+  // run-time checker and the offline analysis can never disagree.
   const Instr in = svm::decode(*word);
   const Addr fallthrough = prev + 4;
-  const Addr rel_target =
-      prev + 4 + static_cast<Addr>(in.simm()) * 4;
+  const Addr rel_target = svm::analysis::rel_target(prev, in);
 
   auto ok_edge = [&](bool ok) {
     if (!ok) flag(addr, "edge");
   };
 
-  switch (in.op) {
-    case Op::kBeq:
-    case Op::kBne:
-    case Op::kBlt:
-    case Op::kBge:
-    case Op::kBltu:
-    case Op::kBgeu:
+  switch (svm::analysis::flow_of(*word)) {
+    case FlowKind::kBranch:
       ok_edge(addr == fallthrough || addr == rel_target);
       break;
-    case Op::kJmp:
+    case FlowKind::kJump:
       ok_edge(addr == rel_target);
       break;
-    case Op::kCall:
+    case FlowKind::kCall:
       if (addr != rel_target) {
         flag(addr, "edge");
         break;
       }
       if (shadow_stack_.size() < 1024) shadow_stack_.push_back(fallthrough);
       break;
-    case Op::kCallr:
+    case FlowKind::kIndirectCall:
       // Indirect call: any code address is a legal target in this (coarse)
       // model, but the return site is still tracked precisely.
       if (shadow_stack_.size() < 1024) shadow_stack_.push_back(fallthrough);
       break;
-    case Op::kJmpr:
+    case FlowKind::kIndirectJump:
       break;  // indirect jump: coarse model accepts any code target
-    case Op::kRet:
+    case FlowKind::kRet:
       if (shadow_stack_.empty() || shadow_stack_.back() != addr) {
         flag(addr, "return");
       } else {
         shadow_stack_.pop_back();
       }
       break;
-    case Op::kSys:
+    case FlowKind::kSys:
       // A blocked syscall re-fetches its own pc when resumed.
       ok_edge(addr == fallthrough || addr == prev);
       break;
-    default:
+    case FlowKind::kIllegal:
+    case FlowKind::kFallthrough:
       ok_edge(addr == fallthrough);
       break;
   }

@@ -73,4 +73,14 @@ const DictEntry& FaultDictionary::pick(util::Rng& rng) const {
   return entries_[rng.below(entries_.size())];
 }
 
+void FaultDictionary::annotate(
+    const std::function<bool(svm::Addr)>& is_live) {
+  dead_entries_ = 0;
+  for (DictEntry& e : entries_) {
+    e.activation = is_live(e.address) ? Activation::kLive : Activation::kDead;
+    if (e.activation == Activation::kDead) ++dead_entries_;
+  }
+  annotated_ = true;
+}
+
 }  // namespace fsim::core

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,9 @@ namespace fsim::core {
 struct DictEntry {
   svm::Addr address = 0;
   std::string symbol;  // owning symbol, for reporting
+  /// Static activation class (set by annotate(); kLive until then so
+  /// un-annotated dictionaries behave exactly as before).
+  Activation activation = Activation::kUnknown;
 };
 
 class FaultDictionary {
@@ -38,6 +42,15 @@ class FaultDictionary {
   /// Uniformly pick an entry.
   const DictEntry& pick(util::Rng& rng) const;
 
+  /// Tag every entry with its static activation class. `is_live` receives
+  /// the entry's address and returns whether the corrupted byte can be
+  /// consumed (text: block reachability; data/BSS: symbol referenced from
+  /// reachable code).
+  void annotate(const std::function<bool(svm::Addr)>& is_live);
+  bool annotated() const noexcept { return annotated_; }
+  /// Entries tagged dead by annotate() (0 before annotation).
+  std::size_t dead_entries() const noexcept { return dead_entries_; }
+
   /// Total user bytes the dictionary was sampled from.
   std::uint64_t candidate_bytes() const noexcept { return candidate_bytes_; }
   /// Bytes excluded because their symbol collides with a library name.
@@ -47,6 +60,8 @@ class FaultDictionary {
   std::vector<DictEntry> entries_;
   std::uint64_t candidate_bytes_ = 0;
   std::uint64_t excluded_bytes_ = 0;
+  std::size_t dead_entries_ = 0;
+  bool annotated_ = false;
 };
 
 }  // namespace fsim::core

@@ -82,6 +82,15 @@ std::optional<AppliedFault> Injector::inject_into_rank(simmpi::World& world,
       const unsigned bit = static_cast<unsigned>(rng.below(32));
       m.regs().gpr[reg] = util::flip_bit32(m.regs().gpr[reg], bit);
       what << "r" << reg << " bit " << bit;
+      // Static verdict at the paused pc: a register outside the may-live
+      // set is overwritten before any read on every path, so the flip is
+      // provably inactive. (pc outside the analyzed code — e.g. at the
+      // exit sentinel — stays kUnknown.)
+      if (analysis_ != nullptr && analysis_->covers(m.regs().pc)) {
+        fault.activation = analysis_->register_dead_at(m.regs().pc, reg)
+                               ? Activation::kDead
+                               : Activation::kLive;
+      }
       break;
     }
     case Region::kFpReg:
@@ -97,6 +106,7 @@ std::optional<AppliedFault> Injector::inject_into_rank(simmpi::World& world,
       if (!m.memory().flip_bit(e.address, bit)) return std::nullopt;
       what << region_name(region_) << " '" << e.symbol << "' at "
            << hexaddr(e.address) << " bit " << bit;
+      fault.activation = e.activation;
       break;
     }
     case Region::kHeap: {

@@ -12,6 +12,7 @@
 #include "core/dictionary.hpp"
 #include "core/outcome.hpp"
 #include "simmpi/world.hpp"
+#include "svm/analysis/analysis.hpp"
 #include "util/rng.hpp"
 
 namespace fsim::core {
@@ -21,14 +22,20 @@ struct AppliedFault {
   Region region{};
   int rank = -1;
   std::string target;  // e.g. "r7 bit 12", "data sym 'coef_table'+5 bit 3"
+  /// Static activation class of the target: for register faults, liveness
+  /// of the hit register at the rank's paused pc; for dictionary faults,
+  /// the (annotated) entry's class. kUnknown for everything else.
+  Activation activation = Activation::kUnknown;
 };
 
 class Injector {
  public:
   /// `dictionary` is required for the static regions (Text/Data/BSS) and
-  /// ignored otherwise.
-  Injector(Region region, const FaultDictionary* dictionary = nullptr)
-      : region_(region), dictionary_(dictionary) {}
+  /// ignored otherwise. `analysis`, when given, tags register faults with
+  /// their static activation class (the pruning precondition).
+  Injector(Region region, const FaultDictionary* dictionary = nullptr,
+           const svm::analysis::ProgramAnalysis* analysis = nullptr)
+      : region_(region), dictionary_(dictionary), analysis_(analysis) {}
 
   /// Flip one bit in a uniformly chosen target of the given region in a
   /// random rank of the (paused) world. Returns nullopt when no viable
@@ -41,6 +48,7 @@ class Injector {
 
   Region region_;
   const FaultDictionary* dictionary_;
+  const svm::analysis::ProgramAnalysis* analysis_;
 };
 
 }  // namespace fsim::core

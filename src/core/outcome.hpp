@@ -97,6 +97,25 @@ constexpr const char* crash_kind_name(CrashKind k) noexcept {
   return "?";
 }
 
+/// Static activation class of an injected fault (the analyzer's verdict on
+/// whether the corrupted state can ever be consumed; see svm/analysis/).
+/// Mirrors the paper's §6-§7 activation discussion: most flips land in
+/// state that is overwritten before it is read.
+enum class Activation : std::uint8_t {
+  kUnknown = 0,  // target not covered by the static analysis
+  kLive,         // some path may consume the corrupted state
+  kDead,         // provably overwritten before any read / never referenced
+};
+
+constexpr const char* activation_name(Activation a) noexcept {
+  switch (a) {
+    case Activation::kUnknown: return "unknown";
+    case Activation::kLive: return "live";
+    case Activation::kDead: return "dead";
+  }
+  return "?";
+}
+
 /// Result of one injected execution.
 struct RunOutcome {
   Manifestation manifestation = Manifestation::kCorrect;
@@ -106,6 +125,8 @@ struct RunOutcome {
   std::uint64_t instructions = 0;
   bool fault_applied = false;     // false when no viable target existed
   CrashKind crash_kind = CrashKind::kNone;  // set when manifestation==kCrash
+  Activation activation = Activation::kUnknown;  // static class of the target
+  bool pruned = false;  // classified Correct statically, without resuming
 
   // Message-region diagnostics (§6.2 header-vs-payload analysis).
   bool msg_fired = false;       // the armed channel fault actually flipped

@@ -45,6 +45,23 @@ std::string campaign_json(const CampaignResult& result) {
       w.key(crash_kind_name(static_cast<CrashKind>(k))).value(rr.crash_kinds[k]);
     }
     w.end_object();
+    w.key("pruned").value(rr.pruned);
+    if (rr.act_executions[0] + rr.act_executions[1] > 0) {
+      w.key("activation").begin_object();
+      const char* names[2] = {"live", "dead"};
+      for (unsigned a = 0; a < 2; ++a) {
+        w.key(names[a]).begin_object();
+        w.key("executions").value(rr.act_executions[a]);
+        w.key("manifestations").begin_object();
+        for (unsigned m = 0; m < kNumManifestations; ++m) {
+          w.key(manifestation_name(static_cast<Manifestation>(m)))
+              .value(rr.act_counts[a][m]);
+        }
+        w.end_object();
+        w.end_object();
+      }
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -57,13 +74,14 @@ std::string campaign_csv(const CampaignResult& result) {
   os << "app,region,executions,errors,error_rate";
   for (unsigned m = 0; m < kNumManifestations; ++m)
     os << ',' << manifestation_name(static_cast<Manifestation>(m));
-  os << '\n';
+  os << ",pruned,act_live,act_dead\n";
   for (const auto& rr : result.regions) {
     os << result.app << ',' << region_name(rr.region) << ',' << rr.executions
        << ',' << rr.errors() << ',' << rr.error_rate();
     for (unsigned m = 0; m < kNumManifestations; ++m)
       os << ',' << rr.counts[m];
-    os << '\n';
+    os << ',' << rr.pruned << ',' << rr.act_executions[0] << ','
+       << rr.act_executions[1] << '\n';
   }
   return os.str();
 }

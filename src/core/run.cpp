@@ -80,6 +80,14 @@ RunOutcome run_injected(const apps::App& app, const svm::Program& program,
                         const Golden& golden, Region region,
                         const FaultDictionary* dictionary,
                         std::uint64_t seed) {
+  return run_injected(app, program, golden, region, dictionary, seed,
+                      RunContext{});
+}
+
+RunOutcome run_injected(const apps::App& app, const svm::Program& program,
+                        const Golden& golden, Region region,
+                        const FaultDictionary* dictionary, std::uint64_t seed,
+                        const RunContext& ctx) {
   util::Rng rng(seed);
   // Every run builds its own World from the shared image, so runs stay
   // fully independent (and safe to execute concurrently); the fault is
@@ -117,7 +125,7 @@ RunOutcome run_injected(const apps::App& app, const svm::Program& program,
     outcome.injected_at = byte;
   }
 
-  Injector injector(region, dictionary);
+  Injector injector(region, dictionary, ctx.analysis);
   bool injected = region == Region::kMessage;
 
   while (world.status() == simmpi::JobStatus::kRunning &&
@@ -128,9 +136,24 @@ RunOutcome run_injected(const apps::App& app, const svm::Program& program,
       if (auto fault = injector.inject(world, rng)) {
         injected = true;
         outcome.fault_applied = true;
+        outcome.activation = fault->activation;
         outcome.injected_at = world.global_instructions();
         desc << "rank " << fault->rank << ": " << fault->target << " at t="
              << outcome.injected_at;
+        // Pre-injection pruning: a register provably dead at the paused pc
+        // is overwritten before any read on every path, so resuming would
+        // replay the golden run to completion. Classify Correct now and
+        // skip the simulation. Restricted to register faults — memory
+        // activation classes are reporting-only (a derived pointer can
+        // reach a "dead" symbol's bytes, so they carry no proof).
+        if (ctx.prune && region == Region::kRegularReg &&
+            fault->activation == Activation::kDead) {
+          outcome.pruned = true;
+          outcome.manifestation = Manifestation::kCorrect;
+          outcome.fault_description = desc.str() + " (pruned: statically dead)";
+          outcome.instructions = world.global_instructions();
+          return outcome;
+        }
       }
     }
     world.advance();

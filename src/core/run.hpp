@@ -11,6 +11,10 @@
 #include "core/outcome.hpp"
 #include "util/rng.hpp"
 
+namespace fsim::svm::analysis {
+class ProgramAnalysis;
+}
+
 namespace fsim::core {
 
 /// Everything the classifier needs from the fault-free reference execution.
@@ -45,5 +49,24 @@ RunOutcome run_injected(const apps::App& app, const Golden& golden,
 RunOutcome run_injected(const apps::App& app, const svm::Program& program,
                         const Golden& golden, Region region,
                         const FaultDictionary* dictionary, std::uint64_t seed);
+
+/// Static-analysis context for an injected run.
+struct RunContext {
+  /// Built once per campaign from the linked image; tags faults with their
+  /// static activation class. May be null (no tagging, no pruning).
+  const svm::analysis::ProgramAnalysis* analysis = nullptr;
+  /// When true, a register fault whose target is statically dead at the
+  /// pause point is classified Correct immediately, without resuming the
+  /// run — sound because the flipped bit is overwritten before any read on
+  /// every path, so the full run would replay the golden execution.
+  bool prune = false;
+};
+
+/// Same, with activation tagging and optional pre-injection pruning. The
+/// context-free overloads delegate here with a default (inactive) context.
+RunOutcome run_injected(const apps::App& app, const svm::Program& program,
+                        const Golden& golden, Region region,
+                        const FaultDictionary* dictionary, std::uint64_t seed,
+                        const RunContext& ctx);
 
 }  // namespace fsim::core

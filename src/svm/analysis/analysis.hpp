@@ -1,0 +1,59 @@
+// One-stop bundle of the static analyses a campaign consumes: the CFG,
+// sound liveness (for pre-injection pruning) and the reachable symbol
+// access sets (for fault-dictionary activation annotation). Built once per
+// linked image and shared read-only across campaign workers.
+#pragma once
+
+#include "svm/analysis/cfg.hpp"
+#include "svm/analysis/lint.hpp"
+#include "svm/analysis/liveness.hpp"
+
+namespace fsim::svm::analysis {
+
+class ProgramAnalysis {
+ public:
+  explicit ProgramAnalysis(const Program& program)
+      : cfg_(program),
+        liveness_(cfg_, DefUseModel::kSound),
+        symbol_access_(scan_symbol_access(cfg_)) {}
+
+  const Cfg& cfg() const noexcept { return cfg_; }
+  const Liveness& liveness() const noexcept { return liveness_; }
+
+  /// True if `gpr` is provably overwritten before any read on every path
+  /// from `pc` — the pruning proof. Never true outside the code ranges.
+  bool register_dead_at(Addr pc, unsigned gpr) const noexcept {
+    return cfg_.in_code(pc) && liveness_.dead_at(pc, gpr);
+  }
+
+  /// Is `pc` inside the analyzed code (user or library text)?
+  bool covers(Addr pc) const noexcept { return cfg_.in_code(pc); }
+
+  /// Static reachability of a text address from the entry point. Byte
+  /// addresses are mapped to the instruction word containing them: a
+  /// fault in any byte of a reachable instruction is reachable.
+  bool text_reachable(Addr a) const {
+    return cfg_.reachable_addr(a & ~Addr{3});
+  }
+
+  /// Does reachable code reference the data/BSS symbol owning `addr`?
+  /// (Unknown addresses are conservatively considered referenced.)
+  bool data_symbol_referenced(Addr addr) const {
+    const Symbol* s = cfg_.program().symbol_covering(addr);
+    if (s == nullptr) return true;
+    auto it = symbol_access_.find(s->address);
+    if (it == symbol_access_.end()) return true;
+    return it->second.referenced();
+  }
+
+  const std::map<Addr, SymbolAccess>& symbol_access() const noexcept {
+    return symbol_access_;
+  }
+
+ private:
+  Cfg cfg_;
+  Liveness liveness_;
+  std::map<Addr, SymbolAccess> symbol_access_;
+};
+
+}  // namespace fsim::svm::analysis

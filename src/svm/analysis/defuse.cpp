@@ -1,0 +1,248 @@
+#include "svm/analysis/defuse.hpp"
+
+#include "svm/syscall.hpp"
+
+namespace fsim::svm::analysis {
+
+int sys_arg_count(std::uint16_t number) noexcept {
+  switch (static_cast<Sys>(number)) {
+    case Sys::kClock:
+    case Sys::kRand:
+    case Sys::kMpiInit:
+    case Sys::kMpiFinalize:
+    case Sys::kMpiCommRank:
+    case Sys::kMpiCommSize:
+    case Sys::kMpiBarrier:
+      return 0;
+    case Sys::kExit:
+    case Sys::kPrintI32:
+    case Sys::kOutI32:
+    case Sys::kOutBinF64:
+    case Sys::kMalloc:
+    case Sys::kFree:
+    case Sys::kMpiErrhandlerSet:
+    case Sys::kMpiWait:
+    case Sys::kMpiTest:
+    case Sys::kMpiSendrecv:
+      return 1;
+    case Sys::kPrintStr:
+    case Sys::kOutStr:
+    case Sys::kOutF64:
+    case Sys::kConF64:
+    case Sys::kAssertFail:
+    case Sys::kChecksum:
+    case Sys::kRealloc:
+    case Sys::kMpiProbe:
+      return 2;
+    case Sys::kMpiBcast:
+    case Sys::kMpiAllreduceSum:
+      return 3;
+    case Sys::kMpiSend:
+    case Sys::kMpiRecv:
+    case Sys::kMpiReduceSum:
+    case Sys::kMpiIsend:
+    case Sys::kMpiIrecv:
+    case Sys::kMpiGather:
+    case Sys::kMpiScatter:
+      return 4;
+  }
+  return 4;  // unknown syscall: assume it reads every argument register
+}
+
+bool sys_writes_result(std::uint16_t number) noexcept {
+  switch (static_cast<Sys>(number)) {
+    case Sys::kMalloc:
+    case Sys::kClock:
+    case Sys::kChecksum:
+    case Sys::kRand:
+    case Sys::kRealloc:
+    case Sys::kMpiCommRank:
+    case Sys::kMpiCommSize:
+    case Sys::kMpiRecv:
+    case Sys::kMpiIsend:
+    case Sys::kMpiIrecv:
+    case Sys::kMpiWait:
+    case Sys::kMpiTest:
+    case Sys::kMpiProbe:
+    case Sys::kMpiSendrecv:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RegEffect instr_effect(std::uint32_t word, DefUseModel model) noexcept {
+  const Instr in = decode(word);
+  RegEffect e;
+  const std::uint16_t ra = reg_bit(in.a);
+  const std::uint16_t rb = reg_bit(in.b);
+  const std::uint16_t rc = reg_bit(in.c());
+  const std::uint16_t sp = reg_bit(kSp);
+  const std::uint16_t fp = reg_bit(kFp);
+  if (!is_valid_opcode(static_cast<std::uint8_t>(in.op))) return e;
+
+  switch (in.op) {
+    case Op::kNop:
+      break;
+    case Op::kMov:
+      e.use = rb;
+      e.def = ra;
+      break;
+    case Op::kLdi:
+    case Op::kLui:
+      e.def = ra;
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDivs:
+    case Op::kRems:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kSra:
+    case Op::kSlt:
+    case Op::kSltu:
+      e.use = rb | rc;
+      e.def = ra;
+      break;
+    case Op::kAddi:
+    case Op::kMuli:
+    case Op::kAndi:
+    case Op::kOri:
+    case Op::kXori:
+    case Op::kShli:
+    case Op::kShri:
+    case Op::kSrai:
+      e.use = rb;
+      e.def = ra;
+      break;
+    case Op::kLdw:
+    case Op::kLdb:
+      e.use = rb;
+      e.def = ra;
+      break;
+    case Op::kStw:
+    case Op::kStb:
+      e.use = ra | rb;
+      break;
+    case Op::kPush:
+      e.use = ra | sp;
+      e.def = sp;
+      break;
+    case Op::kPop:
+      e.use = sp;
+      e.def = ra | sp;
+      break;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      e.use = ra | rb;
+      break;
+    case Op::kJmp:
+      break;
+    case Op::kJmpr:
+      e.use = ra;
+      e.uses_all = true;  // target unknown: assume everything stays live
+      break;
+    case Op::kCall:
+      e.use = sp;
+      e.def = sp;
+      e.frame_delta = 0;  // balanced by the callee's ret
+      break;
+    case Op::kCallr:
+      e.use = ra | sp;
+      e.def = sp;
+      e.uses_all = true;
+      break;
+    case Op::kRet:
+      e.use = sp;
+      e.def = sp;
+      break;
+    case Op::kEnter:
+      e.use = sp | fp;
+      e.def = sp | fp;
+      e.frame_delta = 1;
+      break;
+    case Op::kLeave:
+      e.use = fp;
+      e.def = sp | fp;
+      e.frame_delta = -1;
+      break;
+    case Op::kSys: {
+      std::uint16_t args = 0;
+      const int n = sys_arg_count(in.imm);
+      for (int r = 1; r <= n; ++r) args |= reg_bit(static_cast<unsigned>(r));
+      e.use = args;
+      // kSound: a blocked or failing syscall may leave r1 untouched, so a
+      // def here would be a guaranteed-kill claim we cannot make.
+      if (model == DefUseModel::kLint && sys_writes_result(in.imm))
+        e.def = reg_bit(1);
+      break;
+    }
+
+    case Op::kFld:
+      e.use = rb;
+      e.fp_delta = 1;
+      break;
+    case Op::kFst:
+      e.use = rb;
+      e.fp_needs = 1;
+      e.fp_delta = -1;
+      break;
+    case Op::kFstnp:
+      e.use = rb;
+      e.fp_needs = 1;
+      break;
+    case Op::kFldz:
+    case Op::kFld1:
+      e.fp_delta = 1;
+      break;
+    case Op::kFaddp:
+    case Op::kFsubp:
+    case Op::kFmulp:
+    case Op::kFdivp:
+      e.fp_needs = 2;
+      e.fp_delta = -1;
+      break;
+    case Op::kFchs:
+    case Op::kFabs:
+    case Op::kFsqrt:
+    case Op::kFsin:
+    case Op::kFcos:
+      e.fp_needs = 1;
+      break;
+    case Op::kFxch:
+      e.fp_needs = static_cast<std::int8_t>((in.imm & 7) + 1);
+      break;
+    case Op::kFdup:
+      e.fp_needs = static_cast<std::int8_t>((in.imm & 7) + 1);
+      e.fp_delta = 1;
+      break;
+    case Op::kFcmp:
+      e.fp_needs = 2;
+      e.def = ra;
+      break;
+    case Op::kF2i:
+      e.fp_needs = 1;
+      e.fp_delta = -1;
+      e.def = ra;
+      break;
+    case Op::kI2f:
+      e.use = ra;
+      e.fp_delta = 1;
+      break;
+    case Op::kFpop:
+      e.fp_needs = 1;
+      e.fp_delta = -1;
+      break;
+  }
+  return e;
+}
+
+}  // namespace fsim::svm::analysis

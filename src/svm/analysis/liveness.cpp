@@ -1,0 +1,96 @@
+#include "svm/analysis/liveness.hpp"
+
+namespace fsim::svm::analysis {
+
+namespace {
+
+/// Backward transfer of one instruction over a live set.
+std::uint16_t transfer(std::uint32_t word, DefUseModel model,
+                       std::uint16_t live) {
+  const RegEffect e = instr_effect(word, model);
+  if (e.uses_all) return kAllGpr;
+  return static_cast<std::uint16_t>((live & ~e.def) | e.use);
+}
+
+}  // namespace
+
+Liveness::Liveness(const Cfg& cfg, DefUseModel model)
+    : cfg_(&cfg), model_(model) {
+  const auto& blocks = cfg.blocks();
+  block_in_.assign(blocks.size(), 0);
+
+  // Round-robin backward sweeps to a fixpoint. Call and ret edges make
+  // the dependence graph interprocedural, but the transfer is monotone
+  // over a finite lattice, so repeated sweeps converge.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t id = static_cast<std::uint32_t>(blocks.size()); id-- > 0;) {
+      std::uint16_t live = block_live_out(id);
+      const Block& b = blocks[id];
+      for (Addr pc = b.end; pc > b.begin;) {
+        pc -= 4;
+        live = transfer(cfg.word_at(pc), model_, live);
+      }
+      if (live != block_in_[id]) {
+        block_in_[id] = live;
+        changed = true;
+      }
+    }
+  }
+
+  // Freeze per-instruction live-in sets now the block solution is stable.
+  instr_in_.assign(cfg.num_instructions(), kAllGpr);
+  for (std::uint32_t id = 0; id < blocks.size(); ++id) {
+    std::uint16_t live = block_live_out(id);
+    const Block& b = blocks[id];
+    for (Addr pc = b.end; pc > b.begin;) {
+      pc -= 4;
+      live = transfer(cfg.word_at(pc), model_, live);
+      instr_in_[cfg.instr_index(pc)] = live;
+    }
+  }
+}
+
+std::uint16_t Liveness::block_live_out(std::uint32_t id) const {
+  const Block& b = cfg_->block(id);
+  std::uint16_t out = 0;
+  switch (b.term) {
+    case FlowKind::kCall:
+      if (b.call_target >= 0) {
+        out = block_in_[static_cast<std::uint32_t>(b.call_target)];
+      } else {
+        out = kAllGpr;  // call outside the analyzed code: unknown callee
+      }
+      break;
+    case FlowKind::kIndirectCall:
+      out = kAllGpr;  // unknown callee (uses_all makes live-in ALL anyway)
+      break;
+    case FlowKind::kRet:
+      // Union over every function this block can return from. A ret not
+      // attributable to any detected function gets the conservative ALL.
+      if (cfg_->functions_of(id).empty()) out = kAllGpr;
+      for (std::uint32_t fid : cfg_->functions_of(id)) {
+        const Cfg::Function& fn = cfg_->functions()[fid];
+        if (fn.address_taken) out = kAllGpr;
+        if (fn.entry == cfg_->entry_block())
+          out |= reg_bit(1);  // ret to the exit sentinel reads r1
+        for (std::uint32_t site : fn.return_sites) out |= block_in_[site];
+      }
+      break;
+    case FlowKind::kIllegal:
+      break;  // traps: nothing is read afterwards
+    default:
+      for (std::uint32_t s : b.succ) out |= block_in_[s];
+      // falls_off_end / bad_target paths trap, contributing nothing.
+      break;
+  }
+  return out;
+}
+
+std::uint16_t Liveness::live_in(Addr pc) const noexcept {
+  const std::uint32_t i = cfg_->instr_index(pc);
+  return i == Cfg::kNoBlock ? kAllGpr : instr_in_[i];
+}
+
+}  // namespace fsim::svm::analysis

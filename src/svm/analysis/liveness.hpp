@@ -1,0 +1,55 @@
+// Backward register liveness over the static CFG.
+//
+// Interprocedural and context-insensitive: a call block's live-out is the
+// callee entry's live-in, and a ret block's live-out is the union of the
+// live-ins of every return site of its function — so registers that are
+// live across a call but untouched by the callee flow through the callee
+// body unharmed. The entry function's ret additionally keeps r1 live
+// (the exit sentinel reads it as the exit code), and an address-taken
+// function's ret conservatively keeps everything live.
+//
+// Under DefUseModel::kSound the result is a may-live over-approximation:
+// if a GPR is *not* in live_in(pc), every path from pc overwrites it
+// before reading it — the proof obligation pre-injection pruning needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "svm/analysis/cfg.hpp"
+#include "svm/analysis/defuse.hpp"
+
+namespace fsim::svm::analysis {
+
+class Liveness {
+ public:
+  Liveness(const Cfg& cfg, DefUseModel model);
+
+  /// GPR bitmask live on entry to the instruction at `pc`.
+  /// Conservatively kAllGpr outside the analyzed code ranges.
+  std::uint16_t live_in(Addr pc) const noexcept;
+
+  /// True if `gpr` is statically dead at `pc`: overwritten before any
+  /// read on every path. Never true outside the code ranges.
+  bool dead_at(Addr pc, unsigned gpr) const noexcept {
+    return (live_in(pc) & reg_bit(gpr)) == 0;
+  }
+
+  /// Live-in mask of a whole block (its first instruction).
+  std::uint16_t block_live_in(std::uint32_t block) const {
+    return block_in_[block];
+  }
+
+  const Cfg& cfg() const noexcept { return *cfg_; }
+  DefUseModel model() const noexcept { return model_; }
+
+ private:
+  std::uint16_t block_live_out(std::uint32_t id) const;
+
+  const Cfg* cfg_;
+  DefUseModel model_;
+  std::vector<std::uint16_t> block_in_;   // per block
+  std::vector<std::uint16_t> instr_in_;   // per instruction (text then lib)
+};
+
+}  // namespace fsim::svm::analysis

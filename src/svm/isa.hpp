@@ -98,8 +98,10 @@ struct Instr {
   std::uint8_t b = 0;   // second register
   std::uint16_t imm = 0;
 
-  std::int32_t simm() const noexcept { return static_cast<std::int16_t>(imm); }
-  std::uint8_t c() const noexcept { return imm & 0xf; }  // third register
+  constexpr std::int32_t simm() const noexcept {
+    return static_cast<std::int16_t>(imm);
+  }
+  constexpr std::uint8_t c() const noexcept { return imm & 0xf; }  // third reg
 };
 
 constexpr std::uint32_t encode(Op op, unsigned a = 0, unsigned b = 0,

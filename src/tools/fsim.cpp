@@ -6,6 +6,8 @@
 //   fsim profile   [--app=NAME]            (Table 1 per-process profiles)
 //   fsim trace     --app=atmo [--rank=1]   (working-set curves, Tables 5-7)
 //   fsim mix       --app=wavetoy [--rank=1]  (instruction mix / hot spots)
+//   fsim lint      [--app=NAME|all] [--json] [--werror] [--suppress=p1,p2]
+//                  (static diagnostics; nonzero exit on errors)
 //
 // Every command is deterministic given its --seed.
 #include <cstdio>
@@ -17,6 +19,7 @@
 #include "core/report.hpp"
 #include "core/sampling.hpp"
 #include "simmpi/world.hpp"
+#include "svm/analysis/analysis.hpp"
 #include "trace/mix.hpp"
 #include "trace/profile.hpp"
 #include "trace/working_set.hpp"
@@ -32,10 +35,12 @@ int usage() {
       "usage: fsim <command> [options]\n"
       "  run       --app=NAME --region=REGION [--seed=N]\n"
       "  campaign  --app=NAME [--runs=N] [--regions=a,b,...] [--seed=N]\n"
-      "            [--jobs=N] [--json] [--csv] [--quiet]\n"
+      "            [--jobs=N] [--prune=on|off] [--activation]\n"
+      "            [--json] [--csv] [--quiet]\n"
       "  profile   [--app=NAME]\n"
       "  trace     --app=NAME [--rank=K] [--points=N]\n"
       "  mix       --app=NAME [--rank=K]\n"
+      "  lint      [--app=NAME|all] [--json] [--werror] [--suppress=p1,p2]\n"
       "apps: wavetoy | minimd | atmo | jacobi\n"
       "regions: regular | fp | bss | data | stack | text | heap | message\n");
   return 2;
@@ -85,6 +90,15 @@ int cmd_campaign(const util::Cli& cli) {
     while (std::getline(rs, tok, ','))
       cfg.regions.push_back(core::parse_region(tok));
   }
+  if (cli.has("prune")) {
+    const std::string v = cli.str("prune", "on");
+    if (v != "on" && v != "off") {
+      std::fprintf(stderr, "option --prune expects on|off, got '%s'\n",
+                   v.c_str());
+      return 1;
+    }
+    cfg.prune = v == "on";
+  }
   if (!cli.flag("quiet")) {
     cfg.progress = [](core::Region region, int done, int total) {
       if (done == 1 || done == total || done % 50 == 0)
@@ -106,8 +120,52 @@ int cmd_campaign(const util::Cli& cli) {
     std::printf("%s", core::campaign_csv(res).c_str());
   } else {
     std::printf("%s", core::format_campaign(res).c_str());
+    if (cli.flag("activation")) {
+      const std::string act = core::format_activation(res);
+      if (!act.empty()) std::printf("\n%s", act.c_str());
+    }
   }
   return 0;
+}
+
+int lint_one(const apps::App& app, const util::Cli& cli, bool werror) {
+  const svm::Program program = app.link();
+  const svm::analysis::Cfg cfg(program);
+  const svm::analysis::Liveness lint_liveness(
+      cfg, svm::analysis::DefUseModel::kLint);
+  svm::analysis::LintOptions opts;
+  opts.suppress = app.lint_suppress;
+  if (cli.has("suppress")) {
+    opts.suppress.clear();  // explicit list replaces the app's defaults
+    std::istringstream ss(cli.str("suppress", ""));
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+      if (!tok.empty()) opts.suppress.push_back(tok);
+  }
+  const svm::analysis::LintResult res =
+      svm::analysis::run_lint(cfg, lint_liveness, opts);
+  if (cli.flag("json")) {
+    std::printf("%s\n", svm::analysis::lint_json(res, app.name).c_str());
+  } else {
+    std::printf("%s", svm::analysis::format_lint(res, app.name).c_str());
+  }
+  if (res.errors > 0) return 1;
+  if (werror && res.warnings > 0) return 1;
+  return 0;
+}
+
+int cmd_lint(const util::Cli& cli) {
+  const bool werror = cli.flag("werror");
+  const std::string which = cli.str("app", "all");
+  int rc = 0;
+  if (which == "all") {
+    for (const auto& name : apps::app_names())
+      rc |= lint_one(apps::make_app(name), cli, werror);
+    rc |= lint_one(apps::make_app("jacobi"), cli, werror);
+  } else {
+    rc = lint_one(apps::make_app(which), cli, werror);
+  }
+  return rc;
 }
 
 int cmd_profile(const util::Cli& cli) {
@@ -170,6 +228,7 @@ int main(int argc, char** argv) {
     if (command == "profile") return cmd_profile(cli);
     if (command == "trace") return cmd_trace(cli);
     if (command == "mix") return cmd_mix(cli);
+    if (command == "lint") return cmd_lint(cli);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fsim %s: %s\n", command.c_str(), e.what());

@@ -1,0 +1,111 @@
+// Pre-injection pruning must be a pure shortcut: for a fixed seed the
+// campaign aggregates with --prune=on are bit-identical to --prune=off
+// (a statically dead register flip replays the golden run, so classifying
+// it Correct without resuming changes nothing observable), while actually
+// short-circuiting a nonzero share of the register injections.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "core/campaign.hpp"
+
+namespace fsim::core {
+namespace {
+
+apps::App tiny_wavetoy() {
+  apps::WavetoyConfig cfg;
+  cfg.ranks = 4;
+  cfg.columns = 8;
+  cfg.rows = 8;
+  cfg.steps = 8;
+  cfg.cold_functions = 10;
+  cfg.cold_heap_arrays = 1;
+  return apps::make_wavetoy(cfg);
+}
+
+CampaignConfig base_config() {
+  CampaignConfig cfg;
+  cfg.runs_per_region = 24;
+  cfg.seed = 0x9e2a;
+  cfg.jobs = 1;
+  cfg.regions = {Region::kRegularReg, Region::kText, Region::kBss};
+  return cfg;
+}
+
+void expect_same_aggregates(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t i = 0; i < a.regions.size(); ++i) {
+    const RegionResult& ra = a.regions[i];
+    const RegionResult& rb = b.regions[i];
+    EXPECT_EQ(ra.region, rb.region);
+    EXPECT_EQ(ra.executions, rb.executions);
+    EXPECT_EQ(ra.skipped, rb.skipped);
+    EXPECT_EQ(ra.counts, rb.counts) << region_name(ra.region);
+    EXPECT_EQ(ra.crash_kinds, rb.crash_kinds);
+    // Activation tagging is injection-side and seed-driven, so it too is
+    // independent of whether pruning short-circuits the run.
+    EXPECT_EQ(ra.act_executions, rb.act_executions);
+    EXPECT_EQ(ra.act_counts, rb.act_counts);
+  }
+}
+
+TEST(Prune, OnAndOffProduceIdenticalAggregates) {
+  const apps::App app = tiny_wavetoy();
+  CampaignConfig cfg = base_config();
+
+  cfg.prune = true;
+  const CampaignResult on = run_campaign(app, cfg);
+  cfg.prune = false;
+  const CampaignResult off = run_campaign(app, cfg);
+
+  expect_same_aggregates(on, off);
+
+  // Pruning must actually fire on the register region...
+  int pruned_on = 0, pruned_off = 0;
+  for (const auto& rr : on.regions) pruned_on += rr.pruned;
+  for (const auto& rr : off.regions) pruned_off += rr.pruned;
+  EXPECT_GT(pruned_on, 0);
+  // ...and never with pruning disabled.
+  EXPECT_EQ(pruned_off, 0);
+}
+
+TEST(Prune, PrunedRunsAreASubsetOfDeadCorrectRegisterRuns) {
+  const apps::App app = tiny_wavetoy();
+  CampaignConfig cfg = base_config();
+  cfg.prune = true;
+  const CampaignResult res = run_campaign(app, cfg);
+  for (const auto& rr : res.regions) {
+    if (rr.region != Region::kRegularReg) {
+      EXPECT_EQ(rr.pruned, 0) << "only register faults are pruned";
+      continue;
+    }
+    // Every pruned run is a dead-tagged Correct run.
+    EXPECT_LE(rr.pruned,
+              rr.act_counts[RegionResult::kDeadIdx]
+                           [static_cast<unsigned>(Manifestation::kCorrect)]);
+    // Soundness: dead-tagged register injections never manifest.
+    const auto& dead = rr.act_counts[RegionResult::kDeadIdx];
+    for (unsigned m = 1; m < kNumManifestations; ++m)
+      EXPECT_EQ(dead[m], 0) << manifestation_name(
+          static_cast<Manifestation>(m));
+  }
+}
+
+TEST(Prune, ParallelAggregatesMatchSerialWithPruningEnabled) {
+  const apps::App app = tiny_wavetoy();
+  CampaignConfig cfg = base_config();
+  cfg.prune = true;
+
+  cfg.jobs = 1;
+  const CampaignResult serial = run_campaign(app, cfg);
+  cfg.jobs = 4;
+  const CampaignResult parallel = run_campaign(app, cfg);
+
+  expect_same_aggregates(serial, parallel);
+  int ps = 0, pp = 0;
+  for (const auto& rr : serial.regions) ps += rr.pruned;
+  for (const auto& rr : parallel.regions) pp += rr.pruned;
+  EXPECT_EQ(ps, pp);
+}
+
+}  // namespace
+}  // namespace fsim::core
