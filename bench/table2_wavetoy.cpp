@@ -1,39 +1,11 @@
 // Regenerates Table 2: fault injection results for Cactus Wavetoy.
-#include <cstdio>
-
-#include "apps/app.hpp"
+// Routed through the batch executor (a single-entry batch); reference
+// rows and shape notes live in bench_util.hpp, shared with
+// tables234_batch which regenerates Tables 2-4 from one batch run.
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace fsim;
-  bench::BenchArgs args = bench::parse_args(argc, argv, 200);
-
-  std::printf("=== Table 2: Fault Injection Results (Cactus Wavetoy) ===\n");
-  bench::print_sampling_note(args.runs);
-
-  const apps::App app = apps::make_wavetoy();
-  const core::CampaignResult res =
-      core::run_campaign(app, bench::campaign_config(args));
-  std::printf("%s\n", core::format_campaign(res).c_str());
-
-  bench::print_reference(
-      "Paper reference (Table 2) — 500-2000 executions per region",
-      {
-          {"Regular Reg.", "62.8", "Crash 44 / Incorrect 56"},
-          {"FP Reg.", "4.0", "Crash 50 / Incorrect 50"},
-          {"BSS", "6.2", "Crash 19 / Incorrect 81"},
-          {"Data", "2.4", "Crash 50 / Incorrect 50"},
-          {"Stack", "12.7", "Crash 65 / Incorrect 35"},
-          {"Text", "6.7", "Crash 73 / Hang 18 / Incorrect 9"},
-          {"Heap", "5.0", "Crash 8 / Hang 72 / Incorrect 20"},
-          {"Message", "3.1", "Crash 26 / Hang 42 / Incorrect 32"},
-      });
-  std::printf(
-      "Shape targets: integer registers by far the most vulnerable; FP\n"
-      "registers and all memory regions low (<~15%%); messages nearly\n"
-      "harmless thanks to near-zero payload data and low-precision text\n"
-      "output; no Application/MPI Detected outcomes for Wavetoy.\n");
-
-  bench::emit_exports(args, res);
-  return 0;
+  const bench::BenchArgs args = bench::parse_args(argc, argv, 200);
+  return bench::run_table("wavetoy", args);
 }

@@ -1,39 +1,11 @@
 // Regenerates Table 3: fault injection results for NAMD (minimd analogue).
-#include <cstdio>
-
-#include "apps/app.hpp"
+// Routed through the batch executor (a single-entry batch); reference
+// rows and shape notes live in bench_util.hpp, shared with
+// tables234_batch which regenerates Tables 2-4 from one batch run.
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace fsim;
-  bench::BenchArgs args = bench::parse_args(argc, argv, 200);
-
-  std::printf("=== Table 3: Fault Injection Results (NAMD / minimd) ===\n");
-  bench::print_sampling_note(args.runs);
-
-  const apps::App app = apps::make_minimd();
-  const core::CampaignResult res =
-      core::run_campaign(app, bench::campaign_config(args));
-  std::printf("%s\n", core::format_campaign(res).c_str());
-
-  bench::print_reference(
-      "Paper reference (Table 3) — ~500 executions per region",
-      {
-          {"Regular Reg.", "38.5", "Crash 86 / Hang 10 / Incorrect 4"},
-          {"FP Reg.", "7.6", "Crash 39 / Incorrect 11 / App 47 / MPI 3"},
-          {"BSS", "1.8", "Crash 78 / App 22"},
-          {"Data", "4.2", "Crash 95 / App 5"},
-          {"Stack", "9.3", "Crash 74 / Hang 13 / App 6 / MPI 6 / Inc 7"},
-          {"Text", "8.4", "Crash 79 / Hang 7 / Inc 7 / App 8"},
-          {"Heap", "5.2", "Crash 81 / Hang 8 / App 3 / Inc 8"},
-          {"Message", "38.0", "Crash 26 / Incorrect 28 / App Detected 46"},
-      });
-  std::printf(
-      "Shape targets: message faults frequent (whole atom records cross the\n"
-      "wire) with the application checksum detecting roughly half; NaN and\n"
-      "bound checks convert register/memory faults into App Detected; the\n"
-      "registered MPI error handler fires only on argument errors.\n");
-
-  bench::emit_exports(args, res);
-  return 0;
+  const bench::BenchArgs args = bench::parse_args(argc, argv, 200);
+  return bench::run_table("minimd", args);
 }

@@ -1,43 +1,11 @@
 // Regenerates Table 4: fault injection results for CAM (atmo analogue).
-#include <cstdio>
-
-#include "apps/app.hpp"
+// Routed through the batch executor (a single-entry batch); reference
+// rows and shape notes live in bench_util.hpp, shared with
+// tables234_batch which regenerates Tables 2-4 from one batch run.
 #include "bench_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace fsim;
-  bench::BenchArgs args = bench::parse_args(argc, argv, 200);
-
-  std::printf("=== Table 4: Fault Injection Results (CAM / atmo) ===\n");
-  bench::print_sampling_note(args.runs);
-
-  const apps::App app = apps::make_atmo();
-  const core::CampaignResult res =
-      core::run_campaign(app, bench::campaign_config(args));
-  std::printf("%s\n", core::format_campaign(res).c_str());
-
-  bench::print_reference(
-      "Paper reference (Table 4) — 422-500 executions per region",
-      {
-          {"Regular Reg.", "41.8", "Crash 68 / Hang 26 / Inc 5 / App 1"},
-          {"FP Reg.", "8.0", "Crash 33 / Hang 15 / Inc 26 / App 26"},
-          {"BSS", "3.2", "Crash 62 / Inc 25 / App 13"},
-          {"Data", "2.8", "Crash 50 / Hang 50"},
-          {"Stack", "6.2", "Crash 71 / Hang 10 / Inc 13 / MPI 6"},
-          {"Text", "14.8", "Crash 78 / Hang 11 / Inc 7 / App 4"},
-          {"Heap", "2.6", "Crash 31 / Hang 69"},
-          {"Message", "24.2", "Crash 21 / Hang 4 / Inc 71 / App 3"},
-      });
-  std::printf(
-      "Shape targets: control-message-dominated traffic makes message\n"
-      "faults consequential; the moisture lower-bound and NaN checks yield\n"
-      "App Detected outcomes; memory regions stay low because the large\n"
-      "climatology table is cold.\n"
-      "Known fidelity gap: our cooperative scheduler parks blocked ranks,\n"
-      "while real MPICH busy-polls with live registers, so the integer-\n"
-      "register error rate here undershoots CAM's 41.8%% (see\n"
-      "EXPERIMENTS.md).\n");
-
-  bench::emit_exports(args, res);
-  return 0;
+  const bench::BenchArgs args = bench::parse_args(argc, argv, 200);
+  return bench::run_table("atmo", args);
 }

@@ -3,8 +3,10 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "core/dictionary.hpp"
+#include "util/status.hpp"
 #include "svm/analysis/analysis.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -35,125 +37,227 @@ void accumulate(RegionResult& rr, const RunOutcome& out) {
   }
 }
 
-/// Fan the (region, run-index) grid out over a worker pool. Each worker
-/// accumulates lock-free into its own RegionResult partials; partials are
-/// merged worker 0..W-1 per region afterwards. All aggregate fields are
-/// integer sums of per-run contributions, so the merged result is
-/// bit-identical to the serial path regardless of scheduling.
-void run_regions_parallel(const apps::App& app, const svm::Program& program,
-                          const CampaignConfig& config,
-                          const std::array<std::unique_ptr<FaultDictionary>,
-                                           kNumRegions>& dicts,
-                          const RunContext& ctx, CampaignResult& result) {
-  util::ThreadPool pool(static_cast<std::size_t>(config.jobs));
-  const std::size_t nregions = config.regions.size();
-  // partials[worker][region_index]
-  std::vector<std::vector<RegionResult>> partials(
-      pool.workers(), std::vector<RegionResult>(nregions));
-  std::vector<std::atomic<int>> done(nregions);
-  for (auto& d : done) d.store(0, std::memory_order_relaxed);
-  std::mutex progress_mu;
-
-  for (std::size_t ri = 0; ri < nregions; ++ri) {
-    const Region region = config.regions[ri];
-    const FaultDictionary* dict = dicts[static_cast<unsigned>(region)].get();
-    for (int i = 0; i < config.runs_per_region; ++i) {
-      const std::uint64_t run_seed = run_seed_for(config, region, i);
-      pool.submit([&, ri, region, dict, run_seed] {
-        const RunOutcome out = run_injected(app, program, result.golden,
-                                            region, dict, run_seed, ctx);
-        const int w = util::ThreadPool::current_worker();
-        accumulate(partials[static_cast<std::size_t>(w)][ri], out);
-        if (config.progress) {
-          const int d = 1 + done[ri].fetch_add(1, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(progress_mu);
-          config.progress(region, d, config.runs_per_region);
-        }
-      });
-    }
-  }
-  pool.wait();
-
-  for (std::size_t ri = 0; ri < nregions; ++ri) {
-    RegionResult rr;
-    rr.region = config.regions[ri];
-    for (std::size_t w = 0; w < pool.workers(); ++w) {
-      const RegionResult& p = partials[w][ri];
-      rr.executions += p.executions;
-      rr.skipped += p.skipped;
-      for (unsigned m = 0; m < kNumManifestations; ++m)
-        rr.counts[m] += p.counts[m];
-      for (unsigned k = 0; k < kNumCrashKinds; ++k)
-        rr.crash_kinds[k] += p.crash_kinds[k];
-      rr.pruned += p.pruned;
-      for (unsigned a = 0; a < 2; ++a) {
-        rr.act_executions[a] += p.act_executions[a];
-        for (unsigned m = 0; m < kNumManifestations; ++m)
-          rr.act_counts[a][m] += p.act_counts[a][m];
-      }
-    }
-    result.regions.push_back(rr);
+/// Field-wise integer sum of a partial into an aggregate. Every aggregate
+/// field is a sum of per-run contributions, so folding partials in any
+/// fixed order reproduces the serial result bit for bit.
+void merge_partial(RegionResult& rr, const RegionResult& p) {
+  rr.executions += p.executions;
+  rr.skipped += p.skipped;
+  for (unsigned m = 0; m < kNumManifestations; ++m)
+    rr.counts[m] += p.counts[m];
+  for (unsigned k = 0; k < kNumCrashKinds; ++k)
+    rr.crash_kinds[k] += p.crash_kinds[k];
+  rr.pruned += p.pruned;
+  for (unsigned a = 0; a < 2; ++a) {
+    rr.act_executions[a] += p.act_executions[a];
+    for (unsigned m = 0; m < kNumManifestations; ++m)
+      rr.act_counts[a][m] += p.act_counts[a][m];
   }
 }
 
-}  // namespace
+/// Per-campaign immutable state shared read-only by every worker: the
+/// linked image, the golden reference, the static-region fault
+/// dictionaries and the static analysis that tags/prunes injections.
+struct CampaignPlan {
+  svm::Program program;
+  std::array<std::unique_ptr<FaultDictionary>, kNumRegions> dicts;
+  std::unique_ptr<svm::analysis::ProgramAnalysis> analysis;
+  RunContext ctx;
+};
 
-CampaignResult run_campaign(const apps::App& app,
-                            const CampaignConfig& config) {
-  CampaignResult result;
+CampaignPlan prepare_campaign(const apps::App& app,
+                              const CampaignConfig& config,
+                              CampaignResult& result) {
+  CampaignPlan plan;
   result.app = app.name;
   result.seed = config.seed;
 
   // Link exactly once per campaign: the assembler is deterministic and the
   // image is only ever read after this point, so the golden run, the fault
   // dictionaries and every injected run (on any worker) share it.
-  const svm::Program program = app.link();
-  result.golden = run_golden(app, program);
+  plan.program = app.link();
+  result.golden = run_golden(app, plan.program);
 
   // Dictionaries for the static regions are built once per campaign from
   // the linked image (§3.2: "several thousand addresses randomly selected").
   util::Rng dict_rng(util::hash_seed({config.seed, 0xd1c7}));
-  std::array<std::unique_ptr<FaultDictionary>, kNumRegions> dicts;
   for (Region r : {Region::kText, Region::kData, Region::kBss}) {
-    dicts[static_cast<unsigned>(r)] = std::make_unique<FaultDictionary>(
-        program, r, dict_rng, config.dictionary_entries);
+    plan.dicts[static_cast<unsigned>(r)] = std::make_unique<FaultDictionary>(
+        plan.program, r, dict_rng, config.dictionary_entries);
   }
 
   // Static analysis of the linked image, built once and shared read-only
   // by every worker: liveness tags register faults (and prunes the
   // provably-dead ones when config.prune), reachability and the symbol
   // access sets tag the static-region dictionary entries.
-  const svm::analysis::ProgramAnalysis analysis(program);
-  if (auto& d = dicts[static_cast<unsigned>(Region::kText)]; d)
-    d->annotate([&](svm::Addr a) { return analysis.text_reachable(a); });
+  plan.analysis =
+      std::make_unique<svm::analysis::ProgramAnalysis>(plan.program);
+  if (auto& d = plan.dicts[static_cast<unsigned>(Region::kText)]; d)
+    d->annotate([&](svm::Addr a) { return plan.analysis->text_reachable(a); });
   for (Region r : {Region::kData, Region::kBss}) {
-    if (auto& d = dicts[static_cast<unsigned>(r)]; d)
-      d->annotate(
-          [&](svm::Addr a) { return analysis.data_symbol_referenced(a); });
+    if (auto& d = plan.dicts[static_cast<unsigned>(r)]; d)
+      d->annotate([&](svm::Addr a) {
+        return plan.analysis->data_symbol_referenced(a);
+      });
   }
-  const RunContext ctx{&analysis, config.prune};
+  plan.ctx = RunContext{plan.analysis.get(), config.prune};
+  return plan;
+}
 
-  if (config.jobs > 1) {
-    run_regions_parallel(app, program, config, dicts, ctx, result);
-    return result;
+}  // namespace
+
+CampaignSpec spec_of(const std::string& app_name,
+                     const CampaignConfig& config) {
+  CampaignSpec spec;
+  spec.app = app_name;
+  spec.runs_per_region = config.runs_per_region;
+  spec.seed = config.seed;
+  spec.regions = config.regions;
+  spec.dictionary_entries = config.dictionary_entries;
+  spec.prune = config.prune;
+  return spec;
+}
+
+BatchResult run_batch(const std::vector<BatchEntry>& entries,
+                      const BatchConfig& config) {
+  if (config.shard.count < 1 || config.shard.index < 0 ||
+      config.shard.index >= config.shard.count) {
+    throw util::SetupError("invalid shard " +
+                           std::to_string(config.shard.index) + "/" +
+                           std::to_string(config.shard.count));
   }
 
-  // Serial path (jobs <= 1): the exact legacy execution order.
-  for (Region region : config.regions) {
-    RegionResult rr;
-    rr.region = region;
-    const FaultDictionary* dict = dicts[static_cast<unsigned>(region)].get();
-    for (int i = 0; i < config.runs_per_region; ++i) {
-      const RunOutcome out =
-          run_injected(app, program, result.golden, region, dict,
-                       run_seed_for(config, region, i), ctx);
-      accumulate(rr, out);
-      if (config.progress)
-        config.progress(region, i + 1, config.runs_per_region);
+  BatchResult result;
+  result.shard = config.shard;
+  const std::size_t ncamp = entries.size();
+  std::vector<CampaignPlan> plans;
+  plans.reserve(ncamp);
+  result.campaigns.resize(ncamp);
+  for (std::size_t c = 0; c < ncamp; ++c) {
+    plans.push_back(prepare_campaign(entries[c].app, entries[c].config,
+                                     result.campaigns[c]));
+    result.specs.push_back(spec_of(entries[c].app.name, entries[c].config));
+  }
+
+  // Flattened (campaign, region) slots; accumulation and the final merge
+  // index by slot, the shard filter by the global grid index.
+  std::vector<std::size_t> slot_base(ncamp + 1, 0);
+  for (std::size_t c = 0; c < ncamp; ++c)
+    slot_base[c + 1] = slot_base[c] + entries[c].config.regions.size();
+  const std::size_t nslots = slot_base[ncamp];
+
+  // This shard's grid-point count per slot (progress denominators).
+  std::vector<int> owned(nslots, 0);
+  {
+    std::uint64_t g = 0;
+    for (std::size_t c = 0; c < ncamp; ++c) {
+      const CampaignConfig& cc = entries[c].config;
+      for (std::size_t ri = 0; ri < cc.regions.size(); ++ri)
+        for (int i = 0; i < cc.runs_per_region; ++i, ++g)
+          if (shard_owns(g, config.shard)) ++owned[slot_base[c] + ri];
     }
-    result.regions.push_back(rr);
+  }
+
+  std::vector<RegionResult> totals(nslots);
+  const int jobs = config.jobs;
+
+  if (jobs <= 1) {
+    // Serial grid walk in enumeration order — for a single unsharded
+    // campaign this is the exact legacy execution order.
+    std::uint64_t g = 0;
+    for (std::size_t c = 0; c < ncamp; ++c) {
+      const BatchEntry& e = entries[c];
+      const CampaignPlan& plan = plans[c];
+      for (std::size_t ri = 0; ri < e.config.regions.size(); ++ri) {
+        const Region region = e.config.regions[ri];
+        const std::size_t slot = slot_base[c] + ri;
+        const FaultDictionary* dict =
+            plan.dicts[static_cast<unsigned>(region)].get();
+        for (int i = 0; i < e.config.runs_per_region; ++i, ++g) {
+          if (!shard_owns(g, config.shard)) continue;
+          const RunOutcome out = run_injected(
+              e.app, plan.program, result.campaigns[c].golden, region, dict,
+              run_seed_for(e.config, region, i), plan.ctx);
+          accumulate(totals[slot], out);
+          if (config.progress)
+            config.progress(e.app.name, region, totals[slot].executions,
+                            owned[slot]);
+        }
+      }
+    }
+  } else {
+    // One pool for the whole batch: every campaign's grid points interleave
+    // across the same workers. Workers accumulate lock-free into their own
+    // partials; partials merge worker 0..W-1 per slot afterwards, so the
+    // per-campaign aggregates are bit-identical to the serial walk.
+    util::ThreadPool pool(static_cast<std::size_t>(jobs));
+    std::vector<std::vector<RegionResult>> partials(
+        pool.workers(), std::vector<RegionResult>(nslots));
+    std::vector<std::atomic<int>> done(nslots);
+    for (auto& d : done) d.store(0, std::memory_order_relaxed);
+    std::mutex progress_mu;
+
+    std::uint64_t g = 0;
+    for (std::size_t c = 0; c < ncamp; ++c) {
+      const apps::App* app = &entries[c].app;
+      const CampaignConfig& cc = entries[c].config;
+      const CampaignPlan* plan = &plans[c];
+      const Golden* golden = &result.campaigns[c].golden;
+      for (std::size_t ri = 0; ri < cc.regions.size(); ++ri) {
+        const Region region = cc.regions[ri];
+        const std::size_t slot = slot_base[c] + ri;
+        const FaultDictionary* dict =
+            plan->dicts[static_cast<unsigned>(region)].get();
+        for (int i = 0; i < cc.runs_per_region; ++i, ++g) {
+          if (!shard_owns(g, config.shard)) continue;
+          const std::uint64_t run_seed = run_seed_for(cc, region, i);
+          pool.submit([&, app, plan, golden, slot, region, dict, run_seed] {
+            const RunOutcome out = run_injected(*app, plan->program, *golden,
+                                                region, dict, run_seed,
+                                                plan->ctx);
+            const int w = util::ThreadPool::current_worker();
+            accumulate(partials[static_cast<std::size_t>(w)][slot], out);
+            if (config.progress) {
+              const int d =
+                  1 + done[slot].fetch_add(1, std::memory_order_relaxed);
+              std::lock_guard<std::mutex> lock(progress_mu);
+              config.progress(app->name, region, d, owned[slot]);
+            }
+          });
+        }
+      }
+    }
+    pool.wait();
+
+    for (std::size_t slot = 0; slot < nslots; ++slot)
+      for (std::size_t w = 0; w < pool.workers(); ++w)
+        merge_partial(totals[slot], partials[w][slot]);
+  }
+
+  for (std::size_t c = 0; c < ncamp; ++c) {
+    const auto& regions = entries[c].config.regions;
+    for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+      RegionResult& rr = totals[slot_base[c] + ri];
+      rr.region = regions[ri];
+      result.campaigns[c].regions.push_back(rr);
+    }
   }
   return result;
+}
+
+CampaignResult run_campaign(const apps::App& app,
+                            const CampaignConfig& config) {
+  BatchConfig bc;
+  bc.jobs = config.jobs;
+  if (config.progress) {
+    const auto& cb = config.progress;
+    bc.progress = [cb](const std::string&, Region region, int done,
+                       int total) { cb(region, done, total); };
+  }
+  std::vector<BatchEntry> entries;
+  entries.push_back(BatchEntry{app, config});
+  BatchResult batch = run_batch(entries, bc);
+  return std::move(batch.campaigns.front());
 }
 
 std::string format_campaign(const CampaignResult& result) {
@@ -265,6 +369,20 @@ std::string format_activation(const CampaignResult& result) {
     });
   }
   return t.ascii();
+}
+
+std::string format_batch(const BatchResult& result) {
+  std::string out;
+  for (std::size_t c = 0; c < result.campaigns.size(); ++c) {
+    if (c) out += "\n";
+    out += format_campaign(result.campaigns[c]);
+  }
+  if (result.shard.count > 1) {
+    out += "\n(shard " + std::to_string(result.shard.index) + "/" +
+           std::to_string(result.shard.count) +
+           " — partial counts; fold all shards with `fsim merge`)\n";
+  }
+  return out;
 }
 
 }  // namespace fsim::core

@@ -89,6 +89,87 @@ struct CampaignResult {
 /// Run a full campaign for one application.
 CampaignResult run_campaign(const apps::App& app, const CampaignConfig& config);
 
+// --- Batched multi-app campaigns with deterministic sharding ---
+//
+// A batch drives several (app, regions, runs, seed) campaigns through one
+// shared worker pool: each program is linked once, and the combined
+// (campaign, region, run) grid is interleaved across workers with the same
+// fixed-order partial merge as a single campaign — per-campaign aggregates
+// are bit-identical to running each campaign through run_campaign serially,
+// at any job count. run_campaign itself is a single-entry batch.
+
+/// Identity of one campaign inside a batch — everything that must match
+/// across hosts for their shard partials to be mergeable.
+struct CampaignSpec {
+  std::string app;
+  int runs_per_region = 0;
+  std::uint64_t seed = 0;
+  std::vector<Region> regions;
+  std::size_t dictionary_entries = 0;
+  bool prune = true;
+
+  bool operator==(const CampaignSpec&) const = default;
+};
+
+/// The spec a (app name, config) pair induces.
+CampaignSpec spec_of(const std::string& app_name, const CampaignConfig& config);
+
+/// Deterministic shard of the combined batch grid: this invocation executes
+/// only the grid points it owns; N hosts running shards 0/N .. N-1/N cover
+/// the grid exactly once between them (see shard_owns).
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+
+  bool operator==(const ShardSpec&) const = default;
+};
+
+/// Shard ownership is a pure function of the grid point's index in the
+/// fixed enumeration order (campaign-major, then region, then run):
+/// round-robin `g mod count == index`. Every grid point therefore belongs
+/// to exactly one of the N shards, independent of scheduling, job count or
+/// host — the partition is total and disjoint by construction.
+constexpr bool shard_owns(std::uint64_t grid_index,
+                          const ShardSpec& shard) noexcept {
+  return shard.count <= 1 ||
+         grid_index % static_cast<std::uint64_t>(shard.count) ==
+             static_cast<std::uint64_t>(shard.index);
+}
+
+/// One campaign in a batch. The entry's config supplies runs/seed/regions/
+/// dictionary_entries/prune; its jobs and progress fields are ignored — the
+/// batch-level pool and progress callback drive execution.
+struct BatchEntry {
+  apps::App app;
+  CampaignConfig config;
+};
+
+struct BatchConfig {
+  /// Workers shared by every campaign in the batch (1 = serial grid walk).
+  int jobs = 1;
+  /// Grid shard this invocation executes (default: the whole grid).
+  ShardSpec shard;
+  /// Per-run progress; `done`/`total` count this shard's grid points for
+  /// the (app, region) pair. Same locking contract as CampaignConfig.
+  std::function<void(const std::string& app, Region region, int done,
+                     int total)>
+      progress;
+};
+
+struct BatchResult {
+  std::vector<CampaignSpec> specs;        // spec order, parallel to campaigns
+  std::vector<CampaignResult> campaigns;  // per-campaign (possibly partial)
+  ShardSpec shard;                        // which slice these counts cover
+};
+
+/// Run every campaign through one shared pool. Throws SetupError on an
+/// invalid shard (count < 1 or index outside [0, count)).
+BatchResult run_batch(const std::vector<BatchEntry>& entries,
+                      const BatchConfig& config);
+
+/// Per-campaign paper-style tables, plus a shard footnote when partial.
+std::string format_batch(const BatchResult& result);
+
 /// Render the campaign as a paper-style table. Detection columns are shown
 /// only when any detected outcome occurred (Table 2 omits them for Cactus).
 std::string format_campaign(const CampaignResult& result);

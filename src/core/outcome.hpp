@@ -39,6 +39,23 @@ constexpr const char* region_name(Region r) noexcept {
 /// Parse "regular"/"fp"/"bss"/... (bench CLI). Throws SetupError on miss.
 Region parse_region(const std::string& name);
 
+/// Canonical CLI/spec-file token for a region; parse_region(region_token(r))
+/// == r. (`region_name` is the display form used in tables.)
+constexpr const char* region_token(Region r) noexcept {
+  switch (r) {
+    case Region::kRegularReg: return "regular";
+    case Region::kFpReg: return "fp";
+    case Region::kBss: return "bss";
+    case Region::kData: return "data";
+    case Region::kStack: return "stack";
+    case Region::kText: return "text";
+    case Region::kHeap: return "heap";
+    case Region::kMessage: return "message";
+    case Region::kCount: break;
+  }
+  return "?";
+}
+
 /// How one injected run manifested (§5.1's disjoint classes).
 enum class Manifestation : std::uint8_t {
   kCorrect = 0,   // no observable effect

@@ -1,14 +1,40 @@
 #include "core/report.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/sampling.hpp"
 #include "util/json.hpp"
+#include "util/status.hpp"
 
 namespace fsim::core {
 
-std::string campaign_json(const CampaignResult& result) {
-  util::JsonWriter w;
+namespace {
+
+/// Inverse of the display names used by the JSON exports.
+Region region_from_display(const std::string& name) {
+  for (unsigned r = 0; r < kNumRegions; ++r)
+    if (name == region_name(static_cast<Region>(r)))
+      return static_cast<Region>(r);
+  throw util::SetupError("json: unknown region '" + name + "'");
+}
+
+Manifestation manifestation_from_name(const std::string& name) {
+  for (unsigned m = 0; m < kNumManifestations; ++m)
+    if (name == manifestation_name(static_cast<Manifestation>(m)))
+      return static_cast<Manifestation>(m);
+  throw util::SetupError("json: unknown manifestation '" + name + "'");
+}
+
+CrashKind crash_kind_from_name(const std::string& name) {
+  for (unsigned k = 0; k < kNumCrashKinds; ++k)
+    if (name == crash_kind_name(static_cast<CrashKind>(k)))
+      return static_cast<CrashKind>(k);
+  throw util::SetupError("json: unknown crash kind '" + name + "'");
+}
+
+/// Campaign result object body, shared by campaign_json and batch_json.
+void write_campaign(util::JsonWriter& w, const CampaignResult& result) {
   w.begin_object();
   w.key("app").value(result.app);
   w.key("seed").value(static_cast<std::uint64_t>(result.seed));
@@ -66,15 +92,26 @@ std::string campaign_json(const CampaignResult& result) {
   }
   w.end_array();
   w.end_object();
+}
+
+}  // namespace
+
+std::string campaign_json(const CampaignResult& result) {
+  util::JsonWriter w;
+  write_campaign(w, result);
   return w.str();
 }
 
-std::string campaign_csv(const CampaignResult& result) {
-  std::ostringstream os;
+namespace {
+
+void csv_header(std::ostringstream& os) {
   os << "app,region,executions,errors,error_rate";
   for (unsigned m = 0; m < kNumManifestations; ++m)
     os << ',' << manifestation_name(static_cast<Manifestation>(m));
   os << ",pruned,act_live,act_dead\n";
+}
+
+void csv_rows(std::ostringstream& os, const CampaignResult& result) {
   for (const auto& rr : result.regions) {
     os << result.app << ',' << region_name(rr.region) << ',' << rr.executions
        << ',' << rr.errors() << ',' << rr.error_rate();
@@ -83,7 +120,281 @@ std::string campaign_csv(const CampaignResult& result) {
     os << ',' << rr.pruned << ',' << rr.act_executions[0] << ','
        << rr.act_executions[1] << '\n';
   }
+}
+
+}  // namespace
+
+std::string campaign_csv(const CampaignResult& result) {
+  std::ostringstream os;
+  csv_header(os);
+  csv_rows(os, result);
   return os.str();
+}
+
+std::string batch_csv(const BatchResult& result) {
+  std::ostringstream os;
+  csv_header(os);
+  for (const auto& campaign : result.campaigns) csv_rows(os, campaign);
+  return os.str();
+}
+
+std::uint64_t aggregate_digest(const CampaignResult& result) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(result.seed);
+  for (const auto& rr : result.regions) {
+    mix(static_cast<std::uint64_t>(rr.region));
+    mix(static_cast<std::uint64_t>(rr.executions));
+    mix(static_cast<std::uint64_t>(rr.skipped));
+    for (int c : rr.counts) mix(static_cast<std::uint64_t>(c));
+    for (int k : rr.crash_kinds) mix(static_cast<std::uint64_t>(k));
+    mix(static_cast<std::uint64_t>(rr.pruned));
+    for (unsigned a = 0; a < 2; ++a) {
+      mix(static_cast<std::uint64_t>(rr.act_executions[a]));
+      for (int c : rr.act_counts[a]) mix(static_cast<std::uint64_t>(c));
+    }
+  }
+  return h;
+}
+
+std::uint64_t batch_digest(const BatchResult& result) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& campaign : result.campaigns) {
+    h ^= aggregate_digest(campaign);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+void write_spec(util::JsonWriter& w, const CampaignSpec& spec) {
+  w.begin_object();
+  w.key("app").value(spec.app);
+  w.key("runs_per_region").value(spec.runs_per_region);
+  w.key("seed").value(spec.seed);
+  w.key("regions").begin_array();
+  for (Region r : spec.regions) w.value(region_token(r));
+  w.end_array();
+  w.key("dictionary_entries")
+      .value(static_cast<std::uint64_t>(spec.dictionary_entries));
+  w.key("prune").value(spec.prune);
+  w.end_object();
+}
+
+CampaignSpec read_spec(const util::JsonValue& v) {
+  CampaignSpec spec;
+  spec.app = v.at("app").as_string();
+  spec.runs_per_region = static_cast<int>(v.at("runs_per_region").as_int());
+  spec.seed = v.at("seed").as_u64();
+  for (const auto& r : v.at("regions").items())
+    spec.regions.push_back(parse_region(r.as_string()));
+  spec.dictionary_entries =
+      static_cast<std::size_t>(v.at("dictionary_entries").as_u64());
+  spec.prune = v.at("prune").as_bool();
+  return spec;
+}
+
+CampaignResult read_campaign(const util::JsonValue& v) {
+  CampaignResult result;
+  result.app = v.at("app").as_string();
+  result.seed = v.at("seed").as_u64();
+  const util::JsonValue& g = v.at("golden");
+  result.golden.instructions = g.at("instructions").as_u64();
+  result.golden.hang_budget = g.at("hang_budget").as_u64();
+  for (const auto& b : g.at("rx_bytes_per_rank").items())
+    result.golden.rx_bytes.push_back(b.as_u64());
+  for (const auto& rv : v.at("regions").items()) {
+    RegionResult rr;
+    rr.region = region_from_display(rv.at("region").as_string());
+    rr.executions = static_cast<int>(rv.at("executions").as_int());
+    rr.skipped = static_cast<int>(rv.at("skipped").as_int());
+    for (const auto& [name, count] : rv.at("manifestations").members())
+      rr.counts[static_cast<unsigned>(manifestation_from_name(name))] =
+          static_cast<int>(count.as_int());
+    for (const auto& [name, count] : rv.at("crash_kinds").members())
+      rr.crash_kinds[static_cast<unsigned>(crash_kind_from_name(name))] =
+          static_cast<int>(count.as_int());
+    rr.pruned = static_cast<int>(rv.at("pruned").as_int());
+    if (const util::JsonValue* act = rv.find("activation")) {
+      const char* names[2] = {"live", "dead"};
+      for (unsigned a = 0; a < 2; ++a) {
+        const util::JsonValue& av = act->at(names[a]);
+        rr.act_executions[a] =
+            static_cast<int>(av.at("executions").as_int());
+        for (const auto& [name, count] : av.at("manifestations").members())
+          rr.act_counts[a][static_cast<unsigned>(
+              manifestation_from_name(name))] =
+              static_cast<int>(count.as_int());
+      }
+    }
+    result.regions.push_back(std::move(rr));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string batch_json(const BatchResult& result) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("format").value("fsim-batch-v1");
+  w.key("shard").begin_object();
+  w.key("index").value(result.shard.index);
+  w.key("count").value(result.shard.count);
+  w.end_object();
+  w.key("digest").value(batch_digest(result));
+  w.key("campaigns").begin_array();
+  for (std::size_t c = 0; c < result.campaigns.size(); ++c) {
+    w.begin_object();
+    w.key("spec");
+    write_spec(w, c < result.specs.size() ? result.specs[c]
+                                          : CampaignSpec{});
+    w.key("digest").value(aggregate_digest(result.campaigns[c]));
+    w.key("result");
+    write_campaign(w, result.campaigns[c]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+BatchResult parse_batch_json(const std::string& text) {
+  const util::JsonValue doc = util::parse_json(text);
+  if (const util::JsonValue* f = doc.find("format");
+      !f || f->as_string() != "fsim-batch-v1")
+    throw util::SetupError("not an fsim batch/shard document "
+                           "(missing format: fsim-batch-v1)");
+  BatchResult result;
+  const util::JsonValue& shard = doc.at("shard");
+  result.shard.index = static_cast<int>(shard.at("index").as_int());
+  result.shard.count = static_cast<int>(shard.at("count").as_int());
+  for (const auto& cv : doc.at("campaigns").items()) {
+    result.specs.push_back(read_spec(cv.at("spec")));
+    result.campaigns.push_back(read_campaign(cv.at("result")));
+  }
+  // The digest is recomputable from the counts; verify rather than trust.
+  if (const util::JsonValue* d = doc.find("digest"))
+    if (d->as_u64() != batch_digest(result))
+      throw util::SetupError("batch document digest mismatch "
+                             "(file corrupted or hand-edited)");
+  return result;
+}
+
+BatchResult merge_batch(const std::vector<BatchResult>& shards) {
+  if (shards.empty()) throw util::SetupError("merge: no shard results given");
+  const BatchResult& first = shards.front();
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    if (shards[s].specs != first.specs)
+      throw util::SetupError(
+          "merge: shard " + std::to_string(s) +
+          " was produced by a different batch spec (apps/runs/seeds/regions "
+          "must match)");
+    if (shards[s].shard.count != first.shard.count)
+      throw util::SetupError("merge: shard counts differ (" +
+                             std::to_string(shards[s].shard.count) + " vs " +
+                             std::to_string(first.shard.count) + ")");
+  }
+  std::vector<int> seen;
+  for (const auto& s : shards) seen.push_back(s.shard.index);
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i] == static_cast<int>(i)) continue;
+    if (i > 0 && seen[i] == seen[i - 1])
+      throw util::SetupError("merge: duplicate shard " +
+                             std::to_string(seen[i]) + "/" +
+                             std::to_string(first.shard.count));
+    throw util::SetupError("merge: missing shard " + std::to_string(i) + "/" +
+                           std::to_string(first.shard.count));
+  }
+  if (seen.size() != static_cast<std::size_t>(first.shard.count))
+    throw util::SetupError(
+        "merge: got " + std::to_string(seen.size()) + " shards, expected " +
+        std::to_string(first.shard.count));
+
+  BatchResult merged;
+  merged.specs = first.specs;
+  merged.shard = ShardSpec{};  // the merge covers the whole grid
+  merged.campaigns = first.campaigns;
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    for (std::size_t c = 0; c < merged.campaigns.size(); ++c) {
+      CampaignResult& into = merged.campaigns[c];
+      const CampaignResult& from = shards[s].campaigns[c];
+      if (from.regions.size() != into.regions.size() ||
+          from.golden.instructions != into.golden.instructions)
+        throw util::SetupError("merge: shard " + std::to_string(s) +
+                               " disagrees with shard 0 on campaign '" +
+                               into.app + "'");
+      for (std::size_t ri = 0; ri < into.regions.size(); ++ri) {
+        RegionResult& rr = into.regions[ri];
+        const RegionResult& p = from.regions[ri];
+        if (rr.region != p.region)
+          throw util::SetupError("merge: region order mismatch in campaign '" +
+                                 into.app + "'");
+        rr.executions += p.executions;
+        rr.skipped += p.skipped;
+        for (unsigned m = 0; m < kNumManifestations; ++m)
+          rr.counts[m] += p.counts[m];
+        for (unsigned k = 0; k < kNumCrashKinds; ++k)
+          rr.crash_kinds[k] += p.crash_kinds[k];
+        rr.pruned += p.pruned;
+        for (unsigned a = 0; a < 2; ++a) {
+          rr.act_executions[a] += p.act_executions[a];
+          for (unsigned m = 0; m < kNumManifestations; ++m)
+            rr.act_counts[a][m] += p.act_counts[a][m];
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+std::vector<CampaignSpec> parse_batch_spec(const std::string& text) {
+  const util::JsonValue doc = util::parse_json(text);
+  const CampaignConfig defaults;  // library defaults for unset fields
+
+  auto fill = [](CampaignSpec& spec, const util::JsonValue& v) {
+    if (const auto* f = v.find("runs"))
+      spec.runs_per_region = static_cast<int>(f->as_int());
+    if (const auto* f = v.find("seed")) spec.seed = f->as_u64();
+    if (const auto* f = v.find("prune")) spec.prune = f->as_bool();
+    if (const auto* f = v.find("dictionary_entries"))
+      spec.dictionary_entries = static_cast<std::size_t>(f->as_u64());
+    if (const auto* f = v.find("regions")) {
+      spec.regions.clear();
+      for (const auto& r : f->items())
+        spec.regions.push_back(parse_region(r.as_string()));
+    }
+  };
+
+  CampaignSpec base;
+  base.runs_per_region = defaults.runs_per_region;
+  base.seed = defaults.seed;
+  base.regions = defaults.regions;
+  base.dictionary_entries = defaults.dictionary_entries;
+  base.prune = defaults.prune;
+  fill(base, doc);
+
+  std::vector<CampaignSpec> specs;
+  for (const auto& cv : doc.at("campaigns").items()) {
+    CampaignSpec spec = base;
+    spec.app = cv.at("app").as_string();
+    fill(spec, cv);
+    if (spec.runs_per_region <= 0)
+      throw util::SetupError("batch spec: runs must be positive for app '" +
+                             spec.app + "'");
+    if (spec.regions.empty())
+      throw util::SetupError("batch spec: empty region list for app '" +
+                             spec.app + "'");
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty())
+    throw util::SetupError("batch spec: no campaigns given");
+  return specs;
 }
 
 }  // namespace fsim::core

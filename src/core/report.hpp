@@ -1,7 +1,10 @@
-// Machine-readable campaign exports (JSON / CSV) for downstream tooling.
+// Machine-readable campaign exports and imports (JSON / CSV): downstream
+// tooling consumes the exports; `fsim merge` re-imports shard partials and
+// `fsim batch --spec` reads batch descriptions.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/campaign.hpp"
 
@@ -13,5 +16,42 @@ std::string campaign_json(const CampaignResult& result);
 
 /// Flat CSV: one row per region with counts and percentages.
 std::string campaign_csv(const CampaignResult& result);
+
+/// Order-sensitive FNV-1a fold of every aggregate field of every region —
+/// the equality oracle for batch-vs-serial and shard-merge determinism
+/// checks (two results digest equal iff all counts are identical).
+std::uint64_t aggregate_digest(const CampaignResult& result);
+
+/// Digest of a whole batch (campaign digests folded in spec order).
+std::uint64_t batch_digest(const BatchResult& result);
+
+/// Batch (or shard partial) as a self-describing JSON document: shard
+/// coordinates plus, per campaign, the full spec and the campaign result.
+/// parse_batch_json inverts it exactly (Golden::baseline, a raw output
+/// stream, is deliberately not serialized; merged results keep the golden
+/// statistics, which all shards agree on).
+std::string batch_json(const BatchResult& result);
+
+/// Parse a batch_json document. Throws SetupError on malformed input.
+BatchResult parse_batch_json(const std::string& text);
+
+/// Fold shard partials into one complete batch result. Requires every
+/// shard to carry the identical campaign spec list and shard count, and
+/// the index set to be exactly {0..count-1}; throws SetupError on any
+/// mismatch (different specs/seeds, duplicate or missing shards). Counts
+/// are summed field-wise, so the merge reproduces the unsharded batch bit
+/// for bit — each grid point ran in exactly one shard.
+BatchResult merge_batch(const std::vector<BatchResult>& shards);
+
+/// Per-campaign CSV rows (campaign_csv with the header emitted once).
+std::string batch_csv(const BatchResult& result);
+
+/// Batch description for `fsim batch --spec=FILE`:
+///   {"runs": 200, "seed": 250, "prune": true, "regions": ["regular",...],
+///    "campaigns": [{"app": "wavetoy", "runs": 400, ...}, ...]}
+/// Top-level keys give defaults; each campaign object needs at least
+/// "app" and may override runs/seed/regions/prune/dictionary_entries.
+/// Throws SetupError on malformed specs.
+std::vector<CampaignSpec> parse_batch_spec(const std::string& text);
 
 }  // namespace fsim::core

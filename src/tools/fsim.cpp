@@ -3,6 +3,9 @@
 //   fsim run       --app=wavetoy --region=regular --seed=7
 //   fsim campaign  --app=minimd --runs=400 [--regions=regular,message]
 //                  [--seed=S] [--json] [--csv]
+//   fsim batch     --apps=wavetoy,minimd,atmo | --spec=FILE
+//                  [--shard=i/N] [--out=FILE]  (several campaigns, one pool)
+//   fsim merge     shard0.json shard1.json ... (fold shard partials)
 //   fsim profile   [--app=NAME]            (Table 1 per-process profiles)
 //   fsim trace     --app=atmo [--rank=1]   (working-set curves, Tables 5-7)
 //   fsim mix       --app=wavetoy [--rank=1]  (instruction mix / hot spots)
@@ -11,6 +14,7 @@
 //
 // Every command is deterministic given its --seed.
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -24,26 +28,79 @@
 #include "trace/profile.hpp"
 #include "trace/working_set.hpp"
 #include "util/cli.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace fsim;
 
-int usage() {
+int print_usage() {
   std::printf(
       "usage: fsim <command> [options]\n"
       "  run       --app=NAME --region=REGION [--seed=N]\n"
       "  campaign  --app=NAME [--runs=N] [--regions=a,b,...] [--seed=N]\n"
       "            [--jobs=N] [--prune=on|off] [--activation]\n"
       "            [--json] [--csv] [--quiet]\n"
+      "  batch     --apps=a,b,... | --spec=FILE [--runs=N] [--regions=...]\n"
+      "            [--seed=N] [--jobs=N] [--prune=on|off] [--shard=i/N]\n"
+      "            [--out=FILE] [--json] [--csv] [--activation] [--quiet]\n"
+      "  merge     FILE... [--out=FILE] [--json] [--csv] [--activation]\n"
       "  profile   [--app=NAME]\n"
       "  trace     --app=NAME [--rank=K] [--points=N]\n"
       "  mix       --app=NAME [--rank=K]\n"
       "  lint      [--app=NAME|all] [--json] [--werror] [--suppress=p1,p2]\n"
+      "  help      (this text; also --help)\n"
       "apps: wavetoy | minimd | atmo | jacobi\n"
       "regions: regular | fp | bss | data | stack | text | heap | message\n");
+  return 0;
+}
+
+int usage() {
+  (void)print_usage();
   return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::SetupError("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Send a report to --out=FILE when given, stdout otherwise.
+void write_output(const util::Cli& cli, const std::string& text) {
+  if (!cli.has("out")) {
+    std::printf("%s", text.c_str());
+    return;
+  }
+  const std::string path = cli.str("out", "");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::SetupError("cannot write '" + path + "'");
+  out << text;
+  std::fprintf(stderr, "wrote %s (%zu bytes)\n", path.c_str(), text.size());
+}
+
+std::vector<core::Region> parse_region_list(const std::string& csv) {
+  std::vector<core::Region> regions;
+  std::istringstream rs(csv);
+  std::string tok;
+  while (std::getline(rs, tok, ','))
+    if (!tok.empty()) regions.push_back(core::parse_region(tok));
+  return regions;
+}
+
+bool parse_prune(const util::Cli& cli, bool& prune) {
+  if (!cli.has("prune")) return true;
+  const std::string v = cli.str("prune", "on");
+  if (v != "on" && v != "off") {
+    std::fprintf(stderr, "option --prune expects on|off, got '%s'\n",
+                 v.c_str());
+    return false;
+  }
+  prune = v == "on";
+  return true;
 }
 
 int cmd_run(const util::Cli& cli) {
@@ -83,22 +140,8 @@ int cmd_campaign(const util::Cli& cli) {
   cfg.jobs = static_cast<int>(cli.num(
       "jobs",
       static_cast<std::int64_t>(util::ThreadPool::default_workers())));
-  if (cli.has("regions")) {
-    cfg.regions.clear();
-    std::istringstream rs(cli.str("regions", ""));
-    std::string tok;
-    while (std::getline(rs, tok, ','))
-      cfg.regions.push_back(core::parse_region(tok));
-  }
-  if (cli.has("prune")) {
-    const std::string v = cli.str("prune", "on");
-    if (v != "on" && v != "off") {
-      std::fprintf(stderr, "option --prune expects on|off, got '%s'\n",
-                   v.c_str());
-      return 1;
-    }
-    cfg.prune = v == "on";
-  }
+  if (cli.has("regions")) cfg.regions = parse_region_list(cli.str("regions", ""));
+  if (!parse_prune(cli, cfg.prune)) return 1;
   if (!cli.flag("quiet")) {
     cfg.progress = [](core::Region region, int done, int total) {
       if (done == 1 || done == total || done % 50 == 0)
@@ -125,6 +168,108 @@ int cmd_campaign(const util::Cli& cli) {
       if (!act.empty()) std::printf("\n%s", act.c_str());
     }
   }
+  return 0;
+}
+
+/// Per-campaign batch report: tables (plus optional activation splits),
+/// JSON or CSV, matching the single-campaign `fsim campaign` surface.
+std::string render_batch(const util::Cli& cli, const core::BatchResult& res) {
+  if (cli.flag("json")) return core::batch_json(res) + "\n";
+  if (cli.flag("csv")) return core::batch_csv(res);
+  std::string out = core::format_batch(res);
+  if (cli.flag("activation")) {
+    for (const auto& campaign : res.campaigns) {
+      const std::string act = core::format_activation(campaign);
+      if (!act.empty()) out += "\n" + act;
+    }
+  }
+  return out;
+}
+
+int cmd_batch(const util::Cli& cli) {
+  // Campaign list: an explicit spec file, or inline flags applied to every
+  // app in --apps (default: the paper's three-application suite).
+  std::vector<core::CampaignSpec> specs;
+  if (cli.has("spec")) {
+    specs = core::parse_batch_spec(read_file(cli.str("spec", "")));
+  } else {
+    core::CampaignConfig base;
+    base.runs_per_region = static_cast<int>(cli.num("runs", 200));
+    base.seed = static_cast<std::uint64_t>(cli.num("seed", 0xfa));
+    if (cli.has("regions"))
+      base.regions = parse_region_list(cli.str("regions", ""));
+    if (!parse_prune(cli, base.prune)) return 1;
+    std::istringstream as(
+        cli.str("apps", "wavetoy,minimd,atmo"));
+    std::string name;
+    while (std::getline(as, name, ','))
+      if (!name.empty()) specs.push_back(core::spec_of(name, base));
+    if (specs.empty()) {
+      std::fprintf(stderr, "batch: empty --apps list\n");
+      return 1;
+    }
+  }
+
+  std::vector<core::BatchEntry> entries;
+  for (const auto& spec : specs) {
+    core::BatchEntry e;
+    e.app = apps::make_app(spec.app);
+    e.config.runs_per_region = spec.runs_per_region;
+    e.config.seed = spec.seed;
+    e.config.regions = spec.regions;
+    e.config.dictionary_entries = spec.dictionary_entries;
+    e.config.prune = spec.prune;
+    entries.push_back(std::move(e));
+  }
+
+  core::BatchConfig bc;
+  bc.jobs = static_cast<int>(cli.num(
+      "jobs",
+      static_cast<std::int64_t>(util::ThreadPool::default_workers())));
+  if (cli.has("shard")) {
+    const std::string s = cli.str("shard", "0/1");
+    const auto slash = s.find('/');
+    if (slash == std::string::npos)
+      throw util::SetupError("option --shard expects i/N, got '" + s + "'");
+    bc.shard.index = std::atoi(s.substr(0, slash).c_str());
+    bc.shard.count = std::atoi(s.substr(slash + 1).c_str());
+  }
+  if (!cli.flag("quiet")) {
+    bc.progress = [](const std::string& app, core::Region region, int done,
+                     int total) {
+      if (done == 1 || done == total || done % 50 == 0)
+        std::fprintf(stderr, "\r  %-8s %-13s %4d/%d", app.c_str(),
+                     core::region_name(region), done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+    std::fprintf(stderr,
+                 "batch: %zu campaigns, %d jobs, shard %d/%d\n",
+                 entries.size(), bc.jobs, bc.shard.index, bc.shard.count);
+  }
+
+  const core::BatchResult res = core::run_batch(entries, bc);
+  // A shard partial's natural artifact is the JSON that `fsim merge`
+  // consumes; tables and CSV stay available on request.
+  if (res.shard.count > 1 && !cli.flag("json") && !cli.flag("csv"))
+    write_output(cli, core::batch_json(res) + "\n");
+  else
+    write_output(cli, render_batch(cli, res));
+  return 0;
+}
+
+int cmd_merge(const util::Cli& cli) {
+  const std::vector<std::string>& files = cli.positional();
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "merge: no shard files given\n"
+                 "usage: fsim merge FILE... [--out=FILE] [--json] [--csv]\n");
+    return 2;
+  }
+  std::vector<core::BatchResult> shards;
+  for (const auto& f : files)
+    shards.push_back(core::parse_batch_json(read_file(f)));
+  const core::BatchResult merged = core::merge_batch(shards);
+  write_output(cli, render_batch(cli, merged));
   return 0;
 }
 
@@ -225,10 +370,14 @@ int main(int argc, char** argv) {
   try {
     if (command == "run") return cmd_run(cli);
     if (command == "campaign") return cmd_campaign(cli);
+    if (command == "batch") return cmd_batch(cli);
+    if (command == "merge") return cmd_merge(cli);
     if (command == "profile") return cmd_profile(cli);
     if (command == "trace") return cmd_trace(cli);
     if (command == "mix") return cmd_mix(cli);
     if (command == "lint") return cmd_lint(cli);
+    if (command == "help" || command == "--help" || command == "-h")
+      return print_usage();
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fsim %s: %s\n", command.c_str(), e.what());

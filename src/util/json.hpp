@@ -1,12 +1,14 @@
-// Minimal JSON emission for experiment artefacts.
+// Minimal JSON emission and parsing for experiment artefacts.
 //
 // Campaign results are exported as JSON so downstream tooling (plotting,
-// regression tracking) can consume them without parsing ASCII tables. This
-// is a writer only — the laboratory never needs to parse JSON.
+// regression tracking) can consume them without parsing ASCII tables. The
+// parser exists for the laboratory's own artefacts: `fsim batch` spec files
+// and the shard partials that `fsim merge` folds back together.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fsim::util {
@@ -47,5 +49,46 @@ class JsonWriter {
   std::vector<bool> has_elem_;
   bool pending_key_ = false;
 };
+
+/// Parsed JSON document node. Numbers keep their source token so 64-bit
+/// integers (seeds, digests) round-trip exactly — a double would silently
+/// lose precision above 2^53.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; each throws SetupError when the node has a different
+  /// kind (a malformed artefact should fail loudly, not read as zero).
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+
+  /// Array elements (throws unless kind() == kArray).
+  const std::vector<JsonValue>& items() const;
+
+  /// Object members in document order (throws unless kind() == kObject).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  /// Member lookup: null when absent, throws when not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Member lookup that throws SetupError when the key is absent.
+  const JsonValue& at(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  // string value, or the raw number token
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, nothing
+/// else). Throws SetupError with a byte offset on malformed input.
+JsonValue parse_json(const std::string& text);
 
 }  // namespace fsim::util

@@ -1,0 +1,243 @@
+// Batch executor and deterministic sharding: per-campaign aggregates must
+// be bit-identical to serial run_campaign calls at any job count, the
+// shard partition must be total and disjoint, and merging every shard
+// (through the JSON round-trip `fsim merge` uses) must reproduce the
+// unsharded batch exactly.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "util/status.hpp"
+
+namespace fsim::core {
+namespace {
+
+apps::App tiny_wavetoy() {
+  apps::WavetoyConfig cfg;
+  cfg.ranks = 4;
+  cfg.columns = 8;
+  cfg.rows = 8;
+  cfg.steps = 8;
+  cfg.cold_functions = 10;
+  cfg.cold_heap_arrays = 1;
+  return apps::make_wavetoy(cfg);
+}
+
+apps::App tiny_minimd() {
+  apps::MinimdConfig cfg;
+  cfg.ranks = 4;
+  cfg.atoms = 6;
+  cfg.steps = 4;
+  cfg.cold_functions = 10;
+  cfg.cold_heap_bytes = 2048;
+  return apps::make_minimd(cfg);
+}
+
+std::vector<BatchEntry> two_campaign_batch() {
+  std::vector<BatchEntry> entries(2);
+  entries[0].app = tiny_wavetoy();
+  entries[0].config.runs_per_region = 10;
+  entries[0].config.seed = 0xabc;
+  entries[0].config.regions = {Region::kRegularReg, Region::kData,
+                               Region::kMessage};
+  entries[1].app = tiny_minimd();
+  entries[1].config.runs_per_region = 8;
+  entries[1].config.seed = 0x123;
+  entries[1].config.regions = {Region::kRegularReg, Region::kMessage};
+  return entries;
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.golden.instructions, b.golden.instructions);
+  for (std::size_t i = 0; i < a.regions.size(); ++i) {
+    const RegionResult& ra = a.regions[i];
+    const RegionResult& rb = b.regions[i];
+    EXPECT_EQ(ra.region, rb.region);
+    EXPECT_EQ(ra.executions, rb.executions);
+    EXPECT_EQ(ra.skipped, rb.skipped);
+    EXPECT_EQ(ra.counts, rb.counts);
+    EXPECT_EQ(ra.crash_kinds, rb.crash_kinds);
+    EXPECT_EQ(ra.pruned, rb.pruned);
+    EXPECT_EQ(ra.act_executions, rb.act_executions);
+    EXPECT_EQ(ra.act_counts, rb.act_counts);
+  }
+  EXPECT_EQ(aggregate_digest(a), aggregate_digest(b));
+}
+
+TEST(Batch, MatchesSerialCampaignsAtAnyJobCount) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+
+  // Reference: each campaign through the one-campaign driver, serially.
+  std::vector<CampaignResult> serial;
+  for (const auto& e : entries) serial.push_back(run_campaign(e.app, e.config));
+
+  for (int jobs : {1, 3, 8}) {
+    BatchConfig bc;
+    bc.jobs = jobs;
+    const BatchResult batch = run_batch(entries, bc);
+    ASSERT_EQ(batch.campaigns.size(), serial.size());
+    for (std::size_t c = 0; c < serial.size(); ++c)
+      expect_identical(batch.campaigns[c], serial[c]);
+  }
+}
+
+TEST(Batch, SpecsEchoTheEntries) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  BatchConfig bc;
+  bc.jobs = 2;
+  const BatchResult batch = run_batch(entries, bc);
+  ASSERT_EQ(batch.specs.size(), 2u);
+  EXPECT_EQ(batch.specs[0], spec_of(entries[0].app.name, entries[0].config));
+  EXPECT_EQ(batch.specs[1], spec_of(entries[1].app.name, entries[1].config));
+  EXPECT_NE(batch.specs[0], batch.specs[1]);
+}
+
+TEST(Shard, PartitionIsTotalAndDisjoint) {
+  // Every grid point must belong to exactly one of the N shards, for any
+  // shard count — the property cross-host runs depend on.
+  for (int count : {1, 2, 3, 5, 8, 16}) {
+    for (std::uint64_t g = 0; g < 1000; ++g) {
+      int owners = 0;
+      for (int index = 0; index < count; ++index)
+        if (shard_owns(g, ShardSpec{index, count})) ++owners;
+      ASSERT_EQ(owners, 1) << "grid point " << g << " with " << count
+                           << " shards";
+    }
+  }
+}
+
+TEST(Shard, InvalidShardIsRejected) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  for (ShardSpec bad : {ShardSpec{-1, 4}, ShardSpec{4, 4}, ShardSpec{0, 0}}) {
+    BatchConfig bc;
+    bc.shard = bad;
+    EXPECT_THROW(run_batch(entries, bc), util::SetupError);
+  }
+}
+
+TEST(Shard, AllShardsTogetherCoverTheGridExactlyOnce) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  BatchConfig bc;
+  bc.jobs = 4;
+  const BatchResult whole = run_batch(entries, bc);
+
+  constexpr int kShards = 3;
+  std::vector<BatchResult> parts;
+  for (int s = 0; s < kShards; ++s) {
+    BatchConfig sc;
+    sc.jobs = 2;
+    sc.shard = ShardSpec{s, kShards};
+    parts.push_back(run_batch(entries, sc));
+  }
+
+  // Executions per (campaign, region) sum to the unsharded counts.
+  for (std::size_t c = 0; c < whole.campaigns.size(); ++c) {
+    for (std::size_t ri = 0; ri < whole.campaigns[c].regions.size(); ++ri) {
+      int total = 0;
+      for (const auto& p : parts)
+        total += p.campaigns[c].regions[ri].executions;
+      EXPECT_EQ(total, whole.campaigns[c].regions[ri].executions);
+    }
+  }
+
+  // And the merge reproduces the unsharded batch bit for bit.
+  const BatchResult merged = merge_batch(parts);
+  ASSERT_EQ(merged.campaigns.size(), whole.campaigns.size());
+  for (std::size_t c = 0; c < whole.campaigns.size(); ++c)
+    expect_identical(merged.campaigns[c], whole.campaigns[c]);
+  EXPECT_EQ(batch_digest(merged), batch_digest(whole));
+}
+
+TEST(Shard, MergeSurvivesTheJsonRoundTrip) {
+  // The exact path `fsim merge` takes: each shard serialized to JSON,
+  // parsed back, then folded.
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  BatchConfig bc;
+  bc.jobs = 2;
+  const BatchResult whole = run_batch(entries, bc);
+
+  constexpr int kShards = 4;
+  std::vector<BatchResult> parsed;
+  for (int s = 0; s < kShards; ++s) {
+    BatchConfig sc;
+    sc.jobs = 2;
+    sc.shard = ShardSpec{s, kShards};
+    const BatchResult part = run_batch(entries, sc);
+    const BatchResult round = parse_batch_json(batch_json(part));
+    EXPECT_EQ(round.shard, part.shard);
+    EXPECT_EQ(round.specs, part.specs);
+    EXPECT_EQ(batch_digest(round), batch_digest(part));
+    parsed.push_back(round);
+  }
+
+  const BatchResult merged = merge_batch(parsed);
+  EXPECT_EQ(batch_digest(merged), batch_digest(whole));
+  // The merged JSON document is byte-identical to the monolithic one.
+  EXPECT_EQ(batch_json(merged), batch_json(whole));
+}
+
+TEST(Merge, RejectsMismatchedShards) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  auto shard = [&](int index, int count, std::uint64_t seed0) {
+    std::vector<BatchEntry> es = entries;
+    es[0].config.seed = seed0;
+    BatchConfig sc;
+    sc.shard = ShardSpec{index, count};
+    return run_batch(es, sc);
+  };
+  const std::uint64_t seed = entries[0].config.seed;
+
+  // Different campaign seed.
+  EXPECT_THROW(merge_batch({shard(0, 2, seed), shard(1, 2, seed + 1)}),
+               util::SetupError);
+  // Duplicate shard index.
+  EXPECT_THROW(merge_batch({shard(0, 2, seed), shard(0, 2, seed)}),
+               util::SetupError);
+  // Missing shard.
+  EXPECT_THROW(merge_batch({shard(0, 3, seed), shard(2, 3, seed)}),
+               util::SetupError);
+  // Different shard count.
+  EXPECT_THROW(merge_batch({shard(0, 2, seed), shard(1, 3, seed)}),
+               util::SetupError);
+  // Empty input.
+  EXPECT_THROW(merge_batch({}), util::SetupError);
+}
+
+TEST(Batch, SpecFileParsing) {
+  const std::string spec = R"({
+    "runs": 32, "seed": 77, "regions": ["regular", "message"],
+    "campaigns": [
+      {"app": "wavetoy"},
+      {"app": "minimd", "runs": 16, "prune": false, "regions": ["text"]}
+    ]})";
+  const std::vector<CampaignSpec> specs = parse_batch_spec(spec);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].app, "wavetoy");
+  EXPECT_EQ(specs[0].runs_per_region, 32);
+  EXPECT_EQ(specs[0].seed, 77u);
+  EXPECT_EQ(specs[0].regions,
+            (std::vector<Region>{Region::kRegularReg, Region::kMessage}));
+  EXPECT_TRUE(specs[0].prune);
+  EXPECT_EQ(specs[1].app, "minimd");
+  EXPECT_EQ(specs[1].runs_per_region, 16);
+  EXPECT_FALSE(specs[1].prune);
+  EXPECT_EQ(specs[1].regions, (std::vector<Region>{Region::kText}));
+
+  EXPECT_THROW(parse_batch_spec("{\"campaigns\": []}"), util::SetupError);
+  EXPECT_THROW(parse_batch_spec("{\"campaigns\": [{}]}"), util::SetupError);
+  EXPECT_THROW(parse_batch_spec("not json"), util::SetupError);
+}
+
+TEST(Batch, RegionTokensRoundTrip) {
+  for (unsigned r = 0; r < kNumRegions; ++r) {
+    const Region region = static_cast<Region>(r);
+    EXPECT_EQ(parse_region(region_token(region)), region);
+  }
+}
+
+}  // namespace
+}  // namespace fsim::core

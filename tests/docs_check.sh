@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Docs drift gate (ctest `docs_check`).
+#
+#   docs_check.sh <fsim-binary> <repo-root>
+#
+# 1. Every subcommand and --flag that `fsim help` prints must appear in
+#    docs/CLI.md — adding a CLI surface without documenting it fails CI.
+# 2. Every relative markdown link in README.md and docs/*.md must resolve
+#    to an existing file.
+set -u
+
+fsim="$1"
+root="$2"
+cli_doc="$root/docs/CLI.md"
+fail=0
+
+help_text="$("$fsim" help)" || { echo "docs_check: '$fsim help' failed"; exit 1; }
+
+[ -f "$cli_doc" ] || { echo "docs_check: missing $cli_doc"; exit 1; }
+
+# Subcommands: the first word of each indented usage line.
+subcommands=$(printf '%s\n' "$help_text" | sed -n 's/^  \([a-z][a-z]*\) .*/\1/p' | sort -u)
+# Flags: every --name token anywhere in the help text.
+flags=$(printf '%s\n' "$help_text" | grep -oE -- '--[a-z-]+' | sort -u)
+
+for tok in $subcommands; do
+  if ! grep -qE "(^|[^a-z-])$tok([^a-z-]|$)" "$cli_doc"; then
+    echo "docs_check: subcommand '$tok' from 'fsim help' not documented in docs/CLI.md"
+    fail=1
+  fi
+done
+for tok in $flags; do
+  if ! grep -qF -- "$tok" "$cli_doc"; then
+    echo "docs_check: flag '$tok' from 'fsim help' not documented in docs/CLI.md"
+    fail=1
+  fi
+done
+
+# Relative markdown links: ](path) and ](path#anchor), skipping URLs.
+for doc in "$root/README.md" "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  links=$(grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//' -e 's/#.*//')
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|'') continue ;;
+    esac
+    if [ ! -e "$dir/$link" ]; then
+      echo "docs_check: $doc links to missing file '$link'"
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs_check: CLI reference and markdown links are in sync"
+fi
+exit $fail
