@@ -1,16 +1,18 @@
-// Pre-injection pruning speedup: injected runs per second with --prune=on
-// vs --prune=off on a register-heavy wavetoy campaign, emitted as JSON.
-// Pruning classifies statically dead register flips Correct without
-// resuming the run, so the two configurations must produce bit-identical
+// Pre-injection pruning speedup: injected runs per second at --prune=off,
+// --prune=regs and --prune=full on a wavetoy campaign covering every region
+// the static analysis can prune (registers, FP stack, text, data, BSS),
+// emitted as JSON. Pruning classifies statically dead flips Correct without
+// resuming the run, so all three configurations must produce bit-identical
 // aggregates; the JSON records a digest over every prune-invariant field
 // (executions, skipped, manifestation counts, crash kinds, activation
-// split) so regressions in either speed or equivalence are visible from
-// the same artifact.
+// split) plus per-region pruned fractions, so regressions in speed,
+// equivalence or analysis coverage are all visible from the same artifact.
 //
 //   bench_prune_speedup [--runs=N] [--seed=S] [--jobs=N]
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "apps/app.hpp"
 #include "bench_util.hpp"
@@ -31,10 +33,17 @@ apps::App small_wavetoy() {
   return apps::make_wavetoy(cfg);
 }
 
+const std::vector<core::Region> kRegions = {
+    core::Region::kRegularReg, core::Region::kFpReg, core::Region::kText,
+    core::Region::kData,       core::Region::kBss,
+};
+
 struct Measured {
+  core::PruneLevel level = core::PruneLevel::kOff;
   double seconds = 0;
   double runs_per_sec = 0;
   int pruned = 0;
+  std::vector<int> pruned_by_region;  // parallel to kRegions
   std::uint64_t digest = 0;  // checksum of the prune-invariant aggregates
 };
 
@@ -62,15 +71,15 @@ std::uint64_t digest_counts(const core::CampaignResult& res) {
 }
 
 Measured measure(const apps::App& app, const bench::BenchArgs& args,
-                 bool prune, int repeats) {
+                 core::PruneLevel level, int repeats) {
   core::CampaignConfig cfg;
   cfg.runs_per_region = args.runs;
   cfg.seed = args.seed;
   cfg.jobs = args.jobs > 1 ? args.jobs : 1;
-  cfg.prune = prune;
-  // Register faults only: that is the region pruning short-circuits.
-  cfg.regions = {core::Region::kRegularReg};
+  cfg.prune = level;
+  cfg.regions = kRegions;
   Measured m;
+  m.level = level;
   for (int rep = 0; rep < repeats; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
     const core::CampaignResult res = core::run_campaign(app, cfg);
@@ -80,10 +89,33 @@ Measured measure(const apps::App& app, const bench::BenchArgs& args,
     if (rep == 0 || s < m.seconds) m.seconds = s;
     m.digest = digest_counts(res);  // identical every repeat (deterministic)
     m.pruned = 0;
-    for (const auto& rr : res.regions) m.pruned += rr.pruned;
+    m.pruned_by_region.clear();
+    for (const auto& rr : res.regions) {
+      m.pruned += rr.pruned;
+      m.pruned_by_region.push_back(rr.pruned);
+    }
   }
-  m.runs_per_sec = m.seconds > 0 ? args.runs / m.seconds : 0;
+  const double total_runs = static_cast<double>(args.runs) * kRegions.size();
+  m.runs_per_sec = m.seconds > 0 ? total_runs / m.seconds : 0;
   return m;
+}
+
+void write_level(util::JsonWriter& w, const bench::BenchArgs& args,
+                 const Measured& m) {
+  w.key(core::prune_level_name(m.level));
+  w.begin_object();
+  w.key("seconds").value(m.seconds);
+  w.key("runs_per_sec").value(m.runs_per_sec);
+  w.key("pruned_runs").value(m.pruned);
+  w.key("pruned_fraction");
+  w.begin_object();
+  for (std::size_t i = 0; i < kRegions.size(); ++i)
+    w.key(core::region_token(kRegions[i]))
+        .value(args.runs > 0
+                   ? static_cast<double>(m.pruned_by_region[i]) / args.runs
+                   : 0.0);
+  w.end_object();
+  w.end_object();
 }
 
 }  // namespace
@@ -93,31 +125,40 @@ int main(int argc, char** argv) {
   args.quiet = true;
 
   const apps::App app = small_wavetoy();
-  std::fprintf(stderr, "prune speedup: %d register runs, prune on vs off\n",
-               args.runs);
+  std::fprintf(stderr,
+               "prune speedup: %d runs x %zu regions, prune off|regs|full\n",
+               args.runs, kRegions.size());
   constexpr int kRepeats = 3;
-  const Measured off = measure(app, args, false, kRepeats);
-  const Measured on = measure(app, args, true, kRepeats);
+  const Measured off = measure(app, args, core::PruneLevel::kOff, kRepeats);
+  const Measured regs = measure(app, args, core::PruneLevel::kRegs, kRepeats);
+  const Measured full = measure(app, args, core::PruneLevel::kFull, kRepeats);
+
+  const bool identical =
+      off.digest == regs.digest && off.digest == full.digest;
+  // Full pruning must actually reach past the integer registers: the FP
+  // stack (index 1 in kRegions) and text (index 2) both prune runs.
+  const bool coverage = full.pruned_by_region[0] > 0 &&
+                        full.pruned_by_region[1] > 0 &&
+                        full.pruned_by_region[2] > 0;
 
   util::JsonWriter w;
   w.begin_object();
   w.key("bench").value("prune_speedup");
   w.key("app").value(app.name);
-  w.key("runs").value(args.runs);
+  w.key("runs_per_region").value(args.runs);
   w.key("seed").value(args.seed);
-  w.key("pruned_runs").value(on.pruned);
-  w.key("pruned_share").value(args.runs > 0
-                                  ? static_cast<double>(on.pruned) / args.runs
+  write_level(w, args, off);
+  write_level(w, args, regs);
+  write_level(w, args, full);
+  w.key("speedup_regs").value(off.seconds > 0 && regs.seconds > 0
+                                  ? off.seconds / regs.seconds
                                   : 0.0);
-  w.key("unpruned_seconds").value(off.seconds);
-  w.key("unpruned_runs_per_sec").value(off.runs_per_sec);
-  w.key("pruned_seconds").value(on.seconds);
-  w.key("pruned_runs_per_sec").value(on.runs_per_sec);
-  w.key("speedup").value(off.seconds > 0 && on.seconds > 0
-                             ? off.seconds / on.seconds
-                             : 0.0);
-  w.key("aggregates_identical").value(on.digest == off.digest);
+  w.key("speedup_full").value(off.seconds > 0 && full.seconds > 0
+                                  ? off.seconds / full.seconds
+                                  : 0.0);
+  w.key("aggregates_identical").value(identical);
+  w.key("coverage_ok").value(coverage);
   w.end_object();
   std::printf("%s\n", w.str().c_str());
-  return on.digest == off.digest && on.pruned > 0 ? 0 : 1;
+  return identical && coverage ? 0 : 1;
 }

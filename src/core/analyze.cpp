@@ -1,0 +1,279 @@
+#include "core/analyze.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "core/dictionary.hpp"
+#include "svm/analysis/analysis.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace fsim::core {
+
+namespace {
+
+/// Size of the FPU fault space flip_fpu_bit draws from: 8 x 64 data bits
+/// plus TWD/CWD/SWD (16 each) and FIP/FCS/FOO/FOS (32 each).
+constexpr unsigned kFpuStateBits = svm::kNumFpr * 64 + 3 * 16 + 4 * 32;
+
+/// Union of the live-in GPR masks over every reachable instruction: a
+/// register outside this union is overwritten before any read no matter
+/// where in the program an injection lands.
+std::uint16_t reachable_live_union(const svm::analysis::ProgramAnalysis& pa) {
+  std::uint16_t live = 0;
+  const auto& cfg = pa.cfg();
+  for (std::uint32_t b = 0; b < cfg.blocks().size(); ++b) {
+    if (!cfg.reachable_block(b)) continue;
+    const auto& blk = cfg.blocks()[b];
+    for (svm::Addr pc = blk.begin; pc < blk.end; pc += 4)
+      live |= pa.liveness().live_in(pc);
+  }
+  return live;
+}
+
+double dict_dead_fraction(const FaultDictionary* dict) {
+  if (dict == nullptr || dict->size() == 0) return 0.0;
+  return static_cast<double>(dict->dead_entries()) /
+         static_cast<double>(dict->size());
+}
+
+std::string percent(double f) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%5.1f%%", 100.0 * f);
+  return buf;
+}
+
+}  // namespace
+
+AnalyzeResult analyze_app(const apps::App& app, const AnalyzeConfig& config) {
+  AnalyzeResult out;
+  out.app = app.name;
+  out.seed = config.seed;
+  out.runs = config.runs;
+
+  const svm::Program program = app.link();
+  const svm::analysis::ProgramAnalysis analysis(program);
+
+  // The same seed-derived dictionaries a campaign with this seed draws its
+  // static-region targets from, annotated with the same dead predicates —
+  // the predicted fractions and the measured counts share one fault space.
+  util::Rng dict_rng(util::hash_seed({config.seed, 0xd1c7}));
+  std::unique_ptr<FaultDictionary> dicts[3];
+  const Region dict_regions[3] = {Region::kText, Region::kData, Region::kBss};
+  for (int i = 0; i < 3; ++i)
+    dicts[i] = std::make_unique<FaultDictionary>(
+        program, dict_regions[i], dict_rng, config.dictionary_entries);
+  dicts[0]->annotate(
+      [&](svm::Addr a) { return analysis.text_reachable(a); });
+  for (int i = 1; i < 3; ++i)
+    dicts[i]->annotate(
+        [&](svm::Addr a) { return !analysis.data_byte_dead(a); });
+
+  const std::uint16_t live = reachable_live_union(analysis);
+  out.dead_register_mask = static_cast<std::uint16_t>(~live);
+  out.dead_registers = static_cast<unsigned>(
+      std::popcount(static_cast<unsigned>(out.dead_register_mask) & 0xffffu));
+  out.empty_fp_slots = analysis.fpdepth().always_empty_slots();
+  out.fp_max_depth = analysis.fpdepth().max_depth_bound();
+  out.text_entries = dicts[0]->size();
+  out.text_dead = dicts[0]->dead_entries();
+  out.data_entries = dicts[1]->size();
+  out.data_dead = dicts[1]->dead_entries();
+  out.bss_entries = dicts[2]->size();
+  out.bss_dead = dicts[2]->dead_entries();
+  out.data_segment = analysis.memliveness().segment(svm::Segment::kData);
+  out.bss_segment = analysis.memliveness().segment(svm::Segment::kBss);
+  out.stack_frames = static_cast<int>(analysis.memliveness().frames().size());
+  out.dead_stack_slots = analysis.memliveness().dead_stack_slots();
+
+  auto predicted = [&](Region r) -> double {
+    switch (r) {
+      case Region::kRegularReg:
+        return static_cast<double>(out.dead_registers) / svm::kNumGpr;
+      case Region::kFpReg:
+        return static_cast<double>(out.empty_fp_slots) * 64.0 / kFpuStateBits;
+      case Region::kText:
+        return dict_dead_fraction(dicts[0].get());
+      case Region::kData:
+        return dict_dead_fraction(dicts[1].get());
+      case Region::kBss:
+        return dict_dead_fraction(dicts[2].get());
+      default:
+        return 0.0;  // stack/heap/message: no static proof covers them
+    }
+  };
+
+  for (Region r : config.regions) {
+    RegionAnalysis ra;
+    ra.region = r;
+    ra.predicted_masked = predicted(r);
+    out.regions.push_back(ra);
+  }
+
+  if (config.runs > 0) {
+    CampaignConfig cc;
+    cc.runs_per_region = config.runs;
+    cc.seed = config.seed;
+    cc.regions = config.regions;
+    cc.dictionary_entries = config.dictionary_entries;
+    cc.jobs = config.jobs;
+    cc.prune = PruneLevel::kFull;
+    const CampaignResult measured = run_campaign(app, cc);
+    for (RegionAnalysis& ra : out.regions) {
+      const RegionResult* rr = measured.find(ra.region);
+      if (rr == nullptr) continue;
+      ra.executions = rr->executions;
+      ra.correct = rr->counts[static_cast<unsigned>(Manifestation::kCorrect)];
+      ra.pruned = rr->pruned;
+      ra.act_live = rr->act_executions[RegionResult::kLiveIdx];
+      ra.act_dead = rr->act_executions[RegionResult::kDeadIdx];
+    }
+  }
+
+  return out;
+}
+
+std::string format_analyze(const AnalyzeResult& r) {
+  std::ostringstream os;
+  os << "analyze: " << r.app << ", seed " << r.seed;
+  if (r.runs > 0)
+    os << ", " << r.runs << " runs/region reference campaign";
+  else
+    os << ", static only";
+  os << "\n\nstatic inventory:\n";
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "  always-dead integer registers: %u of %u (mask 0x%04x)\n",
+                r.dead_registers, svm::kNumGpr, r.dead_register_mask);
+  os << line;
+  std::snprintf(line, sizeof line,
+                "  always-empty FP slots:         %u of %u"
+                " (whole-program depth bound %u)\n",
+                r.empty_fp_slots, svm::kNumFpr, r.fp_max_depth);
+  os << line;
+  std::snprintf(line, sizeof line,
+                "  text dictionary:   %5zu of %5zu entries unreachable\n",
+                r.text_dead, r.text_entries);
+  os << line;
+  std::snprintf(line, sizeof line,
+                "  data dictionary:   %5zu of %5zu entries dead\n",
+                r.data_dead, r.data_entries);
+  os << line;
+  std::snprintf(line, sizeof line,
+                "  bss dictionary:    %5zu of %5zu entries dead\n",
+                r.bss_dead, r.bss_entries);
+  os << line;
+  std::snprintf(line, sizeof line,
+                "  data segment:      %llu of %llu bytes dead"
+                " (%d of %d symbols)\n",
+                static_cast<unsigned long long>(r.data_segment.dead_bytes),
+                static_cast<unsigned long long>(r.data_segment.total_bytes),
+                r.data_segment.dead_symbols, r.data_segment.symbols);
+  os << line;
+  std::snprintf(line, sizeof line,
+                "  bss segment:       %llu of %llu bytes dead"
+                " (%d of %d symbols)\n",
+                static_cast<unsigned long long>(r.bss_segment.dead_bytes),
+                static_cast<unsigned long long>(r.bss_segment.total_bytes),
+                r.bss_segment.dead_symbols, r.bss_segment.symbols);
+  os << line;
+  std::snprintf(line, sizeof line,
+                "  stack frames:      %d write-only dead slots"
+                " across %d analyzed frames\n",
+                r.dead_stack_slots, r.stack_frames);
+  os << line;
+
+  os << "\n";
+  if (r.runs > 0) {
+    std::snprintf(line, sizeof line, "%-16s %16s  %16s  %7s  %s\n", "region",
+                  "predicted-masked", "measured Correct", "pruned",
+                  "act live/dead");
+    os << line;
+    for (const auto& ra : r.regions) {
+      std::snprintf(line, sizeof line, "%-16s %16s  %16s  %7d  %8d/%d\n",
+                    region_name(ra.region),
+                    percent(ra.predicted_masked).c_str(),
+                    percent(ra.measured_correct()).c_str(), ra.pruned,
+                    ra.act_live, ra.act_dead);
+      os << line;
+    }
+    os << "\npredicted-masked is a sound lower bound: every statically "
+          "proven-masked\nfault is Correct, so each row's first column "
+          "must not exceed its second.\n";
+  } else {
+    std::snprintf(line, sizeof line, "%-16s %16s\n", "region",
+                  "predicted-masked");
+    os << line;
+    for (const auto& ra : r.regions) {
+      std::snprintf(line, sizeof line, "%-16s %16s\n", region_name(ra.region),
+                    percent(ra.predicted_masked).c_str());
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+std::string analyze_json(const AnalyzeResult& r) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("app").value(r.app);
+  w.key("seed").value(static_cast<std::uint64_t>(r.seed));
+  w.key("runs").value(r.runs);
+  w.key("inventory");
+  w.begin_object();
+  w.key("dead_registers").value(static_cast<int>(r.dead_registers));
+  w.key("dead_register_mask").value(static_cast<int>(r.dead_register_mask));
+  w.key("empty_fp_slots").value(static_cast<int>(r.empty_fp_slots));
+  w.key("fp_max_depth").value(static_cast<int>(r.fp_max_depth));
+  w.key("text_dead").value(static_cast<std::uint64_t>(r.text_dead));
+  w.key("text_entries").value(static_cast<std::uint64_t>(r.text_entries));
+  w.key("data_dead").value(static_cast<std::uint64_t>(r.data_dead));
+  w.key("data_entries").value(static_cast<std::uint64_t>(r.data_entries));
+  w.key("bss_dead").value(static_cast<std::uint64_t>(r.bss_dead));
+  w.key("bss_entries").value(static_cast<std::uint64_t>(r.bss_entries));
+  w.key("data_dead_bytes").value(r.data_segment.dead_bytes);
+  w.key("data_total_bytes").value(r.data_segment.total_bytes);
+  w.key("bss_dead_bytes").value(r.bss_segment.dead_bytes);
+  w.key("bss_total_bytes").value(r.bss_segment.total_bytes);
+  w.key("dead_stack_slots").value(r.dead_stack_slots);
+  w.key("stack_frames").value(r.stack_frames);
+  w.end_object();
+  w.key("regions");
+  w.begin_array();
+  for (const auto& ra : r.regions) {
+    w.begin_object();
+    w.key("region").value(region_token(ra.region));
+    w.key("predicted_masked").value(ra.predicted_masked);
+    if (r.runs > 0) {
+      w.key("executions").value(ra.executions);
+      w.key("correct").value(ra.correct);
+      w.key("measured_correct").value(ra.measured_correct());
+      w.key("pruned").value(ra.pruned);
+      w.key("act_live").value(ra.act_live);
+      w.key("act_dead").value(ra.act_dead);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string analyze_csv(const AnalyzeResult& r) {
+  std::ostringstream os;
+  os << "app,region,predicted_masked,executions,correct,measured_correct,"
+        "pruned,act_live,act_dead\n";
+  char line[200];
+  for (const auto& ra : r.regions) {
+    std::snprintf(line, sizeof line, "%s,%s,%.6f,%d,%d,%.6f,%d,%d,%d\n",
+                  r.app.c_str(), region_token(ra.region), ra.predicted_masked,
+                  ra.executions, ra.correct, ra.measured_correct(), ra.pruned,
+                  ra.act_live, ra.act_dead);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace fsim::core

@@ -87,18 +87,18 @@ CampaignPlan prepare_campaign(const apps::App& app,
   }
 
   // Static analysis of the linked image, built once and shared read-only
-  // by every worker: liveness tags register faults (and prunes the
-  // provably-dead ones when config.prune), reachability and the symbol
-  // access sets tag the static-region dictionary entries.
+  // by every worker: liveness tags register faults, the FP-depth bounds
+  // tag FP data-slot faults, reachability tags text entries and the memory
+  // liveness scan tags data/BSS entries. Dead-tagged faults are pruned for
+  // the regions config.prune covers.
   plan.analysis =
       std::make_unique<svm::analysis::ProgramAnalysis>(plan.program);
   if (auto& d = plan.dicts[static_cast<unsigned>(Region::kText)]; d)
     d->annotate([&](svm::Addr a) { return plan.analysis->text_reachable(a); });
   for (Region r : {Region::kData, Region::kBss}) {
     if (auto& d = plan.dicts[static_cast<unsigned>(r)]; d)
-      d->annotate([&](svm::Addr a) {
-        return plan.analysis->data_symbol_referenced(a);
-      });
+      d->annotate(
+          [&](svm::Addr a) { return !plan.analysis->data_byte_dead(a); });
   }
   plan.ctx = RunContext{plan.analysis.get(), config.prune};
   return plan;
@@ -322,18 +322,27 @@ std::string format_campaign(const CampaignResult& result) {
     out += "\n";
   }
 
-  // Footnote: how many register injections were decided statically.
-  int pruned = 0, reg_execs = 0;
+  // Footnote: how many injections were decided statically, per region.
+  int pruned = 0, prunable_execs = 0;
+  std::string breakdown;
   for (const auto& rr : result.regions) {
     pruned += rr.pruned;
-    if (rr.region == Region::kRegularReg) reg_execs += rr.executions;
+    if (rr.pruned > 0) {
+      if (!breakdown.empty()) breakdown += ", ";
+      breakdown += region_name(rr.region);
+      breakdown += " ";
+      breakdown += std::to_string(rr.pruned);
+      prunable_execs += rr.executions;
+    }
   }
   if (pruned > 0) {
-    out += "Pruned (statically dead register targets): ";
+    out += "Pruned (statically dead targets): ";
     out += std::to_string(pruned);
     out += " of ";
-    out += std::to_string(reg_execs);
-    out += " register injections classified Correct without resuming\n";
+    out += std::to_string(prunable_execs);
+    out += " injections classified Correct without resuming (";
+    out += breakdown;
+    out += ")\n";
   }
   return out;
 }

@@ -28,12 +28,14 @@ struct CampaignConfig {
   /// way: every run's seed depends only on (campaign seed, region, index),
   /// and per-worker partial counts are merged in a fixed order.
   int jobs = 1;
-  /// Pre-injection pruning: classify register faults whose target is
-  /// statically dead at the pause point as Correct without resuming the
-  /// run. Sound (the flip is provably overwritten before any read), so
-  /// aggregates are identical with pruning on or off; on merely skips the
-  /// simulation of runs whose outcome is already decided.
-  bool prune = true;
+  /// Pre-injection pruning level: classify faults whose target is
+  /// statically dead as Correct without resuming the run. Sound at every
+  /// level (the flip is provably never observed), so aggregates are
+  /// bit-identical across levels; higher levels merely skip the simulation
+  /// of more runs whose outcome is already decided. kRegs restricts the
+  /// proof to integer registers (the PR-2 scope); kFull adds provably
+  /// empty FP-stack slots, unreachable text and dead data/BSS symbols.
+  PruneLevel prune = PruneLevel::kFull;
   /// Called after every run (for progress display); may be empty. With
   /// jobs > 1 the callback is invoked under a mutex (never concurrently
   /// with itself); `done` is the region's monotonically increasing
@@ -47,7 +49,7 @@ struct RegionResult {
   int skipped = 0;  // no viable target existed (counted as correct runs)
   std::array<int, kNumManifestations> counts{};  // indexed by Manifestation
   std::array<int, kNumCrashKinds> crash_kinds{};  // breakdown of Crash
-  int pruned = 0;  // register runs decided statically, never resumed
+  int pruned = 0;  // runs decided statically, never resumed
 
   /// Activation-class split (paper §6-§7): executions and manifestation
   /// counts for faults the static analysis tagged live vs dead. Runs with
@@ -106,7 +108,7 @@ struct CampaignSpec {
   std::uint64_t seed = 0;
   std::vector<Region> regions;
   std::size_t dictionary_entries = 0;
-  bool prune = true;
+  PruneLevel prune = PruneLevel::kFull;
 
   bool operator==(const CampaignSpec&) const = default;
 };

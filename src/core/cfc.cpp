@@ -12,14 +12,47 @@ using svm::Instr;
 using svm::Segment;
 using svm::analysis::FlowKind;
 
+CfcSignatures::CfcSignatures(const svm::analysis::Cfg& cfg) {
+  base_ = cfg.user_text_base();
+  end_ = cfg.user_text_end();
+  sigs_.reserve((end_ - base_) / 4);
+  for (Addr pc = base_; pc < end_; pc += 4) {
+    const std::uint32_t word = cfg.word_at(pc);
+    CfcSignature s;
+    s.kind = svm::analysis::flow_of(word);
+    switch (s.kind) {
+      case FlowKind::kBranch:
+      case FlowKind::kJump:
+      case FlowKind::kCall:
+        s.target = svm::analysis::rel_target(pc, svm::decode(word));
+        break;
+      default:
+        break;
+    }
+    sigs_.push_back(s);
+  }
+}
+
+const CfcSignature* CfcSignatures::at(Addr pc) const noexcept {
+  if (pc < base_ || pc >= end_ || pc % 4 != 0) return nullptr;
+  return &sigs_[(pc - base_) / 4];
+}
+
 ControlFlowChecker::ControlFlowChecker(const svm::Program& program,
                                        svm::Machine& machine)
-    : machine_(&machine) {
+    : ControlFlowChecker(program, machine, nullptr, CfcMode::kOnline) {}
+
+ControlFlowChecker::ControlFlowChecker(const svm::Program& program,
+                                       svm::Machine& machine,
+                                       const CfcSignatures* signatures,
+                                       CfcMode mode)
+    : machine_(&machine), signatures_(signatures), mode_(mode) {
   const auto& img = program.image(Segment::kText);
   text_image_.assign(img.begin(), img.end());
   text_base_ = program.segment_base(Segment::kText);
   lib_base_ = program.segment_base(Segment::kLibText);
   lib_size_ = program.segment_size(Segment::kLibText);
+  if (signatures_ == nullptr) mode_ = CfcMode::kOnline;
   machine.memory().set_observer(this);
 }
 
@@ -75,23 +108,48 @@ void ControlFlowChecker::on_fetch(Addr addr) {
     flag(addr, "target-alignment");
     return;
   }
-  const auto word = original_word(prev);
-  if (!word) {
+  // The legal-successor model is the same flow_of/rel_target classification
+  // the static analyzer builds its CFG from (svm/analysis/cfg.hpp), so the
+  // run-time checker and the offline analysis can never disagree. In
+  // kOnline mode the model is re-derived by decoding the pristine image at
+  // every fetch; in kStatic mode it is the link-time CfcSignatures table;
+  // kDifferential evaluates both and counts any disagreement.
+  bool have = false;
+  FlowKind kind = FlowKind::kFallthrough;
+  Addr rel_target = 0;
+  if (mode_ != CfcMode::kStatic) {
+    if (const auto word = original_word(prev)) {
+      have = true;
+      kind = svm::analysis::flow_of(*word);
+      if (kind == FlowKind::kBranch || kind == FlowKind::kJump ||
+          kind == FlowKind::kCall)
+        rel_target = svm::analysis::rel_target(prev, svm::decode(*word));
+    }
+  }
+  if (mode_ != CfcMode::kOnline) {
+    const CfcSignature* sig = signatures_->at(prev);
+    if (mode_ == CfcMode::kDifferential) {
+      const bool sig_have = sig != nullptr;
+      if (sig_have != have ||
+          (sig_have && (sig->kind != kind || sig->target != rel_target)))
+        ++divergences_;
+    } else if (sig != nullptr) {
+      have = true;
+      kind = sig->kind;
+      rel_target = sig->target;
+    }
+  }
+  if (!have) {
     flag(addr, "edge");
     return;
   }
-  // The legal-successor model is the same flow_of/rel_target classification
-  // the static analyzer builds its CFG from (svm/analysis/cfg.hpp), so the
-  // run-time checker and the offline analysis can never disagree.
-  const Instr in = svm::decode(*word);
   const Addr fallthrough = prev + 4;
-  const Addr rel_target = svm::analysis::rel_target(prev, in);
 
   auto ok_edge = [&](bool ok) {
     if (!ok) flag(addr, "edge");
   };
 
-  switch (svm::analysis::flow_of(*word)) {
+  switch (kind) {
     case FlowKind::kBranch:
       ok_edge(addr == fallthrough || addr == rel_target);
       break;

@@ -19,16 +19,59 @@
 #include <optional>
 #include <vector>
 
+#include "svm/analysis/cfg.hpp"
 #include "svm/machine.hpp"
 #include "svm/program.hpp"
 
 namespace fsim::core {
 
+/// Legal-successor record of one user-text instruction: its flow class and,
+/// for direct transfers (branch/jump/call), the encoded target address.
+struct CfcSignature {
+  svm::analysis::FlowKind kind = svm::analysis::FlowKind::kFallthrough;
+  svm::Addr target = 0;  // valid for kBranch / kJump / kCall only
+};
+
+/// The control-flow signature database, derived at link time from the same
+/// flow_of/rel_target classification the CFG's block successor lists are
+/// built from (svm/analysis/cfg.hpp) — one record per user-text
+/// instruction, so a checker in kStatic mode never decodes at run time.
+class CfcSignatures {
+ public:
+  explicit CfcSignatures(const svm::analysis::Cfg& cfg);
+
+  /// Signature of the instruction at `pc`; nullptr outside user text.
+  const CfcSignature* at(svm::Addr pc) const noexcept;
+
+  std::size_t size() const noexcept { return sigs_.size(); }
+  svm::Addr text_base() const noexcept { return base_; }
+
+ private:
+  std::vector<CfcSignature> sigs_;
+  svm::Addr base_ = 0;
+  svm::Addr end_ = 0;
+};
+
+/// How the checker derives each fetch's legal successor set.
+enum class CfcMode : std::uint8_t {
+  kOnline,        // decode the pristine text image at every fetch
+  kStatic,        // look up the link-time CfcSignatures table
+  kDifferential,  // do both; count any disagreement (should be zero)
+};
+
 class ControlFlowChecker : public svm::AccessObserver {
  public:
   /// Builds the static model from the (uncorrupted) program image and
-  /// attaches itself as the machine's memory observer.
+  /// attaches itself as the machine's memory observer (kOnline mode).
   ControlFlowChecker(const svm::Program& program, svm::Machine& machine);
+
+  /// Same, with a pre-built signature table. `signatures` must outlive the
+  /// checker and be built from the same program image. kStatic consults
+  /// only the table; kDifferential evaluates the table against the online
+  /// decode at every checked fetch and counts divergences.
+  ControlFlowChecker(const svm::Program& program, svm::Machine& machine,
+                     const CfcSignatures* signatures,
+                     CfcMode mode = CfcMode::kStatic);
 
   struct Violation {
     svm::Addr from = 0;        // pc of the instruction that transferred
@@ -42,6 +85,10 @@ class ControlFlowChecker : public svm::AccessObserver {
     return violation_;
   }
   std::uint64_t transfers_checked() const noexcept { return checked_; }
+  /// Table-vs-decode disagreements seen in kDifferential mode (0 elsewhere;
+  /// nonzero would mean the link-time table and the online model drifted).
+  std::uint64_t divergences() const noexcept { return divergences_; }
+  CfcMode mode() const noexcept { return mode_; }
 
   // AccessObserver:
   void on_fetch(svm::Addr addr) override;
@@ -58,11 +105,14 @@ class ControlFlowChecker : public svm::AccessObserver {
   svm::Addr text_base_ = 0;
   svm::Addr lib_base_ = 0;              // library text (not modelled; calls
   std::uint32_t lib_size_ = 0;          //  into it are treated as opaque)
+  const CfcSignatures* signatures_ = nullptr;
+  CfcMode mode_ = CfcMode::kOnline;
   std::vector<svm::Addr> shadow_stack_;
   bool have_prev_ = false;
   svm::Addr prev_pc_ = 0;
   std::optional<Violation> violation_;
   std::uint64_t checked_ = 0;
+  std::uint64_t divergences_ = 0;
 };
 
 }  // namespace fsim::core

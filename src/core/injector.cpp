@@ -16,10 +16,18 @@ std::string hexaddr(svm::Addr a) {
   return buf;
 }
 
+/// One applied FPU flip: the description plus, for data-register hits, the
+/// physical slot — the static depth analysis can prove emptiness only for
+/// data bits (TWD/special-register flips perturb the control state itself).
+struct FpuFlip {
+  std::string what;
+  std::optional<unsigned> data_slot;
+};
+
 /// Flip one uniformly chosen bit of the x87-style FPU state. The state
 /// vector mirrors §3.2's targets: eight data registers plus the special
 /// registers (CWD, SWD, TWD, FIP, FCS, FOO, FOS).
-std::string flip_fpu_bit(svm::Fpu& fpu, util::Rng& rng) {
+FpuFlip flip_fpu_bit(svm::Fpu& fpu, util::Rng& rng) {
   constexpr unsigned kDataBits = svm::kNumFpr * 64;  // 512
   constexpr unsigned kTwd = kDataBits;               // 16 bits
   constexpr unsigned kCwd = kTwd + 16;
@@ -31,11 +39,13 @@ std::string flip_fpu_bit(svm::Fpu& fpu, util::Rng& rng) {
   constexpr unsigned kTotal = kFos + 32;
 
   const unsigned bit = static_cast<unsigned>(rng.below(kTotal));
+  FpuFlip flip;
   std::ostringstream what;
   if (bit < kDataBits) {
     const unsigned reg = bit / 64, b = bit % 64;
     fpu.raw(reg) = util::flip_bit64(fpu.raw(reg), b);
     what << "fpu data reg " << reg << " bit " << b;
+    flip.data_slot = reg;
   } else if (bit < kCwd) {
     fpu.twd() ^= static_cast<std::uint16_t>(1u << (bit - kTwd));
     what << "TWD bit " << bit - kTwd;
@@ -58,7 +68,8 @@ std::string flip_fpu_bit(svm::Fpu& fpu, util::Rng& rng) {
     fpu.fos() ^= 1u << (bit - kFos);
     what << "FOS bit " << bit - kFos;
   }
-  return what.str();
+  flip.what = what.str();
+  return flip;
 }
 
 }  // namespace
@@ -93,9 +104,24 @@ std::optional<AppliedFault> Injector::inject_into_rank(simmpi::World& world,
       }
       break;
     }
-    case Region::kFpReg:
-      what << flip_fpu_bit(m.regs().fpu, rng);
+    case Region::kFpReg: {
+      const FpuFlip flip = flip_fpu_bit(m.regs().fpu, rng);
+      what << flip.what;
+      // Static verdict for data-register hits: if the physical slot is
+      // provably empty at the paused pc (anchored depth bound), the flipped
+      // bits sit behind a kEmpty tag — reads see QNaN regardless and the
+      // only empty->occupied transition is a full 64-bit overwrite — so the
+      // fault is provably inactive. TWD/special-register flips stay
+      // kUnknown: they corrupt the control state the proof relies on.
+      if (flip.data_slot && analysis_ != nullptr &&
+          analysis_->covers(m.regs().pc)) {
+        fault.activation =
+            analysis_->fpu_slot_dead_at(m.regs().pc, *flip.data_slot)
+                ? Activation::kDead
+                : Activation::kLive;
+      }
       break;
+    }
     case Region::kText:
     case Region::kData:
     case Region::kBss: {

@@ -171,6 +171,16 @@ std::uint64_t batch_digest(const BatchResult& result) {
 
 namespace {
 
+/// Spec "prune" values: the level name ("off" | "regs" | "full"), with the
+/// PR-3 booleans still accepted for old spec files and shard partials
+/// (true mapped to the old behaviour, register-only pruning).
+PruneLevel read_prune(const util::JsonValue& v) {
+  if (v.kind() == util::JsonValue::Kind::kBool)
+    return v.as_bool() ? PruneLevel::kRegs : PruneLevel::kOff;
+  if (auto level = parse_prune_level(v.as_string())) return *level;
+  throw util::SetupError("unknown prune level '" + v.as_string() + "'");
+}
+
 void write_spec(util::JsonWriter& w, const CampaignSpec& spec) {
   w.begin_object();
   w.key("app").value(spec.app);
@@ -181,7 +191,7 @@ void write_spec(util::JsonWriter& w, const CampaignSpec& spec) {
   w.end_array();
   w.key("dictionary_entries")
       .value(static_cast<std::uint64_t>(spec.dictionary_entries));
-  w.key("prune").value(spec.prune);
+  w.key("prune").value(prune_level_name(spec.prune));
   w.end_object();
 }
 
@@ -194,7 +204,7 @@ CampaignSpec read_spec(const util::JsonValue& v) {
     spec.regions.push_back(parse_region(r.as_string()));
   spec.dictionary_entries =
       static_cast<std::size_t>(v.at("dictionary_entries").as_u64());
-  spec.prune = v.at("prune").as_bool();
+  spec.prune = read_prune(v.at("prune"));
   return spec;
 }
 
@@ -361,7 +371,7 @@ std::vector<CampaignSpec> parse_batch_spec(const std::string& text) {
     if (const auto* f = v.find("runs"))
       spec.runs_per_region = static_cast<int>(f->as_int());
     if (const auto* f = v.find("seed")) spec.seed = f->as_u64();
-    if (const auto* f = v.find("prune")) spec.prune = f->as_bool();
+    if (const auto* f = v.find("prune")) spec.prune = read_prune(*f);
     if (const auto* f = v.find("dictionary_entries"))
       spec.dictionary_entries = static_cast<std::size_t>(f->as_u64());
     if (const auto* f = v.find("regions")) {

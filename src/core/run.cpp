@@ -40,6 +40,26 @@ const std::string& baseline_stream(const apps::App& app,
 
 }  // namespace
 
+const char* prune_level_name(PruneLevel level) noexcept {
+  switch (level) {
+    case PruneLevel::kOff:
+      return "off";
+    case PruneLevel::kRegs:
+      return "regs";
+    case PruneLevel::kFull:
+      return "full";
+  }
+  return "off";
+}
+
+std::optional<PruneLevel> parse_prune_level(std::string_view text) noexcept {
+  if (text == "off" || text == "false") return PruneLevel::kOff;
+  if (text == "regs") return PruneLevel::kRegs;
+  if (text == "full" || text == "on" || text == "true")
+    return PruneLevel::kFull;
+  return std::nullopt;
+}
+
 Golden run_golden(const apps::App& app, std::uint64_t seed) {
   return run_golden(app, app.link(), seed);
 }
@@ -140,13 +160,15 @@ RunOutcome run_injected(const apps::App& app, const svm::Program& program,
         outcome.injected_at = world.global_instructions();
         desc << "rank " << fault->rank << ": " << fault->target << " at t="
              << outcome.injected_at;
-        // Pre-injection pruning: a register provably dead at the paused pc
-        // is overwritten before any read on every path, so resuming would
-        // replay the golden run to completion. Classify Correct now and
-        // skip the simulation. Restricted to register faults — memory
-        // activation classes are reporting-only (a derived pointer can
-        // reach a "dead" symbol's bytes, so they carry no proof).
-        if (ctx.prune && region == Region::kRegularReg &&
+        // Pre-injection pruning: a fault tagged statically dead carries a
+        // proof that the flipped bit is never observed (register
+        // overwritten before any read on every path, FP slot provably
+        // empty behind its tag, text never fetched, data/BSS symbol never
+        // read) — resuming would replay the golden run to completion.
+        // Classify Correct now and skip the simulation, for the regions
+        // the configured level covers. Stack/heap activation classes stay
+        // reporting-only at every level.
+        if (prune_allows(ctx.prune, region) &&
             fault->activation == Activation::kDead) {
           outcome.pruned = true;
           outcome.manifestation = Manifestation::kCorrect;

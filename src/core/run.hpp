@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "apps/app.hpp"
@@ -50,16 +52,50 @@ RunOutcome run_injected(const apps::App& app, const svm::Program& program,
                         const Golden& golden, Region region,
                         const FaultDictionary* dictionary, std::uint64_t seed);
 
+/// Which statically-dead fault classes may be classified Correct without
+/// resuming the run. Every level is sound — aggregates are bit-identical
+/// across levels; higher levels merely skip more already-decided runs.
+enum class PruneLevel : std::uint8_t {
+  kOff,   // never prune
+  kRegs,  // integer register faults only (the PR-2 scope)
+  kFull,  // + provably empty FP slots, unreachable text, dead data/BSS
+};
+
+/// "off" | "regs" | "full".
+const char* prune_level_name(PruneLevel level) noexcept;
+
+/// Parse a --prune value. Accepts the level names plus the legacy booleans
+/// ("on"/"true" -> kFull, "false" -> kOff); nullopt on anything else.
+std::optional<PruneLevel> parse_prune_level(std::string_view text) noexcept;
+
+/// Does `level` allow pruning a statically-dead fault in `region`?
+/// (Stack/heap/message faults carry no static proof at any level.)
+constexpr bool prune_allows(PruneLevel level, Region region) noexcept {
+  switch (level) {
+    case PruneLevel::kOff:
+      return false;
+    case PruneLevel::kRegs:
+      return region == Region::kRegularReg;
+    case PruneLevel::kFull:
+      return region == Region::kRegularReg || region == Region::kFpReg ||
+             region == Region::kText || region == Region::kData ||
+             region == Region::kBss;
+  }
+  return false;
+}
+
 /// Static-analysis context for an injected run.
 struct RunContext {
   /// Built once per campaign from the linked image; tags faults with their
   /// static activation class. May be null (no tagging, no pruning).
   const svm::analysis::ProgramAnalysis* analysis = nullptr;
-  /// When true, a register fault whose target is statically dead at the
-  /// pause point is classified Correct immediately, without resuming the
-  /// run — sound because the flipped bit is overwritten before any read on
-  /// every path, so the full run would replay the golden execution.
-  bool prune = false;
+  /// Pre-injection pruning level: a fault tagged statically dead in a
+  /// region the level covers is classified Correct immediately, without
+  /// resuming the run — sound because the flip is provably never observed
+  /// (register overwritten before any read, FP slot behind an empty tag,
+  /// text never fetched, data/BSS symbol never read), so the full run
+  /// would replay the golden execution.
+  PruneLevel prune = PruneLevel::kOff;
 };
 
 /// Same, with activation tagging and optional pre-injection pruning. The

@@ -5,8 +5,10 @@
 #pragma once
 
 #include "svm/analysis/cfg.hpp"
+#include "svm/analysis/fpdepth.hpp"
 #include "svm/analysis/lint.hpp"
 #include "svm/analysis/liveness.hpp"
+#include "svm/analysis/memliveness.hpp"
 
 namespace fsim::svm::analysis {
 
@@ -15,10 +17,14 @@ class ProgramAnalysis {
   explicit ProgramAnalysis(const Program& program)
       : cfg_(program),
         liveness_(cfg_, DefUseModel::kSound),
-        symbol_access_(scan_symbol_access(cfg_)) {}
+        symbol_access_(scan_symbol_access(cfg_)),
+        fpdepth_(cfg_),
+        memliveness_(cfg_, symbol_access_) {}
 
   const Cfg& cfg() const noexcept { return cfg_; }
   const Liveness& liveness() const noexcept { return liveness_; }
+  const FpDepth& fpdepth() const noexcept { return fpdepth_; }
+  const MemLiveness& memliveness() const noexcept { return memliveness_; }
 
   /// True if `gpr` is provably overwritten before any read on every path
   /// from `pc` — the pruning proof. Never true outside the code ranges.
@@ -28,6 +34,19 @@ class ProgramAnalysis {
 
   /// Is `pc` inside the analyzed code (user or library text)?
   bool covers(Addr pc) const noexcept { return cfg_.in_code(pc); }
+
+  /// True if physical FP slot `phys` is provably empty whenever the machine
+  /// is about to execute `pc` — a data-bit fault there is masked behind the
+  /// tag word (see fpdepth.hpp for the anchor invariant).
+  bool fpu_slot_dead_at(Addr pc, unsigned phys) const noexcept {
+    return fpdepth_.slot_empty_at(pc, phys);
+  }
+
+  /// True if a fault in the data/BSS byte at `addr` is provably masked:
+  /// the owning symbol is never read and never escapes, at any instant.
+  bool data_byte_dead(Addr addr) const noexcept {
+    return memliveness_.data_byte_dead(addr);
+  }
 
   /// Static reachability of a text address from the entry point. Byte
   /// addresses are mapped to the instruction word containing them: a
@@ -54,6 +73,8 @@ class ProgramAnalysis {
   Cfg cfg_;
   Liveness liveness_;
   std::map<Addr, SymbolAccess> symbol_access_;
+  FpDepth fpdepth_;
+  MemLiveness memliveness_;
 };
 
 }  // namespace fsim::svm::analysis

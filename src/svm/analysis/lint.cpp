@@ -6,6 +6,7 @@
 #include <optional>
 #include <sstream>
 
+#include "svm/analysis/fpdepth.hpp"
 #include "svm/syscall.hpp"
 #include "util/json.hpp"
 
@@ -238,6 +239,8 @@ std::map<Addr, SymbolAccess> scan_symbol_access(const Cfg& cfg) {
       sa->read |= read;
       sa->written |= write;
       sa->escaped |= escape;
+      if (read) ++sa->read_sites;
+      if (write) ++sa->write_sites;
     }
   };
 
@@ -393,6 +396,22 @@ LintResult run_lint(const Cfg& cfg, const Liveness& lint_liveness,
   }
 
   check_fp_and_frames(cfg, errors);
+
+  // Absolute FP-stack depth bounds (fpdepth.hpp): catches what the relative
+  // per-function checks above cannot — a callee whose interior depth only
+  // exceeds the 8 slots once the caller's entry depth is added, or an
+  // instruction whose operands no reachable path provides.
+  {
+    const FpDepth fpdepth(cfg);
+    for (const FpDepthIssue& issue : fpdepth.issues()) {
+      if (issue.is_error) {
+        err(issue.code, issue.addr, issue.message);
+      } else {
+        warn(issue.code, issue.addr, symbol_name_at(cfg, issue.addr),
+             issue.message);
+      }
+    }
+  }
 
   // --- warnings ----------------------------------------------------------
   // Unreachable user-text code, grouped per covering symbol.

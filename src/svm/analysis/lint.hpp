@@ -37,8 +37,13 @@ struct SymbolAccess {
   /// syscall, stored, combined into a computed address, or live across a
   /// block boundary) — assume it is both read and written.
   bool escaped = false;
+  /// Static access-site counts (load/store instructions whose tracked
+  /// address lands in the symbol); escapes are not counted as sites.
+  int read_sites = 0;
+  int write_sites = 0;
 
   bool referenced() const noexcept { return read || written || escaped; }
+  int sites() const noexcept { return read_sites + write_sites; }
 };
 
 /// Scan reachable blocks for direct loads/stores through `la`-materialised

@@ -1,0 +1,86 @@
+// Static memory liveness over the linked image: which data/BSS bytes and
+// which frame-pointer-relative stack slots can a fault corrupt without any
+// possibility of changing the execution?
+//
+// Data/BSS: builds on scan_symbol_access (lint.hpp). A byte is *statically
+// dead* when its covering symbol is never read and never escapes local
+// tracking in any reachable block — either the symbol is never referenced
+// at all, or it is only ever written (a dead store under the assembler's
+// addressing discipline: memory is accessed only through la-materialised
+// addresses with constant offsets, and syscall buffer pointers escape).
+// That predicate is timing-independent, so it holds at whatever instant
+// the injector flips the byte. One extra escape source is handled here:
+// a pointer-sized word in .data whose value lands inside a data/BSS symbol
+// publishes that symbol's address to anything that loads the word, so the
+// symbol escapes even though no reachable `la` names it.
+//
+// Stack: per function, frame-pointer-relative slot offsets are classified
+// into read/written sets, with the whole frame escaping when the frame
+// pointer flows anywhere but a load/store base. Write-only local slots in
+// non-escaping frames are *reported* (fsim analyze) but not pruned — a
+// dynamic stack byte cannot be soundly mapped to a static slot without
+// knowing which function owns the sampled frame at injection time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "svm/analysis/cfg.hpp"
+#include "svm/analysis/lint.hpp"
+
+namespace fsim::svm::analysis {
+
+/// Frame-pointer-relative access summary of one function.
+struct StackFrameAccess {
+  Addr entry = 0;             // function entry address
+  std::string symbol;         // covering symbol, for reports
+  bool escaped = false;       // fp flowed beyond load/store bases
+  std::set<std::int32_t> read_offsets;   // fp-relative bytes read
+  std::set<std::int32_t> write_offsets;  // fp-relative bytes written
+
+  /// Local slots (negative offsets) written but never read; 0 if escaped.
+  int dead_slots() const noexcept;
+};
+
+/// Aggregate byte liveness of one data-like segment's user symbols.
+struct SegmentLiveness {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t dead_bytes = 0;  // covered by statically dead symbols
+  int symbols = 0;
+  int dead_symbols = 0;
+};
+
+class MemLiveness {
+ public:
+  MemLiveness(const Cfg& cfg, const std::map<Addr, SymbolAccess>& access);
+
+  /// True if a fault in the byte at `addr` is provably masked: the owning
+  /// data/BSS symbol is never read and never escapes. False for unknown
+  /// addresses (conservative).
+  bool data_byte_dead(Addr addr) const noexcept;
+
+  /// Per-segment liveness totals (Segment::kData or Segment::kBss).
+  SegmentLiveness segment(Segment s) const;
+
+  /// Stack frame summaries, one per detected function, address order.
+  const std::vector<StackFrameAccess>& frames() const noexcept {
+    return frames_;
+  }
+  /// Total write-only local slots across non-escaping frames.
+  int dead_stack_slots() const noexcept;
+
+ private:
+  void scan_data_pointers();
+  void scan_frames();
+  const SymbolAccess* access_of(Addr addr) const noexcept;
+
+  const Cfg* cfg_;
+  const std::map<Addr, SymbolAccess>* access_;
+  std::set<Addr> pointer_escaped_;  // symbol keys published via .data words
+  std::vector<StackFrameAccess> frames_;
+};
+
+}  // namespace fsim::svm::analysis

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "apps/app.hpp"
+#include "core/analyze.hpp"
 #include "core/campaign.hpp"
 #include "core/report.hpp"
 #include "core/sampling.hpp"
@@ -40,12 +41,14 @@ int print_usage() {
       "usage: fsim <command> [options]\n"
       "  run       --app=NAME --region=REGION [--seed=N]\n"
       "  campaign  --app=NAME [--runs=N] [--regions=a,b,...] [--seed=N]\n"
-      "            [--jobs=N] [--prune=on|off] [--activation]\n"
+      "            [--jobs=N] [--prune=off|regs|full] [--activation]\n"
       "            [--json] [--csv] [--quiet]\n"
       "  batch     --apps=a,b,... | --spec=FILE [--runs=N] [--regions=...]\n"
-      "            [--seed=N] [--jobs=N] [--prune=on|off] [--shard=i/N]\n"
+      "            [--seed=N] [--jobs=N] [--prune=off|regs|full] [--shard=i/N]\n"
       "            [--out=FILE] [--json] [--csv] [--activation] [--quiet]\n"
       "  merge     FILE... [--out=FILE] [--json] [--csv] [--activation]\n"
+      "  analyze   --app=NAME [--runs=N] [--seed=N] [--jobs=N]\n"
+      "            [--json] [--csv] [--quiet]  (static masked fractions)\n"
       "  profile   [--app=NAME]\n"
       "  trace     --app=NAME [--rank=K] [--points=N]\n"
       "  mix       --app=NAME [--rank=K]\n"
@@ -91,16 +94,16 @@ std::vector<core::Region> parse_region_list(const std::string& csv) {
   return regions;
 }
 
-bool parse_prune(const util::Cli& cli, bool& prune) {
+bool parse_prune(const util::Cli& cli, core::PruneLevel& prune) {
   if (!cli.has("prune")) return true;
-  const std::string v = cli.str("prune", "on");
-  if (v != "on" && v != "off") {
-    std::fprintf(stderr, "option --prune expects on|off, got '%s'\n",
-                 v.c_str());
-    return false;
+  const std::string v = cli.str("prune", "full");
+  if (const auto level = core::parse_prune_level(v)) {
+    prune = *level;
+    return true;
   }
-  prune = v == "on";
-  return true;
+  std::fprintf(stderr, "option --prune expects off|regs|full, got '%s'\n",
+               v.c_str());
+  return false;
 }
 
 int cmd_run(const util::Cli& cli) {
@@ -313,6 +316,28 @@ int cmd_lint(const util::Cli& cli) {
   return rc;
 }
 
+int cmd_analyze(const util::Cli& cli) {
+  apps::App app = apps::make_app(cli.str("app", "wavetoy"));
+  core::AnalyzeConfig cfg;
+  cfg.runs = static_cast<int>(cli.num("runs", 200));
+  cfg.seed = static_cast<std::uint64_t>(cli.num("seed", 0xfa));
+  cfg.jobs = static_cast<int>(cli.num(
+      "jobs",
+      static_cast<std::int64_t>(util::ThreadPool::default_workers())));
+  if (cli.has("regions")) cfg.regions = parse_region_list(cli.str("regions", ""));
+  if (!cli.flag("quiet") && cfg.runs > 0)
+    std::fprintf(stderr, "analyze: %s, %d-run reference campaign...\n",
+                 app.name.c_str(), cfg.runs);
+  const core::AnalyzeResult res = core::analyze_app(app, cfg);
+  if (cli.flag("json"))
+    std::printf("%s\n", core::analyze_json(res).c_str());
+  else if (cli.flag("csv"))
+    std::printf("%s", core::analyze_csv(res).c_str());
+  else
+    std::printf("%s", core::format_analyze(res).c_str());
+  return 0;
+}
+
 int cmd_profile(const util::Cli& cli) {
   std::vector<trace::ProcessProfile> profiles;
   if (cli.has("app")) {
@@ -372,6 +397,7 @@ int main(int argc, char** argv) {
     if (command == "campaign") return cmd_campaign(cli);
     if (command == "batch") return cmd_batch(cli);
     if (command == "merge") return cmd_merge(cli);
+    if (command == "analyze") return cmd_analyze(cli);
     if (command == "profile") return cmd_profile(cli);
     if (command == "trace") return cmd_trace(cli);
     if (command == "mix") return cmd_mix(cli);

@@ -1,12 +1,56 @@
 #include "trace/profile.hpp"
 
 #include <algorithm>
+#include <set>
 
+#include "simmpi/stubs.hpp"
 #include "simmpi/world.hpp"
+#include "svm/analysis/lint.hpp"
+#include "svm/layout.hpp"
 #include "util/status.hpp"
 #include "util/table.hpp"
 
 namespace fsim::trace {
+
+namespace {
+
+/// Static data/BSS access-site census: how often reachable code reads and
+/// writes each symbol, with library (MPI) symbols tagged — the profile-side
+/// view of the fault-dictionary's user/MPI split.
+std::vector<ProcessProfile::SymbolTouch> scan_symbol_touches(
+    const svm::Program& program) {
+  const svm::analysis::Cfg cfg(program);
+  const auto access = svm::analysis::scan_symbol_access(cfg);
+
+  std::set<std::string> library_names;
+  for (const auto& name : simmpi::stub_symbol_names())
+    library_names.insert(name);
+  for (const auto& sym : program.symbols())
+    if (svm::is_library_segment(sym.segment)) library_names.insert(sym.name);
+
+  std::vector<ProcessProfile::SymbolTouch> touches;
+  for (const auto& [addr, sa] : access) {
+    const svm::Symbol* sym = program.symbol_covering(addr);
+    if (sym == nullptr) continue;
+    ProcessProfile::SymbolTouch t;
+    t.name = sym->name;
+    t.segment = sym->segment;
+    t.read_sites = sa.read_sites;
+    t.write_sites = sa.write_sites;
+    t.escaped = sa.escaped;
+    t.mpi = library_names.count(sym->name) > 0;
+    touches.push_back(std::move(t));
+  }
+  std::sort(touches.begin(), touches.end(),
+            [](const ProcessProfile::SymbolTouch& a,
+               const ProcessProfile::SymbolTouch& b) {
+              if (a.sites() != b.sites()) return a.sites() > b.sites();
+              return a.name < b.name;
+            });
+  return touches;
+}
+
+}  // namespace
 
 ProcessProfile profile_app(const apps::App& app) {
   const svm::Program program = app.link();
@@ -58,6 +102,7 @@ ProcessProfile profile_app(const apps::App& app) {
   }
   p.bytes_per_rank =
       p.traffic.total_bytes() / static_cast<std::uint64_t>(world.size());
+  p.symbol_access = scan_symbol_touches(program);
   return p;
 }
 
@@ -101,7 +146,25 @@ std::string format_profiles(const std::vector<ProcessProfile>& profiles) {
   row("Data messages", [](const ProcessProfile& p) {
     return std::to_string(p.traffic.data_messages);
   });
-  return t.ascii();
+  std::string out = t.ascii();
+
+  // Static symbol-access census, one table per app, most-touched first.
+  for (const auto& p : profiles) {
+    if (p.symbol_access.empty()) continue;
+    util::Table st("Data/BSS symbol access sites — " + p.app);
+    st.header({"Symbol", "Segment", "Reads", "Writes", "Tag"});
+    for (const auto& s : p.symbol_access) {
+      st.row({s.name + (s.escaped ? " *" : ""), svm::segment_name(s.segment),
+              std::to_string(s.read_sites), std::to_string(s.write_sites),
+              s.mpi ? "mpi" : "user"});
+    }
+    out += "\n" + st.ascii();
+    bool any_escaped = false;
+    for (const auto& s : p.symbol_access) any_escaped |= s.escaped;
+    if (any_escaped)
+      out += "(* address escapes local tracking; counts are a lower bound)\n";
+  }
+  return out;
 }
 
 }  // namespace fsim::trace

@@ -33,6 +33,21 @@ struct ProcessProfile {
   std::uint64_t bytes_per_rank = 0;
 
   std::uint64_t golden_instructions = 0;
+
+  /// One data/BSS symbol's static access-site counts, from the same
+  /// scan_symbol_access pass the lint and pruning layers consume.
+  struct SymbolTouch {
+    std::string name;
+    svm::Segment segment = svm::Segment::kData;
+    int read_sites = 0;
+    int write_sites = 0;
+    bool escaped = false;  // address escapes; counts are a lower bound
+    bool mpi = false;      // MPI library symbol (vs user code)
+
+    int sites() const noexcept { return read_sites + write_sites; }
+  };
+  /// Sorted by total touch count, most-touched first.
+  std::vector<SymbolTouch> symbol_access;
 };
 
 /// Run the application fault-free and measure its profile. The run must

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# One-shot CI gate: configure and build the tree with warnings-as-errors,
+# run the full test suite, the lint gate (warnings fatal) and the docs
+# drift check — optionally repeating the whole cycle under AddressSanitizer.
+#
+#   tests/ci.sh [--asan] [--build-dir=DIR] [--jobs=N]
+#
+#   --asan        after the plain gate passes, reconfigure a second build
+#                 tree with FSIM_SANITIZE=address and run the suite again
+#   --build-dir   scratch build root (default: <repo>/build-ci)
+#   --jobs        parallel build/test width (default: nproc)
+#
+# Exit status is nonzero on the first failing stage. Registered as the
+# ctest `ci_script` smoke test (label "ci"), which exercises the plain
+# gate against a fresh build tree.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="$root/build-ci"
+jobs="$(nproc 2>/dev/null || echo 4)"
+asan=0
+
+for arg in "$@"; do
+  case "$arg" in
+    --asan) asan=1 ;;
+    --build-dir=*) build="${arg#--build-dir=}" ;;
+    --jobs=*) jobs="${arg#--jobs=}" ;;
+    *) echo "ci.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+run_gate() {
+  local dir="$1"; shift
+  echo "=== ci: configure ($dir: $*) ==="
+  cmake -B "$dir" -S "$root" -DFSIM_WERROR=ON "$@"
+  echo "=== ci: build ==="
+  cmake --build "$dir" -j "$jobs"
+  echo "=== ci: ctest ==="
+  (cd "$dir" && ctest --output-on-failure -j "$jobs")
+  echo "=== ci: lint --werror ==="
+  "$dir/src/tools/fsim" lint --app=all --werror
+  echo "=== ci: docs check ==="
+  bash "$root/tests/docs_check.sh" "$dir/src/tools/fsim" "$root"
+}
+
+run_gate "$build"
+
+if [ "$asan" -eq 1 ]; then
+  run_gate "$build-asan" -DFSIM_SANITIZE=address
+fi
+
+echo "=== ci: all gates passed ==="

@@ -212,20 +212,24 @@ TEST(Batch, SpecFileParsing) {
     "runs": 32, "seed": 77, "regions": ["regular", "message"],
     "campaigns": [
       {"app": "wavetoy"},
-      {"app": "minimd", "runs": 16, "prune": false, "regions": ["text"]}
+      {"app": "minimd", "runs": 16, "prune": false, "regions": ["text"]},
+      {"app": "atmo", "prune": "regs"}
     ]})";
   const std::vector<CampaignSpec> specs = parse_batch_spec(spec);
-  ASSERT_EQ(specs.size(), 2u);
+  ASSERT_EQ(specs.size(), 3u);
   EXPECT_EQ(specs[0].app, "wavetoy");
   EXPECT_EQ(specs[0].runs_per_region, 32);
   EXPECT_EQ(specs[0].seed, 77u);
   EXPECT_EQ(specs[0].regions,
             (std::vector<Region>{Region::kRegularReg, Region::kMessage}));
-  EXPECT_TRUE(specs[0].prune);
+  EXPECT_EQ(specs[0].prune, PruneLevel::kFull);
   EXPECT_EQ(specs[1].app, "minimd");
   EXPECT_EQ(specs[1].runs_per_region, 16);
-  EXPECT_FALSE(specs[1].prune);
+  // Legacy boolean spelling from the two-level era maps onto the levels.
+  EXPECT_EQ(specs[1].prune, PruneLevel::kOff);
   EXPECT_EQ(specs[1].regions, (std::vector<Region>{Region::kText}));
+  EXPECT_EQ(specs[2].app, "atmo");
+  EXPECT_EQ(specs[2].prune, PruneLevel::kRegs);
 
   EXPECT_THROW(parse_batch_spec("{\"campaigns\": []}"), util::SetupError);
   EXPECT_THROW(parse_batch_spec("{\"campaigns\": [{}]}"), util::SetupError);

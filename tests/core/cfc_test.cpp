@@ -154,6 +154,99 @@ TEST(Cfc, PureDataFaultIsInvisible) {
   EXPECT_NE(p.machine.exit_code(), 55);  // the data damage happened, though
 }
 
+// --- Static signature table (link-time CFC model) ------------------------
+
+TEST(CfcSignatures, TableMatchesOnlineDecodeEverywhere) {
+  // The link-time table and the fetch-time decode must agree on every
+  // user-text instruction, for every bundled app: same flow class, same
+  // direct-transfer target.
+  for (const auto& name : apps::app_names()) {
+    const svm::Program program = apps::make_app(name).link();
+    const svm::analysis::Cfg cfg(program);
+    const CfcSignatures sigs(cfg);
+    ASSERT_EQ(sigs.size(),
+              (cfg.user_text_end() - cfg.user_text_base()) / 4);
+    for (svm::Addr pc = cfg.user_text_base(); pc < cfg.user_text_end();
+         pc += 4) {
+      const CfcSignature* s = sigs.at(pc);
+      ASSERT_NE(s, nullptr) << name;
+      const std::uint32_t word = cfg.word_at(pc);
+      EXPECT_EQ(s->kind, svm::analysis::flow_of(word)) << name;
+      using svm::analysis::FlowKind;
+      if (s->kind == FlowKind::kBranch || s->kind == FlowKind::kJump ||
+          s->kind == FlowKind::kCall)
+        EXPECT_EQ(s->target,
+                  svm::analysis::rel_target(pc, svm::decode(word)))
+            << name;
+    }
+    // Outside user text: no signature.
+    EXPECT_EQ(sigs.at(cfg.user_text_base() - 4), nullptr);
+    EXPECT_EQ(sigs.at(cfg.user_text_end()), nullptr);
+    EXPECT_EQ(sigs.at(cfg.user_text_base() + 2), nullptr);
+  }
+}
+
+TEST(CfcSignatures, DifferentialRunSeesZeroDivergences) {
+  // A clean differential run asserts learned (online decode) == static
+  // (table) at every checked transfer.
+  svm::Program program = svm::assemble(kBranchy);
+  const svm::analysis::Cfg cfg(program);
+  const CfcSignatures sigs(cfg);
+  svm::Machine machine(program, {});
+  svm::BasicEnv env(machine);
+  ControlFlowChecker cfc(program, machine, &sigs, CfcMode::kDifferential);
+  machine.step(100000);
+  ASSERT_EQ(machine.state(), svm::RunState::kExited);
+  EXPECT_FALSE(cfc.violated());
+  EXPECT_GT(cfc.transfers_checked(), 50u);
+  EXPECT_EQ(cfc.divergences(), 0u);
+  EXPECT_EQ(cfc.mode(), CfcMode::kDifferential);
+}
+
+TEST(CfcSignatures, StaticModeDetectsTheSameViolations) {
+  // Same corrupted-branch scenario as DetectsBranchRetargeting, but with
+  // the checker running purely off the link-time table.
+  svm::Program program = svm::assemble(kBranchy);
+  const svm::analysis::Cfg cfg(program);
+  const CfcSignatures sigs(cfg);
+  svm::Machine machine(program, {});
+  svm::BasicEnv env(machine);
+  ControlFlowChecker cfc(program, machine, &sigs, CfcMode::kStatic);
+  EXPECT_EQ(cfc.mode(), CfcMode::kStatic);
+  const auto& img = program.image(svm::Segment::kText);
+  const svm::Addr base = program.segment_base(svm::Segment::kText);
+  for (std::size_t off = 0; off + 4 <= img.size(); off += 4) {
+    std::uint32_t w = 0;
+    std::memcpy(&w, img.data() + off, 4);
+    if (svm::decode(w).op == svm::Op::kBlt) {
+      machine.memory().flip_bit(base + static_cast<svm::Addr>(off) + 2, 0);
+      break;
+    }
+  }
+  machine.step(100000);
+  EXPECT_TRUE(cfc.violated());
+  EXPECT_STREQ(cfc.violation()->kind, "edge");
+}
+
+TEST(CfcSignatures, DifferentialCleanAppRunsAgree) {
+  // End-to-end: a full fault-free run of each benchmark app in
+  // differential mode must find zero table-vs-decode disagreements and
+  // zero violations — the static model IS the learned model.
+  for (const auto& name : apps::app_names()) {
+    apps::App app = apps::make_app(name);
+    svm::Program program = app.link();
+    const svm::analysis::Cfg cfg(program);
+    const CfcSignatures sigs(cfg);
+    simmpi::World world(program, app.world);
+    ControlFlowChecker cfc(program, world.machine(1), &sigs,
+                           CfcMode::kDifferential);
+    ASSERT_EQ(world.run(2'000'000'000ull), simmpi::JobStatus::kCompleted)
+        << name;
+    EXPECT_FALSE(cfc.violated()) << name;
+    EXPECT_EQ(cfc.divergences(), 0u) << name;
+  }
+}
+
 TEST(Cfc, ViolationRecordsLocation) {
   Proc p(kBranchy);
   const auto& img = p.program.image(svm::Segment::kText);

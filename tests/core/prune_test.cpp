@@ -1,8 +1,10 @@
 // Pre-injection pruning must be a pure shortcut: for a fixed seed the
-// campaign aggregates with --prune=on are bit-identical to --prune=off
-// (a statically dead register flip replays the golden run, so classifying
+// campaign aggregates with --prune=full are bit-identical to --prune=off
+// (a statically dead target flip replays the golden run, so classifying
 // it Correct without resuming changes nothing observable), while actually
-// short-circuiting a nonzero share of the register injections.
+// short-circuiting a nonzero share of the injections in every region the
+// analysis covers — integer registers, empty FP-stack slots, unreachable
+// text and dead data/BSS bytes.
 #include <gtest/gtest.h>
 
 #include "apps/app.hpp"
@@ -27,7 +29,8 @@ CampaignConfig base_config() {
   cfg.runs_per_region = 24;
   cfg.seed = 0x9e2a;
   cfg.jobs = 1;
-  cfg.regions = {Region::kRegularReg, Region::kText, Region::kBss};
+  cfg.regions = {Region::kRegularReg, Region::kFpReg, Region::kText,
+                 Region::kData, Region::kBss};
   return cfg;
 }
 
@@ -48,56 +51,76 @@ void expect_same_aggregates(const CampaignResult& a, const CampaignResult& b) {
   }
 }
 
-TEST(Prune, OnAndOffProduceIdenticalAggregates) {
+int pruned_in(const CampaignResult& res, Region region) {
+  const RegionResult* rr = res.find(region);
+  return rr ? rr->pruned : 0;
+}
+
+TEST(Prune, FullAndOffProduceIdenticalAggregates) {
   const apps::App app = tiny_wavetoy();
   CampaignConfig cfg = base_config();
 
-  cfg.prune = true;
-  const CampaignResult on = run_campaign(app, cfg);
-  cfg.prune = false;
+  cfg.prune = PruneLevel::kFull;
+  const CampaignResult full = run_campaign(app, cfg);
+  cfg.prune = PruneLevel::kOff;
   const CampaignResult off = run_campaign(app, cfg);
 
-  expect_same_aggregates(on, off);
+  expect_same_aggregates(full, off);
 
-  // Pruning must actually fire on the register region...
-  int pruned_on = 0, pruned_off = 0;
-  for (const auto& rr : on.regions) pruned_on += rr.pruned;
-  for (const auto& rr : off.regions) pruned_off += rr.pruned;
-  EXPECT_GT(pruned_on, 0);
+  // Full pruning must actually fire in every analysed region class the
+  // tiny app exposes dead targets for...
+  EXPECT_GT(pruned_in(full, Region::kRegularReg), 0);
+  EXPECT_GT(pruned_in(full, Region::kFpReg), 0);
+  EXPECT_GT(pruned_in(full, Region::kText), 0);
   // ...and never with pruning disabled.
+  int pruned_off = 0;
+  for (const auto& rr : off.regions) pruned_off += rr.pruned;
   EXPECT_EQ(pruned_off, 0);
 }
 
-TEST(Prune, PrunedRunsAreASubsetOfDeadCorrectRegisterRuns) {
+TEST(Prune, RegsLevelRestrictsPruningToIntegerRegisters) {
   const apps::App app = tiny_wavetoy();
   CampaignConfig cfg = base_config();
-  cfg.prune = true;
+  cfg.prune = PruneLevel::kRegs;
+  const CampaignResult res = run_campaign(app, cfg);
+
+  EXPECT_GT(pruned_in(res, Region::kRegularReg), 0);
+  for (const auto& rr : res.regions)
+    if (rr.region != Region::kRegularReg)
+      EXPECT_EQ(rr.pruned, 0) << region_name(rr.region);
+
+  cfg.prune = PruneLevel::kOff;
+  expect_same_aggregates(res, run_campaign(app, cfg));
+}
+
+TEST(Prune, PrunedRunsAreASubsetOfDeadCorrectRuns) {
+  const apps::App app = tiny_wavetoy();
+  CampaignConfig cfg = base_config();
+  cfg.prune = PruneLevel::kFull;
   const CampaignResult res = run_campaign(app, cfg);
   for (const auto& rr : res.regions) {
-    if (rr.region != Region::kRegularReg) {
-      EXPECT_EQ(rr.pruned, 0) << "only register faults are pruned";
-      continue;
-    }
     // Every pruned run is a dead-tagged Correct run.
     EXPECT_LE(rr.pruned,
               rr.act_counts[RegionResult::kDeadIdx]
-                           [static_cast<unsigned>(Manifestation::kCorrect)]);
-    // Soundness: dead-tagged register injections never manifest.
+                           [static_cast<unsigned>(Manifestation::kCorrect)])
+        << region_name(rr.region);
+    // Soundness: dead-tagged injections never manifest, in any region.
     const auto& dead = rr.act_counts[RegionResult::kDeadIdx];
     for (unsigned m = 1; m < kNumManifestations; ++m)
-      EXPECT_EQ(dead[m], 0) << manifestation_name(
-          static_cast<Manifestation>(m));
+      EXPECT_EQ(dead[m], 0)
+          << region_name(rr.region) << " "
+          << manifestation_name(static_cast<Manifestation>(m));
   }
 }
 
-TEST(Prune, ParallelAggregatesMatchSerialWithPruningEnabled) {
+TEST(Prune, ParallelAggregatesMatchSerialWithFullPruning) {
   const apps::App app = tiny_wavetoy();
   CampaignConfig cfg = base_config();
-  cfg.prune = true;
+  cfg.prune = PruneLevel::kFull;
 
   cfg.jobs = 1;
   const CampaignResult serial = run_campaign(app, cfg);
-  cfg.jobs = 4;
+  cfg.jobs = 8;
   const CampaignResult parallel = run_campaign(app, cfg);
 
   expect_same_aggregates(serial, parallel);
@@ -105,6 +128,20 @@ TEST(Prune, ParallelAggregatesMatchSerialWithPruningEnabled) {
   for (const auto& rr : serial.regions) ps += rr.pruned;
   for (const auto& rr : parallel.regions) pp += rr.pruned;
   EXPECT_EQ(ps, pp);
+}
+
+TEST(Prune, LevelParsingRoundTrips) {
+  EXPECT_EQ(parse_prune_level("off"), PruneLevel::kOff);
+  EXPECT_EQ(parse_prune_level("regs"), PruneLevel::kRegs);
+  EXPECT_EQ(parse_prune_level("full"), PruneLevel::kFull);
+  // Legacy boolean spellings from the two-level era.
+  EXPECT_EQ(parse_prune_level("on"), PruneLevel::kFull);
+  EXPECT_EQ(parse_prune_level("true"), PruneLevel::kFull);
+  EXPECT_EQ(parse_prune_level("false"), PruneLevel::kOff);
+  EXPECT_FALSE(parse_prune_level("half").has_value());
+  for (const auto level :
+       {PruneLevel::kOff, PruneLevel::kRegs, PruneLevel::kFull})
+    EXPECT_EQ(parse_prune_level(prune_level_name(level)), level);
 }
 
 }  // namespace
