@@ -10,11 +10,39 @@ svm::Program App::link() const {
   return svm::assemble_units({user_asm, simmpi::stub_library_asm()});
 }
 
-App make_app(const std::string& name) {
-  if (name == "wavetoy") return make_wavetoy();
-  if (name == "minimd") return make_minimd();
-  if (name == "atmo") return make_atmo();
-  if (name == "jacobi") return make_jacobi();
+App make_app(const std::string& name) { return make_app(name, AppParams{}); }
+
+App make_app(const std::string& name, const AppParams& params) {
+  if (params.ranks < 0 || params.ranks > 64)
+    throw util::SetupError("app '" + name + "': ranks must be in [1, 64], got " +
+                           std::to_string(params.ranks));
+  if (params.steps < 0)
+    throw util::SetupError("app '" + name + "': steps must be positive, got " +
+                           std::to_string(params.steps));
+  if (name == "wavetoy") {
+    WavetoyConfig cfg;
+    if (params.ranks) cfg.ranks = params.ranks;
+    if (params.steps) cfg.steps = params.steps;
+    return make_wavetoy(cfg);
+  }
+  if (name == "minimd") {
+    MinimdConfig cfg;
+    if (params.ranks) cfg.ranks = params.ranks;
+    if (params.steps) cfg.steps = params.steps;
+    return make_minimd(cfg);
+  }
+  if (name == "atmo") {
+    AtmoConfig cfg;
+    if (params.ranks) cfg.ranks = params.ranks;
+    if (params.steps) cfg.steps = params.steps;
+    return make_atmo(cfg);
+  }
+  if (name == "jacobi") {
+    JacobiConfig cfg;
+    if (params.ranks) cfg.ranks = params.ranks;
+    if (params.steps) cfg.max_iterations = params.steps;
+    return make_jacobi(cfg);
+  }
   throw util::SetupError("unknown app '" + name +
                          "' (expected wavetoy|minimd|atmo|jacobi)");
 }

@@ -114,6 +114,22 @@ App make_jacobi(const JacobiConfig& config = {});
 /// Default-configured app by name ("wavetoy" | "minimd" | "atmo" |
 /// "jacobi").
 App make_app(const std::string& name);
+
+/// Per-campaign overrides of an app's generator config — the subset a
+/// `fsim-batch-v2` spec file may set per campaign. `0` keeps the app's
+/// default; any override changes the linked image, so it is part of the
+/// campaign's identity (specs, shard partials and checkpoints all carry it,
+/// and mismatches are refused at merge/resume time).
+struct AppParams {
+  int ranks = 0;  // world size (0 = app default)
+  int steps = 0;  // timesteps; for jacobi this caps max_iterations
+
+  bool operator==(const AppParams&) const = default;
+};
+
+/// App by name with per-campaign overrides applied. Throws SetupError on an
+/// unknown name or an out-of-range override.
+App make_app(const std::string& name, const AppParams& params);
 /// The paper's three-application suite (drives Tables 1-7).
 std::vector<std::string> app_names();
 

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "core/checkpoint.hpp"
 #include "core/dictionary.hpp"
 #include "util/status.hpp"
 #include "svm/analysis/analysis.hpp"
@@ -19,40 +20,6 @@ std::uint64_t run_seed_for(const CampaignConfig& config, Region region,
                            int i) {
   return util::hash_seed({config.seed, static_cast<std::uint64_t>(region),
                           static_cast<std::uint64_t>(i)});
-}
-
-void accumulate(RegionResult& rr, const RunOutcome& out) {
-  ++rr.executions;
-  if (!out.fault_applied) ++rr.skipped;
-  ++rr.counts[static_cast<unsigned>(out.manifestation)];
-  if (out.manifestation == Manifestation::kCrash)
-    ++rr.crash_kinds[static_cast<unsigned>(out.crash_kind)];
-  if (out.pruned) ++rr.pruned;
-  if (out.activation != Activation::kUnknown) {
-    const unsigned a = out.activation == Activation::kDead
-                           ? RegionResult::kDeadIdx
-                           : RegionResult::kLiveIdx;
-    ++rr.act_executions[a];
-    ++rr.act_counts[a][static_cast<unsigned>(out.manifestation)];
-  }
-}
-
-/// Field-wise integer sum of a partial into an aggregate. Every aggregate
-/// field is a sum of per-run contributions, so folding partials in any
-/// fixed order reproduces the serial result bit for bit.
-void merge_partial(RegionResult& rr, const RegionResult& p) {
-  rr.executions += p.executions;
-  rr.skipped += p.skipped;
-  for (unsigned m = 0; m < kNumManifestations; ++m)
-    rr.counts[m] += p.counts[m];
-  for (unsigned k = 0; k < kNumCrashKinds; ++k)
-    rr.crash_kinds[k] += p.crash_kinds[k];
-  rr.pruned += p.pruned;
-  for (unsigned a = 0; a < 2; ++a) {
-    rr.act_executions[a] += p.act_executions[a];
-    for (unsigned m = 0; m < kNumManifestations; ++m)
-      rr.act_counts[a][m] += p.act_counts[a][m];
-  }
 }
 
 /// Per-campaign immutable state shared read-only by every worker: the
@@ -106,6 +73,37 @@ CampaignPlan prepare_campaign(const apps::App& app,
 
 }  // namespace
 
+void accumulate_outcome(RegionResult& rr, const RunOutcome& out) {
+  ++rr.executions;
+  if (!out.fault_applied) ++rr.skipped;
+  ++rr.counts[static_cast<unsigned>(out.manifestation)];
+  if (out.manifestation == Manifestation::kCrash)
+    ++rr.crash_kinds[static_cast<unsigned>(out.crash_kind)];
+  if (out.pruned) ++rr.pruned;
+  if (out.activation != Activation::kUnknown) {
+    const unsigned a = out.activation == Activation::kDead
+                           ? RegionResult::kDeadIdx
+                           : RegionResult::kLiveIdx;
+    ++rr.act_executions[a];
+    ++rr.act_counts[a][static_cast<unsigned>(out.manifestation)];
+  }
+}
+
+void merge_region_counts(RegionResult& into, const RegionResult& from) {
+  into.executions += from.executions;
+  into.skipped += from.skipped;
+  for (unsigned m = 0; m < kNumManifestations; ++m)
+    into.counts[m] += from.counts[m];
+  for (unsigned k = 0; k < kNumCrashKinds; ++k)
+    into.crash_kinds[k] += from.crash_kinds[k];
+  into.pruned += from.pruned;
+  for (unsigned a = 0; a < 2; ++a) {
+    into.act_executions[a] += from.act_executions[a];
+    for (unsigned m = 0; m < kNumManifestations; ++m)
+      into.act_counts[a][m] += from.act_counts[a][m];
+  }
+}
+
 CampaignSpec spec_of(const std::string& app_name,
                      const CampaignConfig& config) {
   CampaignSpec spec;
@@ -137,6 +135,7 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
     plans.push_back(prepare_campaign(entries[c].app, entries[c].config,
                                      result.campaigns[c]));
     result.specs.push_back(spec_of(entries[c].app.name, entries[c].config));
+    result.specs.back().params = entries[c].params;
   }
 
   // Flattened (campaign, region) slots; accumulation and the final merge
@@ -145,6 +144,38 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
   for (std::size_t c = 0; c < ncamp; ++c)
     slot_base[c + 1] = slot_base[c] + entries[c].config.regions.size();
   const std::size_t nslots = slot_base[ncamp];
+
+  // Resume baseline: the checkpoint must identify exactly this batch —
+  // same shard, same spec list (apps, params, runs, seeds, regions,
+  // dictionaries, prune) and the same golden executions. Any drift would
+  // silently mix counts from different fault spaces, so it is refused.
+  const Checkpoint* resume = config.resume;
+  if (resume) {
+    if (!(resume->shard == config.shard))
+      throw util::SetupError(
+          "resume: checkpoint covers shard " +
+          std::to_string(resume->shard.index) + "/" +
+          std::to_string(resume->shard.count) + ", batch runs shard " +
+          std::to_string(config.shard.index) + "/" +
+          std::to_string(config.shard.count));
+    if (resume->specs != result.specs)
+      throw util::SetupError(
+          "resume: checkpoint was produced by a different batch spec "
+          "(apps, app params, runs, seeds, regions, dictionary sizes and "
+          "prune levels must all match)");
+    if (resume->slots.size() != nslots ||
+        resume->goldens.size() != ncamp)
+      throw util::SetupError("resume: checkpoint slot layout is corrupted");
+    for (std::size_t c = 0; c < ncamp; ++c) {
+      const Golden& g = result.campaigns[c].golden;
+      if (resume->goldens[c].instructions != g.instructions ||
+          resume->goldens[c].hang_budget != g.hang_budget)
+        throw util::SetupError(
+            "resume: golden run for campaign '" + entries[c].app.name +
+            "' disagrees with the checkpoint (the app or its config "
+            "changed since the checkpoint was written)");
+    }
+  }
 
   // This shard's grid-point count per slot (progress denominators).
   std::vector<int> owned(nslots, 0);
@@ -158,12 +189,55 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
     }
   }
 
+  // Completion counters continue from the checkpoint baseline, so progress
+  // displays and on_region_done see the cumulative shard state.
+  std::vector<int> base_done(nslots, 0);
+  if (resume)
+    for (std::size_t s = 0; s < nslots; ++s)
+      base_done[s] = resume->slots[s].counts.executions;
+
+  // Checkpoint sink: an internal observer fed through the same serialized
+  // dispatch as the caller's hooks. Seeded from the resume baseline so the
+  // sidecar file always covers the union of old and new grid points.
+  std::unique_ptr<CheckpointSink> sink;
+  if (!config.checkpoint_path.empty()) {
+    std::vector<Golden> goldens;
+    for (std::size_t c = 0; c < ncamp; ++c)
+      goldens.push_back(result.campaigns[c].golden);
+    Checkpoint initial =
+        resume ? *resume
+               : make_checkpoint(result.specs, std::move(goldens),
+                                 config.shard);
+    sink = std::make_unique<CheckpointSink>(config.checkpoint_path,
+                                            config.checkpoint_every,
+                                            std::move(initial),
+                                            config.observer);
+  }
+
+  // Serialized observer fan-in: legacy progress fn, caller observer,
+  // checkpoint sink — in that order, under one mutex, at any job count.
+  std::mutex observer_mu;
+  const bool observing = config.progress || config.observer || sink;
+  auto notify = [&](const RunEvent& ev) {
+    std::lock_guard<std::mutex> lock(observer_mu);
+    if (config.progress)
+      config.progress(*ev.app, ev.region, ev.done, ev.total);
+    if (config.observer) {
+      config.observer->on_run_done(ev);
+      if (ev.done == ev.total)
+        config.observer->on_region_done(ev.campaign, *ev.app, ev.region,
+                                        ev.done);
+    }
+    if (sink) sink->on_run_done(ev);
+  };
+
   std::vector<RegionResult> totals(nslots);
   const int jobs = config.jobs;
 
   if (jobs <= 1) {
     // Serial grid walk in enumeration order — for a single unsharded
     // campaign this is the exact legacy execution order.
+    std::vector<int> done = base_done;
     std::uint64_t g = 0;
     for (std::size_t c = 0; c < ncamp; ++c) {
       const BatchEntry& e = entries[c];
@@ -175,13 +249,25 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
             plan.dicts[static_cast<unsigned>(region)].get();
         for (int i = 0; i < e.config.runs_per_region; ++i, ++g) {
           if (!shard_owns(g, config.shard)) continue;
+          if (resume && resume->slots[slot].done.contains(i)) continue;
           const RunOutcome out = run_injected(
               e.app, plan.program, result.campaigns[c].golden, region, dict,
               run_seed_for(e.config, region, i), plan.ctx);
-          accumulate(totals[slot], out);
-          if (config.progress)
-            config.progress(e.app.name, region, totals[slot].executions,
-                            owned[slot]);
+          accumulate_outcome(totals[slot], out);
+          const int d = ++done[slot];
+          if (observing) {
+            RunEvent ev;
+            ev.campaign = c;
+            ev.app = &e.app.name;
+            ev.region = region;
+            ev.slot = slot;
+            ev.run_index = i;
+            ev.grid_index = g;
+            ev.outcome = &out;
+            ev.done = d;
+            ev.total = owned[slot];
+            notify(ev);
+          }
         }
       }
     }
@@ -194,8 +280,8 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
     std::vector<std::vector<RegionResult>> partials(
         pool.workers(), std::vector<RegionResult>(nslots));
     std::vector<std::atomic<int>> done(nslots);
-    for (auto& d : done) d.store(0, std::memory_order_relaxed);
-    std::mutex progress_mu;
+    for (std::size_t s = 0; s < nslots; ++s)
+      done[s].store(base_done[s], std::memory_order_relaxed);
 
     std::uint64_t g = 0;
     for (std::size_t c = 0; c < ncamp; ++c) {
@@ -210,18 +296,28 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
             plan->dicts[static_cast<unsigned>(region)].get();
         for (int i = 0; i < cc.runs_per_region; ++i, ++g) {
           if (!shard_owns(g, config.shard)) continue;
+          if (resume && resume->slots[slot].done.contains(i)) continue;
           const std::uint64_t run_seed = run_seed_for(cc, region, i);
-          pool.submit([&, app, plan, golden, slot, region, dict, run_seed] {
+          pool.submit([&, app, plan, golden, c, slot, region, dict, i, g,
+                       run_seed] {
             const RunOutcome out = run_injected(*app, plan->program, *golden,
                                                 region, dict, run_seed,
                                                 plan->ctx);
             const int w = util::ThreadPool::current_worker();
-            accumulate(partials[static_cast<std::size_t>(w)][slot], out);
-            if (config.progress) {
-              const int d =
-                  1 + done[slot].fetch_add(1, std::memory_order_relaxed);
-              std::lock_guard<std::mutex> lock(progress_mu);
-              config.progress(app->name, region, d, owned[slot]);
+            accumulate_outcome(partials[static_cast<std::size_t>(w)][slot],
+                               out);
+            if (observing) {
+              RunEvent ev;
+              ev.campaign = c;
+              ev.app = &app->name;
+              ev.region = region;
+              ev.slot = slot;
+              ev.run_index = i;
+              ev.grid_index = g;
+              ev.outcome = &out;
+              ev.done = 1 + done[slot].fetch_add(1, std::memory_order_relaxed);
+              ev.total = owned[slot];
+              notify(ev);
             }
           });
         }
@@ -231,8 +327,19 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
 
     for (std::size_t slot = 0; slot < nslots; ++slot)
       for (std::size_t w = 0; w < pool.workers(); ++w)
-        merge_partial(totals[slot], partials[w][slot]);
+        merge_region_counts(totals[slot], partials[w][slot]);
   }
+
+  // Fold the checkpoint baseline back in: the resumed grid points ran in
+  // the interrupted invocation, the rest just ran here, and every field is
+  // an integer sum over the union — byte-identical to an uninterrupted run.
+  if (resume)
+    for (std::size_t s = 0; s < nslots; ++s)
+      merge_region_counts(totals[s], resume->slots[s].counts);
+
+  // Leave a final (complete) checkpoint behind: `fsim merge` accepts it in
+  // place of the shard result, and resuming it is a no-op.
+  if (sink) sink->flush();
 
   for (std::size_t c = 0; c < ncamp; ++c) {
     const auto& regions = entries[c].config.regions;
@@ -249,13 +356,14 @@ CampaignResult run_campaign(const apps::App& app,
                             const CampaignConfig& config) {
   BatchConfig bc;
   bc.jobs = config.jobs;
+  bc.observer = config.observer;
   if (config.progress) {
     const auto& cb = config.progress;
     bc.progress = [cb](const std::string&, Region region, int done,
                        int total) { cb(region, done, total); };
   }
   std::vector<BatchEntry> entries;
-  entries.push_back(BatchEntry{app, config});
+  entries.push_back(BatchEntry{app, config, apps::AppParams{}});
   BatchResult batch = run_batch(entries, bc);
   return std::move(batch.campaigns.front());
 }
@@ -375,6 +483,52 @@ std::string format_activation(const CampaignResult& result) {
         std::to_string(dead),
         dead ? util::fmt_pct(dead_err, dead) : "-",
         util::fmt_pct(dead, live + dead),
+    });
+  }
+  return t.ascii();
+}
+
+std::vector<AppActivation> batch_activation(const BatchResult& result) {
+  std::vector<AppActivation> rows;
+  bool any = false;
+  for (const auto& campaign : result.campaigns) {
+    AppActivation* row = nullptr;
+    for (auto& r : rows)
+      if (r.app == campaign.app) row = &r;
+    if (!row) {
+      rows.push_back(AppActivation{campaign.app, {}, {}});
+      row = &rows.back();
+    }
+    for (const auto& rr : campaign.regions) {
+      for (unsigned a = 0; a < 2; ++a) {
+        row->executions[a] += rr.act_executions[a];
+        for (unsigned m = 1; m < kNumManifestations; ++m)
+          row->errors[a] += rr.act_counts[a][m];
+        if (rr.act_executions[a] > 0) any = true;
+      }
+    }
+  }
+  if (!any) rows.clear();
+  return rows;
+}
+
+std::string format_batch_activation(const BatchResult& result) {
+  const std::vector<AppActivation> rows = batch_activation(result);
+  if (rows.empty()) return std::string();
+
+  util::Table t("Batch Activation Summary (all regions)");
+  t.header({"App", "Live Execs", "Live Errors (%)", "Dead Execs",
+            "Dead Errors (%)", "Dead Share (%)"});
+  for (const auto& r : rows) {
+    const int live = r.executions[RegionResult::kLiveIdx];
+    const int dead = r.executions[RegionResult::kDeadIdx];
+    t.row({
+        r.app,
+        std::to_string(live),
+        live ? util::fmt_pct(r.errors[RegionResult::kLiveIdx], live) : "-",
+        std::to_string(dead),
+        dead ? util::fmt_pct(r.errors[RegionResult::kDeadIdx], dead) : "-",
+        live + dead ? util::fmt_pct(dead, live + dead) : "-",
     });
   }
   return t.ascii();

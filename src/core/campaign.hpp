@@ -14,6 +14,50 @@
 
 namespace fsim::core {
 
+struct Checkpoint;  // core/checkpoint.hpp
+struct RegionResult;
+
+/// Event describing one completed injected run inside a batch. `done` and
+/// `total` count this shard's grid points for the (campaign, region) slot;
+/// after a resume, `done` continues from the checkpoint's baseline.
+struct RunEvent {
+  std::size_t campaign = 0;          // index into the batch's entry list
+  const std::string* app = nullptr;  // campaign's app name (borrowed)
+  Region region{};
+  std::size_t slot = 0;       // flattened (campaign, region) index
+  int run_index = 0;          // i within (campaign, region)
+  std::uint64_t grid_index = 0;  // global grid enumeration index
+  const RunOutcome* outcome = nullptr;
+  int done = 0;
+  int total = 0;
+};
+
+/// Callback surface for campaign/batch execution. One interface serves the
+/// progress display, the checkpoint sink and batch-aware reporting; the
+/// batch serializes all hook invocations (they are never called
+/// concurrently with themselves or each other, at any job count), so
+/// implementations need no locking of their own. The legacy `progress`
+/// std::function fields still work — they are wrapped in an internal
+/// observer — so existing callers compile unchanged.
+class CampaignObserver {
+ public:
+  virtual ~CampaignObserver() = default;
+  /// After every completed (or pruned/skipped) injected run.
+  virtual void on_run_done(const RunEvent& event) { (void)event; }
+  /// When the last shard-owned grid point of a (campaign, region) slot
+  /// completes. Not invoked for slots the checkpoint already finished or
+  /// the shard does not own.
+  virtual void on_region_done(std::size_t campaign, const std::string& app,
+                              Region region, int executed) {
+    (void)campaign, (void)app, (void)region, (void)executed;
+  }
+  /// After every atomic checkpoint-file write (`path` is the final,
+  /// renamed file; `completed_runs` the total runs it covers).
+  virtual void on_checkpoint(const std::string& path, int completed_runs) {
+    (void)path, (void)completed_runs;
+  }
+};
+
 struct CampaignConfig {
   int runs_per_region = 400;  // paper: 400-500 injections per region (§4.3)
   std::uint64_t seed = 0xfau;
@@ -39,8 +83,12 @@ struct CampaignConfig {
   /// Called after every run (for progress display); may be empty. With
   /// jobs > 1 the callback is invoked under a mutex (never concurrently
   /// with itself); `done` is the region's monotonically increasing
-  /// completion count, not a run index.
+  /// completion count, not a run index. Legacy shim — new code should
+  /// prefer `observer`.
   std::function<void(Region, int done, int total)> progress;
+  /// Optional richer callback surface (borrowed, not owned); receives the
+  /// same serialized dispatch as the batch executor's observers.
+  CampaignObserver* observer = nullptr;
 };
 
 struct RegionResult {
@@ -91,6 +139,16 @@ struct CampaignResult {
 /// Run a full campaign for one application.
 CampaignResult run_campaign(const apps::App& app, const CampaignConfig& config);
 
+/// Fold one run outcome into a region aggregate — the single-run update
+/// the batch executor and the checkpoint sink both apply, so their counts
+/// agree field for field.
+void accumulate_outcome(RegionResult& rr, const RunOutcome& out);
+
+/// Field-wise integer sum of a partial into an aggregate. Every aggregate
+/// field is a sum of per-run contributions, so folding partials in any
+/// order reproduces the serial result bit for bit.
+void merge_region_counts(RegionResult& into, const RegionResult& from);
+
 // --- Batched multi-app campaigns with deterministic sharding ---
 //
 // A batch drives several (app, regions, runs, seed) campaigns through one
@@ -109,6 +167,9 @@ struct CampaignSpec {
   std::vector<Region> regions;
   std::size_t dictionary_entries = 0;
   PruneLevel prune = PruneLevel::kFull;
+  /// Per-campaign app-config overrides (fsim-batch-v2 spec schema). Part
+  /// of the campaign identity: different params link a different image.
+  apps::AppParams params;
 
   bool operator==(const CampaignSpec&) const = default;
 };
@@ -144,6 +205,9 @@ constexpr bool shard_owns(std::uint64_t grid_index,
 struct BatchEntry {
   apps::App app;
   CampaignConfig config;
+  /// App-config overrides `app` was built with (echoed into the campaign's
+  /// spec so shard partials and checkpoints carry the full identity).
+  apps::AppParams params;
 };
 
 struct BatchConfig {
@@ -153,9 +217,31 @@ struct BatchConfig {
   ShardSpec shard;
   /// Per-run progress; `done`/`total` count this shard's grid points for
   /// the (app, region) pair. Same locking contract as CampaignConfig.
+  /// Legacy shim — new code should prefer `observer`.
   std::function<void(const std::string& app, Region region, int done,
                      int total)>
       progress;
+  /// Optional callback surface (borrowed, not owned). All hooks are
+  /// dispatched under one batch-wide mutex, after the legacy progress
+  /// function and before the internal checkpoint sink.
+  CampaignObserver* observer = nullptr;
+
+  // --- Crash tolerance ---
+  /// When non-empty, stream an incremental checkpoint of this shard to the
+  /// given sidecar file: partial per-slot counts plus the exact set of
+  /// completed (seed, region, index) grid points, rewritten atomically
+  /// (write-to-temp + rename) every `checkpoint_every` completed runs and
+  /// once more on completion (the final file parses as a *complete*
+  /// checkpoint). Resuming from any intermediate file yields aggregates
+  /// byte-identical to an uninterrupted run, at any job count.
+  std::string checkpoint_path;
+  /// Completed runs between checkpoint writes (>= 1).
+  int checkpoint_every = 64;
+  /// Resume baseline (borrowed): skip every grid point the checkpoint
+  /// already counted and fold its partial counts into the totals. The
+  /// checkpoint's shard, spec list and golden identities must match this
+  /// batch exactly; any mismatch is refused with a SetupError.
+  const Checkpoint* resume = nullptr;
 };
 
 struct BatchResult {
@@ -180,5 +266,21 @@ std::string format_campaign(const CampaignResult& result);
 /// rates for statically-live vs statically-dead targets (empty string when
 /// no region has activation data).
 std::string format_activation(const CampaignResult& result);
+
+/// Combined activation totals for one app across every campaign and region
+/// of a batch (campaigns sharing an app name fold together).
+struct AppActivation {
+  std::string app;
+  std::array<int, 2> executions{};  // [kLiveIdx, kDeadIdx]
+  std::array<int, 2> errors{};
+};
+
+/// Per-app activation summary rows, first-seen app order; empty when no
+/// campaign carries activation data.
+std::vector<AppActivation> batch_activation(const BatchResult& result);
+
+/// Render the batch-wide per-app activation table (empty string when there
+/// is no activation data).
+std::string format_batch_activation(const BatchResult& result);
 
 }  // namespace fsim::core

@@ -1,0 +1,397 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/report.hpp"
+#include "util/file.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace fsim::core {
+
+// --- RunSet ---
+
+void RunSet::insert(int i) {
+  // Find the first range with last >= i - 1 (the only candidate that can
+  // absorb or follow i).
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), i,
+      [](const std::pair<int, int>& r, int v) { return r.second < v - 1; });
+  if (it != ranges_.end() && it->first <= i && i <= it->second) return;
+  if (it != ranges_.end() && it->second == i - 1) {
+    it->second = i;  // extend left neighbour
+  } else if (it != ranges_.end() && it->first == i + 1) {
+    it->first = i;  // extend right neighbour
+  } else {
+    it = ranges_.insert(it, {i, i});
+  }
+  // Coalesce with the following range if the gap closed.
+  auto next = it + 1;
+  if (next != ranges_.end() && next->first == it->second + 1) {
+    it->second = next->second;
+    ranges_.erase(next);
+  }
+}
+
+bool RunSet::contains(int i) const noexcept {
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), i,
+      [](const std::pair<int, int>& r, int v) { return r.second < v; });
+  return it != ranges_.end() && it->first <= i;
+}
+
+int RunSet::size() const noexcept {
+  int n = 0;
+  for (const auto& [first, last] : ranges_) n += last - first + 1;
+  return n;
+}
+
+void RunSet::append_range(int first, int last) {
+  if (first > last || first < 0)
+    throw util::SetupError("checkpoint: malformed run range [" +
+                           std::to_string(first) + ", " +
+                           std::to_string(last) + "]");
+  if (!ranges_.empty() && ranges_.back().second >= first - 1)
+    throw util::SetupError(
+        "checkpoint: run ranges out of order or overlapping");
+  ranges_.push_back({first, last});
+}
+
+// --- Checkpoint ---
+
+std::size_t Checkpoint::slot_of(std::size_t campaign,
+                                std::size_t region_index) const {
+  std::size_t slot = 0;
+  for (std::size_t c = 0; c < campaign; ++c) slot += specs[c].regions.size();
+  return slot + region_index;
+}
+
+int Checkpoint::completed_runs() const noexcept {
+  int n = 0;
+  for (const auto& slot : slots) n += slot.counts.executions;
+  return n;
+}
+
+int Checkpoint::owned_runs() const {
+  int n = 0;
+  std::uint64_t g = 0;
+  for (const auto& spec : specs)
+    for (std::size_t ri = 0; ri < spec.regions.size(); ++ri)
+      for (int i = 0; i < spec.runs_per_region; ++i, ++g)
+        if (shard_owns(g, shard)) ++n;
+  return n;
+}
+
+bool Checkpoint::complete() const {
+  std::uint64_t g = 0;
+  std::size_t slot = 0;
+  for (const auto& spec : specs) {
+    for (std::size_t ri = 0; ri < spec.regions.size(); ++ri, ++slot) {
+      const RunSet& done = slots[slot].done;
+      for (int i = 0; i < spec.runs_per_region; ++i, ++g)
+        if (shard_owns(g, shard) && !done.contains(i)) return false;
+    }
+  }
+  return true;
+}
+
+Checkpoint make_checkpoint(std::vector<CampaignSpec> specs,
+                           std::vector<Golden> goldens, ShardSpec shard) {
+  Checkpoint ck;
+  ck.shard = shard;
+  ck.specs = std::move(specs);
+  ck.goldens = std::move(goldens);
+  std::size_t nslots = 0;
+  for (const auto& spec : ck.specs) nslots += spec.regions.size();
+  ck.slots.resize(nslots);
+  std::size_t slot = 0;
+  for (const auto& spec : ck.specs)
+    for (Region r : spec.regions) ck.slots[slot++].counts.region = r;
+  return ck;
+}
+
+// --- Serialization ---
+
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= kFnvPrime;
+  return h;
+}
+
+std::uint64_t mix_string(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) h = mix(h, c);
+  return h;
+}
+
+std::uint64_t spec_digest(std::uint64_t h, const CampaignSpec& spec) {
+  h = mix_string(h, spec.app);
+  h = mix(h, static_cast<std::uint64_t>(spec.runs_per_region));
+  h = mix(h, spec.seed);
+  for (Region r : spec.regions) h = mix(h, static_cast<std::uint64_t>(r));
+  h = mix(h, static_cast<std::uint64_t>(spec.dictionary_entries));
+  h = mix(h, static_cast<std::uint64_t>(spec.prune));
+  h = mix(h, static_cast<std::uint64_t>(spec.params.ranks));
+  h = mix(h, static_cast<std::uint64_t>(spec.params.steps));
+  return h;
+}
+
+/// Digest of one checkpoint record: its coordinates, completed-run ranges
+/// and every aggregate field.
+std::uint64_t slot_record_digest(std::size_t campaign,
+                                 const CheckpointSlot& slot) {
+  std::uint64_t h = kFnvBasis;
+  h = mix(h, static_cast<std::uint64_t>(campaign));
+  h = mix(h, static_cast<std::uint64_t>(slot.counts.region));
+  for (const auto& [first, last] : slot.done.ranges()) {
+    h = mix(h, static_cast<std::uint64_t>(first));
+    h = mix(h, static_cast<std::uint64_t>(last));
+  }
+  return region_counts_digest(slot.counts, h);
+}
+
+/// Whole-document digest: shard coordinates, cursor, every spec, every
+/// golden identity and every slot record.
+std::uint64_t checkpoint_digest(const Checkpoint& ck) {
+  std::uint64_t h = kFnvBasis;
+  h = mix(h, static_cast<std::uint64_t>(ck.shard.index));
+  h = mix(h, static_cast<std::uint64_t>(ck.shard.count));
+  h = mix(h, ck.cursor);
+  for (const auto& spec : ck.specs) h = spec_digest(h, spec);
+  for (const auto& g : ck.goldens) {
+    h = mix(h, g.instructions);
+    h = mix(h, g.hang_budget);
+    for (std::uint64_t b : g.rx_bytes) h = mix(h, b);
+  }
+  std::size_t slot = 0;
+  std::size_t campaign = 0;
+  for (const auto& spec : ck.specs) {
+    for (std::size_t ri = 0; ri < spec.regions.size(); ++ri, ++slot)
+      h = mix(h, slot_record_digest(campaign, ck.slots[slot]));
+    ++campaign;
+  }
+  return h;
+}
+
+/// Campaign index of a flattened slot (inverse of Checkpoint::slot_of).
+std::size_t campaign_of_slot(const Checkpoint& ck, std::size_t slot) {
+  std::size_t base = 0;
+  for (std::size_t c = 0; c < ck.specs.size(); ++c) {
+    base += ck.specs[c].regions.size();
+    if (slot < base) return c;
+  }
+  throw util::SetupError("checkpoint: slot index out of range");
+}
+
+Checkpoint parse_checkpoint(const util::JsonValue& doc) {
+  const util::JsonValue* f = doc.find("format");
+  if (!f || f->as_string() != kBatchFormatV2)
+    throw util::SetupError(
+        "not an fsim checkpoint (missing format: fsim-batch-v2)");
+  const util::JsonValue* k = doc.find("kind");
+  if (!k || k->as_string() != "checkpoint")
+    throw util::SetupError(
+        "fsim-batch-v2 document is not a checkpoint (kind: " +
+        (k ? k->as_string() : std::string("<missing>")) + ")");
+
+  Checkpoint ck;
+  const util::JsonValue& shard = doc.at("shard");
+  ck.shard.index = static_cast<int>(shard.at("index").as_int());
+  ck.shard.count = static_cast<int>(shard.at("count").as_int());
+  ck.cursor = doc.at("cursor").as_u64();
+  for (const auto& cv : doc.at("campaigns").items()) {
+    ck.specs.push_back(read_campaign_spec(cv.at("spec")));
+    ck.goldens.push_back(read_golden_json(cv.at("golden")));
+  }
+
+  std::size_t nslots = 0;
+  for (const auto& spec : ck.specs) nslots += spec.regions.size();
+  ck.slots.resize(nslots);
+  std::vector<bool> seen(nslots, false);
+  for (const auto& sv : doc.at("slots").items()) {
+    const std::size_t campaign =
+        static_cast<std::size_t>(sv.at("campaign").as_int());
+    if (campaign >= ck.specs.size())
+      throw util::SetupError("checkpoint: slot names campaign " +
+                             std::to_string(campaign) + " of " +
+                             std::to_string(ck.specs.size()));
+    const Region region = parse_region(sv.at("region").as_string());
+    const auto& regions = ck.specs[campaign].regions;
+    const auto rit = std::find(regions.begin(), regions.end(), region);
+    if (rit == regions.end())
+      throw util::SetupError(
+          "checkpoint: slot region is not part of its campaign's spec");
+    const std::size_t slot = ck.slot_of(
+        campaign, static_cast<std::size_t>(rit - regions.begin()));
+    if (seen[slot])
+      throw util::SetupError("checkpoint: duplicate slot record");
+    seen[slot] = true;
+
+    CheckpointSlot& cs = ck.slots[slot];
+    cs.counts.region = region;
+    for (const auto& rv : sv.at("done").items()) {
+      const auto& pair = rv.items();
+      if (pair.size() != 2)
+        throw util::SetupError("checkpoint: run range is not a pair");
+      cs.done.append_range(static_cast<int>(pair[0].as_int()),
+                           static_cast<int>(pair[1].as_int()));
+    }
+    read_region_counts(sv.at("counts"), cs.counts);
+    if (cs.counts.executions != cs.done.size())
+      throw util::SetupError(
+          "checkpoint: slot counts disagree with its completed-run set");
+    if (sv.at("digest").as_u64() != slot_record_digest(campaign, cs))
+      throw util::SetupError(
+          "checkpoint: record digest mismatch (file corrupted or "
+          "hand-edited)");
+  }
+  // Slots with no record are simply empty (nothing completed yet); zeroed
+  // counts with the right region tag were prepared above.
+  {
+    std::size_t slot = 0;
+    for (const auto& spec : ck.specs)
+      for (Region r : spec.regions) {
+        if (!seen[slot]) ck.slots[slot].counts.region = r;
+        ++slot;
+      }
+  }
+  if (doc.at("digest").as_u64() != checkpoint_digest(ck))
+    throw util::SetupError(
+        "checkpoint: document digest mismatch (file corrupted or "
+        "hand-edited)");
+  return ck;
+}
+
+}  // namespace
+
+std::string checkpoint_json(const Checkpoint& checkpoint) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("format").value(kBatchFormatV2);
+  w.key("kind").value("checkpoint");
+  w.key("shard").begin_object();
+  w.key("index").value(checkpoint.shard.index);
+  w.key("count").value(checkpoint.shard.count);
+  w.end_object();
+  w.key("cursor").value(checkpoint.cursor);
+  w.key("completed_runs").value(checkpoint.completed_runs());
+  w.key("campaigns").begin_array();
+  for (std::size_t c = 0; c < checkpoint.specs.size(); ++c) {
+    w.begin_object();
+    w.key("spec");
+    write_campaign_spec(w, checkpoint.specs[c]);
+    w.key("golden");
+    write_golden_json(w, checkpoint.goldens[c]);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("slots").begin_array();
+  for (std::size_t slot = 0; slot < checkpoint.slots.size(); ++slot) {
+    const CheckpointSlot& cs = checkpoint.slots[slot];
+    if (cs.done.empty()) continue;  // nothing completed, nothing to record
+    const std::size_t campaign = campaign_of_slot(checkpoint, slot);
+    w.begin_object();
+    w.key("campaign").value(static_cast<int>(campaign));
+    w.key("region").value(region_token(cs.counts.region));
+    w.key("done").begin_array();
+    for (const auto& [first, last] : cs.done.ranges()) {
+      w.begin_array();
+      w.value(first);
+      w.value(last);
+      w.end_array();
+    }
+    w.end_array();
+    w.key("counts");
+    w.begin_object();
+    write_region_counts(w, cs.counts);
+    w.end_object();
+    w.key("digest").value(slot_record_digest(campaign, cs));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("digest").value(checkpoint_digest(checkpoint));
+  w.end_object();
+  return w.str();
+}
+
+Checkpoint parse_checkpoint_json(const std::string& text) {
+  return parse_checkpoint(util::parse_json(text));
+}
+
+BatchResult checkpoint_to_batch(const Checkpoint& checkpoint) {
+  BatchResult result;
+  result.shard = checkpoint.shard;
+  result.specs = checkpoint.specs;
+  std::size_t slot = 0;
+  for (std::size_t c = 0; c < checkpoint.specs.size(); ++c) {
+    const CampaignSpec& spec = checkpoint.specs[c];
+    CampaignResult campaign;
+    campaign.app = spec.app;
+    campaign.seed = spec.seed;
+    campaign.golden = checkpoint.goldens[c];
+    for (std::size_t ri = 0; ri < spec.regions.size(); ++ri, ++slot) {
+      RegionResult rr = checkpoint.slots[slot].counts;
+      rr.region = spec.regions[ri];
+      campaign.regions.push_back(std::move(rr));
+    }
+    result.campaigns.push_back(std::move(campaign));
+  }
+  return result;
+}
+
+MergeInput parse_merge_input(const std::string& text) {
+  const util::JsonValue doc = util::parse_json(text);
+  const util::JsonValue* f = doc.find("format");
+  const util::JsonValue* k = doc.find("kind");
+  if (f && f->as_string() == kBatchFormatV2 && k &&
+      k->as_string() == "checkpoint") {
+    Checkpoint ck = parse_checkpoint(doc);
+    MergeInput in;
+    in.from_checkpoint = true;
+    in.completed_runs = ck.completed_runs();
+    in.owned_runs = ck.owned_runs();
+    in.complete = ck.complete();
+    in.result = checkpoint_to_batch(ck);
+    return in;
+  }
+  MergeInput in;
+  in.result = parse_batch_json(text);
+  return in;
+}
+
+// --- CheckpointSink ---
+
+CheckpointSink::CheckpointSink(std::string path, int every,
+                               Checkpoint initial, CampaignObserver* notify)
+    : path_(std::move(path)),
+      every_(every),
+      checkpoint_(std::move(initial)),
+      notify_(notify) {
+  if (every_ < 1)
+    throw util::SetupError("checkpoint interval must be >= 1, got " +
+                           std::to_string(every_));
+}
+
+void CheckpointSink::on_run_done(const RunEvent& event) {
+  CheckpointSlot& slot = checkpoint_.slots[event.slot];
+  accumulate_outcome(slot.counts, *event.outcome);
+  slot.done.insert(event.run_index);
+  if (event.grid_index + 1 > checkpoint_.cursor)
+    checkpoint_.cursor = event.grid_index + 1;
+  if (++pending_ >= every_) write();
+}
+
+void CheckpointSink::flush() { write(); }
+
+void CheckpointSink::write() {
+  util::write_file_atomic(path_, checkpoint_json(checkpoint_) + "\n");
+  pending_ = 0;
+  if (notify_) notify_->on_checkpoint(path_, checkpoint_.completed_runs());
+}
+
+}  // namespace fsim::core

@@ -1,0 +1,145 @@
+// Incremental shard checkpointing and resume (crash-tolerant campaigns).
+//
+// A checkpoint is a crash-consistent snapshot of a half-finished shard:
+// for every (campaign, region) slot it records the partial aggregate
+// counts *and* the exact set of completed run indices. Run identity is
+// RNG-free — a run's seed is a pure function of (campaign seed, region,
+// index) — so "completed" is a set of grid points, not a scheduler state,
+// and resuming at any `--jobs` reproduces the uninterrupted aggregates bit
+// for bit: integer counts are summed over the same set of grid points in
+// either execution.
+//
+// The sidecar file is a versioned `fsim-batch-v2` JSON document
+// (`"kind": "checkpoint"`), rewritten atomically (write-to-temp + rename)
+// every N completed runs. Every slot record carries its own FNV-1a digest
+// and the document a digest over all records, so torn or hand-edited
+// files are refused at parse time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/run.hpp"
+
+namespace fsim::core {
+
+/// Set of completed run indices for one (campaign, region) slot, kept as
+/// sorted disjoint inclusive [first, last] ranges. Under a worker pool,
+/// completions arrive nearly in order with a few stragglers, so the range
+/// list stays tiny (at most ~jobs entries) and serializes compactly.
+class RunSet {
+ public:
+  /// Insert one run index (idempotent; merges adjacent ranges).
+  void insert(int i);
+  bool contains(int i) const noexcept;
+  /// Number of distinct indices in the set.
+  int size() const noexcept;
+  bool empty() const noexcept { return ranges_.empty(); }
+
+  const std::vector<std::pair<int, int>>& ranges() const noexcept {
+    return ranges_;
+  }
+  /// Append an inclusive range (deserialization; must arrive sorted and
+  /// disjoint — throws SetupError otherwise).
+  void append_range(int first, int last);
+
+  bool operator==(const RunSet&) const = default;
+
+ private:
+  std::vector<std::pair<int, int>> ranges_;
+};
+
+/// Per-(campaign, region) checkpoint record: the partial counts and the
+/// run indices they cover. Invariant: counts.executions == done.size().
+struct CheckpointSlot {
+  RegionResult counts;
+  RunSet done;
+};
+
+/// Crash-consistent snapshot of a half-finished shard. The spec list,
+/// shard coordinates and per-campaign golden identities pin down exactly
+/// which batch the partial counts belong to; resume and merge refuse any
+/// mismatch.
+struct Checkpoint {
+  ShardSpec shard;
+  std::vector<CampaignSpec> specs;
+  std::vector<Golden> goldens;  // per campaign; `baseline` not serialized
+  std::vector<CheckpointSlot> slots;  // campaign-major, then region order
+  std::uint64_t cursor = 0;  // highest completed grid index + 1 (diagnostic)
+
+  /// Flattened slot index of (campaign, region-index).
+  std::size_t slot_of(std::size_t campaign, std::size_t region_index) const;
+  /// Total completed runs across all slots.
+  int completed_runs() const noexcept;
+  /// Total shard-owned grid points (the denominator of completed_runs()).
+  int owned_runs() const;
+  /// Does the checkpoint cover every shard-owned grid point?
+  bool complete() const;
+};
+
+/// Empty checkpoint for a batch about to start (slots sized and zeroed).
+Checkpoint make_checkpoint(std::vector<CampaignSpec> specs,
+                           std::vector<Golden> goldens, ShardSpec shard);
+
+/// Serialize / parse the checkpoint document. parse verifies the per-slot
+/// and whole-document digests and throws SetupError on any mismatch or on
+/// a non-checkpoint document.
+std::string checkpoint_json(const Checkpoint& checkpoint);
+Checkpoint parse_checkpoint_json(const std::string& text);
+
+/// Project a checkpoint into a shard-partial BatchResult (the shape
+/// `fsim merge` folds). Counts cover exactly the checkpoint's completed
+/// grid points.
+BatchResult checkpoint_to_batch(const Checkpoint& checkpoint);
+
+/// One `fsim merge` input file, which may be a finished shard document or
+/// a checkpoint. `complete` is false only for a checkpoint that does not
+/// yet cover its whole shard (merging one requires --partial-report).
+struct MergeInput {
+  BatchResult result;
+  bool from_checkpoint = false;
+  bool complete = true;
+  int completed_runs = 0;  // checkpoint inputs: runs covered
+  int owned_runs = 0;      // checkpoint inputs: runs the shard owns
+};
+
+/// Parse a merge input of either kind (throws SetupError on anything that
+/// is neither a batch/shard result nor a checkpoint).
+MergeInput parse_merge_input(const std::string& text);
+
+/// CampaignObserver that maintains a live Checkpoint image of the running
+/// batch and atomically rewrites the sidecar file every `every` completed
+/// runs. run_batch installs one when BatchConfig::checkpoint_path is set;
+/// it is public so tests and embedders can drive it directly. All hooks
+/// are invoked under the batch's observer mutex (see CampaignObserver).
+class CheckpointSink : public CampaignObserver {
+ public:
+  /// `initial` is the resume baseline (or an empty checkpoint). `notify`
+  /// (borrowed, may be null) receives on_checkpoint after every file
+  /// write. Throws SetupError when every < 1.
+  CheckpointSink(std::string path, int every, Checkpoint initial,
+                 CampaignObserver* notify = nullptr);
+
+  void on_run_done(const RunEvent& event) override;
+
+  /// Write the current state unconditionally (run_batch calls this once
+  /// after the grid drains, so a finished shard leaves a complete
+  /// checkpoint behind).
+  void flush();
+
+  const Checkpoint& state() const noexcept { return checkpoint_; }
+
+ private:
+  void write();
+
+  std::string path_;
+  int every_;
+  int pending_ = 0;  // runs accumulated since the last write
+  Checkpoint checkpoint_;
+  CampaignObserver* notify_;
+};
+
+}  // namespace fsim::core

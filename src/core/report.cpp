@@ -138,6 +138,23 @@ std::string batch_csv(const BatchResult& result) {
   return os.str();
 }
 
+std::uint64_t region_counts_digest(const RegionResult& rr, std::uint64_t h) {
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<std::uint64_t>(rr.executions));
+  mix(static_cast<std::uint64_t>(rr.skipped));
+  for (int c : rr.counts) mix(static_cast<std::uint64_t>(c));
+  for (int k : rr.crash_kinds) mix(static_cast<std::uint64_t>(k));
+  mix(static_cast<std::uint64_t>(rr.pruned));
+  for (unsigned a = 0; a < 2; ++a) {
+    mix(static_cast<std::uint64_t>(rr.act_executions[a]));
+    for (int c : rr.act_counts[a]) mix(static_cast<std::uint64_t>(c));
+  }
+  return h;
+}
+
 std::uint64_t aggregate_digest(const CampaignResult& result) {
   std::uint64_t h = 0xcbf29ce484222325ull;
   auto mix = [&h](std::uint64_t v) {
@@ -147,15 +164,7 @@ std::uint64_t aggregate_digest(const CampaignResult& result) {
   mix(result.seed);
   for (const auto& rr : result.regions) {
     mix(static_cast<std::uint64_t>(rr.region));
-    mix(static_cast<std::uint64_t>(rr.executions));
-    mix(static_cast<std::uint64_t>(rr.skipped));
-    for (int c : rr.counts) mix(static_cast<std::uint64_t>(c));
-    for (int k : rr.crash_kinds) mix(static_cast<std::uint64_t>(k));
-    mix(static_cast<std::uint64_t>(rr.pruned));
-    for (unsigned a = 0; a < 2; ++a) {
-      mix(static_cast<std::uint64_t>(rr.act_executions[a]));
-      for (int c : rr.act_counts[a]) mix(static_cast<std::uint64_t>(c));
-    }
+    h = region_counts_digest(rr, h);
   }
   return h;
 }
@@ -181,7 +190,9 @@ PruneLevel read_prune(const util::JsonValue& v) {
   throw util::SetupError("unknown prune level '" + v.as_string() + "'");
 }
 
-void write_spec(util::JsonWriter& w, const CampaignSpec& spec) {
+}  // namespace
+
+void write_campaign_spec(util::JsonWriter& w, const CampaignSpec& spec) {
   w.begin_object();
   w.key("app").value(spec.app);
   w.key("runs_per_region").value(spec.runs_per_region);
@@ -192,10 +203,12 @@ void write_spec(util::JsonWriter& w, const CampaignSpec& spec) {
   w.key("dictionary_entries")
       .value(static_cast<std::uint64_t>(spec.dictionary_entries));
   w.key("prune").value(prune_level_name(spec.prune));
+  if (spec.params.ranks) w.key("ranks").value(spec.params.ranks);
+  if (spec.params.steps) w.key("steps").value(spec.params.steps);
   w.end_object();
 }
 
-CampaignSpec read_spec(const util::JsonValue& v) {
+CampaignSpec read_campaign_spec(const util::JsonValue& v) {
   CampaignSpec spec;
   spec.app = v.at("app").as_string();
   spec.runs_per_region = static_cast<int>(v.at("runs_per_region").as_int());
@@ -205,8 +218,96 @@ CampaignSpec read_spec(const util::JsonValue& v) {
   spec.dictionary_entries =
       static_cast<std::size_t>(v.at("dictionary_entries").as_u64());
   spec.prune = read_prune(v.at("prune"));
+  // v1 documents predate app-param overrides; absent keys mean app defaults.
+  if (const auto* f = v.find("ranks"))
+    spec.params.ranks = static_cast<int>(f->as_int());
+  if (const auto* f = v.find("steps"))
+    spec.params.steps = static_cast<int>(f->as_int());
   return spec;
 }
+
+void write_golden_json(util::JsonWriter& w, const Golden& golden) {
+  w.begin_object();
+  w.key("instructions").value(golden.instructions);
+  w.key("hang_budget").value(golden.hang_budget);
+  w.key("rx_bytes_per_rank").begin_array();
+  for (std::uint64_t b : golden.rx_bytes) w.value(b);
+  w.end_array();
+  w.end_object();
+}
+
+Golden read_golden_json(const util::JsonValue& v) {
+  Golden golden;
+  golden.instructions = v.at("instructions").as_u64();
+  golden.hang_budget = v.at("hang_budget").as_u64();
+  for (const auto& b : v.at("rx_bytes_per_rank").items())
+    golden.rx_bytes.push_back(b.as_u64());
+  return golden;
+}
+
+void write_region_counts(util::JsonWriter& w, const RegionResult& rr) {
+  w.key("executions").value(rr.executions);
+  w.key("skipped").value(rr.skipped);
+  w.key("manifestations").begin_array();
+  for (int c : rr.counts) w.value(c);
+  w.end_array();
+  w.key("crash_kinds").begin_array();
+  for (int k : rr.crash_kinds) w.value(k);
+  w.end_array();
+  w.key("pruned").value(rr.pruned);
+  w.key("act_executions").begin_array();
+  for (int e : rr.act_executions) w.value(e);
+  w.end_array();
+  w.key("act_manifestations").begin_array();
+  for (const auto& row : rr.act_counts) {
+    w.begin_array();
+    for (int c : row) w.value(c);
+    w.end_array();
+  }
+  w.end_array();
+}
+
+void read_region_counts(const util::JsonValue& v, RegionResult& rr) {
+  auto fixed = [](const util::JsonValue& a, std::size_t n, const char* what) {
+    const auto& items = a.items();
+    if (items.size() != n)
+      throw util::SetupError(std::string("json: expected ") +
+                             std::to_string(n) + " " + what + " counts, got " +
+                             std::to_string(items.size()));
+    return &items;
+  };
+  rr.executions = static_cast<int>(v.at("executions").as_int());
+  rr.skipped = static_cast<int>(v.at("skipped").as_int());
+  {
+    const auto* items =
+        fixed(v.at("manifestations"), kNumManifestations, "manifestation");
+    for (unsigned m = 0; m < kNumManifestations; ++m)
+      rr.counts[m] = static_cast<int>((*items)[m].as_int());
+  }
+  {
+    const auto* items =
+        fixed(v.at("crash_kinds"), kNumCrashKinds, "crash-kind");
+    for (unsigned k = 0; k < kNumCrashKinds; ++k)
+      rr.crash_kinds[k] = static_cast<int>((*items)[k].as_int());
+  }
+  rr.pruned = static_cast<int>(v.at("pruned").as_int());
+  {
+    const auto* items = fixed(v.at("act_executions"), 2, "activation");
+    for (unsigned a = 0; a < 2; ++a)
+      rr.act_executions[a] = static_cast<int>((*items)[a].as_int());
+  }
+  {
+    const auto* rows = fixed(v.at("act_manifestations"), 2, "activation");
+    for (unsigned a = 0; a < 2; ++a) {
+      const auto* items =
+          fixed((*rows)[a], kNumManifestations, "activation manifestation");
+      for (unsigned m = 0; m < kNumManifestations; ++m)
+        rr.act_counts[a][m] = static_cast<int>((*items)[m].as_int());
+    }
+  }
+}
+
+namespace {
 
 CampaignResult read_campaign(const util::JsonValue& v) {
   CampaignResult result;
@@ -251,7 +352,8 @@ CampaignResult read_campaign(const util::JsonValue& v) {
 std::string batch_json(const BatchResult& result) {
   util::JsonWriter w;
   w.begin_object();
-  w.key("format").value("fsim-batch-v1");
+  w.key("format").value(kBatchFormatV2);
+  w.key("kind").value("result");
   w.key("shard").begin_object();
   w.key("index").value(result.shard.index);
   w.key("count").value(result.shard.count);
@@ -261,30 +363,58 @@ std::string batch_json(const BatchResult& result) {
   for (std::size_t c = 0; c < result.campaigns.size(); ++c) {
     w.begin_object();
     w.key("spec");
-    write_spec(w, c < result.specs.size() ? result.specs[c]
-                                          : CampaignSpec{});
+    write_campaign_spec(w, c < result.specs.size() ? result.specs[c]
+                                                   : CampaignSpec{});
     w.key("digest").value(aggregate_digest(result.campaigns[c]));
     w.key("result");
     write_campaign(w, result.campaigns[c]);
     w.end_object();
   }
   w.end_array();
+  // Derived batch-wide per-app activation totals; readers recompute these
+  // from the per-region counts, so the parser deliberately ignores them.
+  if (const auto summary = batch_activation(result); !summary.empty()) {
+    w.key("activation_summary").begin_array();
+    for (const auto& row : summary) {
+      w.begin_object();
+      w.key("app").value(row.app);
+      w.key("live_executions").value(row.executions[RegionResult::kLiveIdx]);
+      w.key("live_errors").value(row.errors[RegionResult::kLiveIdx]);
+      w.key("dead_executions").value(row.executions[RegionResult::kDeadIdx]);
+      w.key("dead_errors").value(row.errors[RegionResult::kDeadIdx]);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
   return w.str();
 }
 
 BatchResult parse_batch_json(const std::string& text) {
   const util::JsonValue doc = util::parse_json(text);
-  if (const util::JsonValue* f = doc.find("format");
-      !f || f->as_string() != "fsim-batch-v1")
-    throw util::SetupError("not an fsim batch/shard document "
-                           "(missing format: fsim-batch-v1)");
+  const util::JsonValue* f = doc.find("format");
+  if (!f || (f->as_string() != kBatchFormatV1 &&
+             f->as_string() != kBatchFormatV2))
+    throw util::SetupError(
+        "not an fsim batch/shard document (expected format: fsim-batch-v1 "
+        "or fsim-batch-v2, got " +
+        (f ? "'" + f->as_string() + "'" : std::string("none")) + ")");
+  // v1 documents predate the "kind" discriminator and are always results.
+  if (const util::JsonValue* k = doc.find("kind");
+      k && k->as_string() != "result") {
+    if (k->as_string() == "checkpoint")
+      throw util::SetupError(
+          "document is a checkpoint, not a batch result (resume it with "
+          "'fsim resume', or pass it to 'fsim merge' which accepts both)");
+    throw util::SetupError("unknown fsim-batch-v2 document kind '" +
+                           k->as_string() + "'");
+  }
   BatchResult result;
   const util::JsonValue& shard = doc.at("shard");
   result.shard.index = static_cast<int>(shard.at("index").as_int());
   result.shard.count = static_cast<int>(shard.at("count").as_int());
   for (const auto& cv : doc.at("campaigns").items()) {
-    result.specs.push_back(read_spec(cv.at("spec")));
+    result.specs.push_back(read_campaign_spec(cv.at("spec")));
     result.campaigns.push_back(read_campaign(cv.at("result")));
   }
   // The digest is recomputable from the counts; verify rather than trust.
@@ -302,8 +432,9 @@ BatchResult merge_batch(const std::vector<BatchResult>& shards) {
     if (shards[s].specs != first.specs)
       throw util::SetupError(
           "merge: shard " + std::to_string(s) +
-          " was produced by a different batch spec (apps/runs/seeds/regions "
-          "must match)");
+          " was produced by a different batch spec (apps, app params "
+          "(ranks/steps), runs, seeds, regions, dictionary sizes and prune "
+          "levels must all match)");
     if (shards[s].shard.count != first.shard.count)
       throw util::SetupError("merge: shard counts differ (" +
                              std::to_string(shards[s].shard.count) + " vs " +
@@ -367,7 +498,19 @@ std::vector<CampaignSpec> parse_batch_spec(const std::string& text) {
   const util::JsonValue doc = util::parse_json(text);
   const CampaignConfig defaults;  // library defaults for unset fields
 
-  auto fill = [](CampaignSpec& spec, const util::JsonValue& v) {
+  // Schema version: no "format" key is the legacy v1 schema; v2 must say
+  // so explicitly, and anything else is refused rather than misread.
+  bool v2 = false;
+  if (const util::JsonValue* f = doc.find("format")) {
+    if (f->as_string() != kBatchFormatV2)
+      throw util::SetupError("batch spec: unsupported format '" +
+                             f->as_string() +
+                             "' (expected fsim-batch-v2, or no format key "
+                             "for the legacy v1 schema)");
+    v2 = true;
+  }
+
+  auto fill = [v2](CampaignSpec& spec, const util::JsonValue& v) {
     if (const auto* f = v.find("runs"))
       spec.runs_per_region = static_cast<int>(f->as_int());
     if (const auto* f = v.find("seed")) spec.seed = f->as_u64();
@@ -379,6 +522,17 @@ std::vector<CampaignSpec> parse_batch_spec(const std::string& text) {
       for (const auto& r : f->items())
         spec.regions.push_back(parse_region(r.as_string()));
     }
+    if (!v2) {
+      if (v.find("ranks") || v.find("steps"))
+        throw util::SetupError(
+            "batch spec: \"ranks\"/\"steps\" app-config overrides require "
+            "\"format\": \"fsim-batch-v2\"");
+      return;
+    }
+    if (const auto* f = v.find("ranks"))
+      spec.params.ranks = static_cast<int>(f->as_int());
+    if (const auto* f = v.find("steps"))
+      spec.params.steps = static_cast<int>(f->as_int());
   };
 
   CampaignSpec base;

@@ -8,7 +8,21 @@
 
 #include "core/campaign.hpp"
 
+namespace fsim::util {
+class JsonWriter;
+class JsonValue;
+}
+
 namespace fsim::core {
+
+/// Versioned document headers. Every artefact the laboratory exchanges
+/// between hosts — shard results, checkpoints, spec files — carries a
+/// `"format"` field; readers accept v1 (filling defaults) and v2, and
+/// refuse anything else with a precise error. v2 documents additionally
+/// carry a `"kind"` ("result" | "checkpoint") so the two artefact types
+/// cannot be confused.
+inline constexpr const char* kBatchFormatV1 = "fsim-batch-v1";
+inline constexpr const char* kBatchFormatV2 = "fsim-batch-v2";
 
 /// Full campaign result as a JSON document: app, seed, golden statistics,
 /// and per-region execution counts plus manifestation breakdown.
@@ -46,12 +60,42 @@ BatchResult merge_batch(const std::vector<BatchResult>& shards);
 /// Per-campaign CSV rows (campaign_csv with the header emitted once).
 std::string batch_csv(const BatchResult& result);
 
-/// Batch description for `fsim batch --spec=FILE`:
+/// Batch description for `fsim batch --spec=FILE`. Two schema versions:
+///
+/// v1 (no "format" key — every pre-v2 spec file):
 ///   {"runs": 200, "seed": 250, "prune": true, "regions": ["regular",...],
 ///    "campaigns": [{"app": "wavetoy", "runs": 400, ...}, ...]}
 /// Top-level keys give defaults; each campaign object needs at least
 /// "app" and may override runs/seed/regions/prune/dictionary_entries.
+/// App configs take their library defaults.
+///
+/// v2 ({"format": "fsim-batch-v2"}): same keys, plus per-campaign app
+/// *config* overrides "ranks" and "steps" (top-level values give
+/// defaults). A v1 document still parses — the overrides just stay 0
+/// (app defaults). Any other "format" value is refused.
+///
 /// Throws SetupError on malformed specs.
 std::vector<CampaignSpec> parse_batch_spec(const std::string& text);
+
+// --- Shared JSON fragments (used by report.cpp and checkpoint.cpp) ---
+
+/// Raw aggregate fields of one RegionResult, written as key/value pairs
+/// into the caller's open object (everything except the region tag and
+/// the derived rates).
+void write_region_counts(util::JsonWriter& w, const RegionResult& rr);
+void read_region_counts(const util::JsonValue& v, RegionResult& rr);
+
+/// Campaign spec as a (versioned) JSON object value.
+void write_campaign_spec(util::JsonWriter& w, const CampaignSpec& spec);
+CampaignSpec read_campaign_spec(const util::JsonValue& v);
+
+/// Golden-run identity (instructions, hang budget, per-rank rx volume;
+/// the raw baseline stream is deliberately not serialized).
+void write_golden_json(util::JsonWriter& w, const Golden& golden);
+Golden read_golden_json(const util::JsonValue& v);
+
+/// Continue an FNV-1a fold `h` over one region's aggregate fields (the
+/// per-region step of aggregate_digest, shared with checkpoint records).
+std::uint64_t region_counts_digest(const RegionResult& rr, std::uint64_t h);
 
 }  // namespace fsim::core

@@ -4,8 +4,10 @@
 //   fsim campaign  --app=minimd --runs=400 [--regions=regular,message]
 //                  [--seed=S] [--json] [--csv]
 //   fsim batch     --apps=wavetoy,minimd,atmo | --spec=FILE
-//                  [--shard=i/N] [--out=FILE]  (several campaigns, one pool)
-//   fsim merge     shard0.json shard1.json ... (fold shard partials)
+//                  [--shard=i/N] [--out=FILE] [--checkpoint=FILE]
+//                  (several campaigns, one pool)
+//   fsim resume    ckpt.json [--jobs=N]  (continue a half-finished shard)
+//   fsim merge     shard0.json ckpt1.json ... (fold shards + checkpoints)
 //   fsim profile   [--app=NAME]            (Table 1 per-process profiles)
 //   fsim trace     --app=atmo [--rank=1]   (working-set curves, Tables 5-7)
 //   fsim mix       --app=wavetoy [--rank=1]  (instruction mix / hot spots)
@@ -21,6 +23,7 @@
 #include "apps/app.hpp"
 #include "core/analyze.hpp"
 #include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
 #include "core/report.hpp"
 #include "core/sampling.hpp"
 #include "simmpi/world.hpp"
@@ -29,6 +32,7 @@
 #include "trace/profile.hpp"
 #include "trace/working_set.hpp"
 #include "util/cli.hpp"
+#include "util/file.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
@@ -45,8 +49,13 @@ int print_usage() {
       "            [--json] [--csv] [--quiet]\n"
       "  batch     --apps=a,b,... | --spec=FILE [--runs=N] [--regions=...]\n"
       "            [--seed=N] [--jobs=N] [--prune=off|regs|full] [--shard=i/N]\n"
+      "            [--checkpoint=FILE] [--checkpoint-every=N]\n"
       "            [--out=FILE] [--json] [--csv] [--activation] [--quiet]\n"
-      "  merge     FILE... [--out=FILE] [--json] [--csv] [--activation]\n"
+      "  resume    CKPT.json [--jobs=N] [--checkpoint=FILE]\n"
+      "            [--checkpoint-every=N] [--out=FILE] [--json] [--csv]\n"
+      "            [--activation] [--quiet]\n"
+      "  merge     FILE... [--partial-report] [--out=FILE] [--json] [--csv]\n"
+      "            [--activation]\n"
       "  analyze   --app=NAME [--runs=N] [--seed=N] [--jobs=N]\n"
       "            [--json] [--csv] [--quiet]  (static masked fractions)\n"
       "  profile   [--app=NAME]\n"
@@ -62,14 +71,6 @@ int print_usage() {
 int usage() {
   (void)print_usage();
   return 2;
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw util::SetupError("cannot open '" + path + "'");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
 }
 
 /// Send a report to --out=FILE when given, stdout otherwise.
@@ -174,8 +175,9 @@ int cmd_campaign(const util::Cli& cli) {
   return 0;
 }
 
-/// Per-campaign batch report: tables (plus optional activation splits),
-/// JSON or CSV, matching the single-campaign `fsim campaign` surface.
+/// Per-campaign batch report: tables (plus optional activation splits and
+/// the batch-wide per-app activation summary), JSON or CSV, matching the
+/// single-campaign `fsim campaign` surface.
 std::string render_batch(const util::Cli& cli, const core::BatchResult& res) {
   if (cli.flag("json")) return core::batch_json(res) + "\n";
   if (cli.flag("csv")) return core::batch_csv(res);
@@ -185,8 +187,49 @@ std::string render_batch(const util::Cli& cli, const core::BatchResult& res) {
       const std::string act = core::format_activation(campaign);
       if (!act.empty()) out += "\n" + act;
     }
+    const std::string combined = core::format_batch_activation(res);
+    if (!combined.empty()) out += "\n" + combined;
   }
   return out;
+}
+
+/// Build the batch entry list a spec list describes (one linked app per
+/// campaign, params applied to the app config).
+std::vector<core::BatchEntry> batch_entries(
+    const std::vector<core::CampaignSpec>& specs) {
+  std::vector<core::BatchEntry> entries;
+  for (const auto& spec : specs) {
+    core::BatchEntry e;
+    e.app = apps::make_app(spec.app, spec.params);
+    e.params = spec.params;
+    e.config.runs_per_region = spec.runs_per_region;
+    e.config.seed = spec.seed;
+    e.config.regions = spec.regions;
+    e.config.dictionary_entries = spec.dictionary_entries;
+    e.config.prune = spec.prune;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+/// stderr progress line shared by `fsim batch` and `fsim resume`.
+void set_batch_progress(core::BatchConfig& bc) {
+  bc.progress = [](const std::string& app, core::Region region, int done,
+                   int total) {
+    if (done == 1 || done == total || done % 50 == 0)
+      std::fprintf(stderr, "\r  %-8s %-13s %4d/%d", app.c_str(),
+                   core::region_name(region), done, total);
+    if (done == total) std::fprintf(stderr, "\n");
+  };
+}
+
+/// Shard partials default to the JSON that `fsim merge` consumes; tables
+/// and CSV stay available on request.
+void write_batch_output(const util::Cli& cli, const core::BatchResult& res) {
+  if (res.shard.count > 1 && !cli.flag("json") && !cli.flag("csv"))
+    write_output(cli, core::batch_json(res) + "\n");
+  else
+    write_output(cli, render_batch(cli, res));
 }
 
 int cmd_batch(const util::Cli& cli) {
@@ -194,7 +237,7 @@ int cmd_batch(const util::Cli& cli) {
   // app in --apps (default: the paper's three-application suite).
   std::vector<core::CampaignSpec> specs;
   if (cli.has("spec")) {
-    specs = core::parse_batch_spec(read_file(cli.str("spec", "")));
+    specs = core::parse_batch_spec(util::read_file(cli.str("spec", "")));
   } else {
     core::CampaignConfig base;
     base.runs_per_region = static_cast<int>(cli.num("runs", 200));
@@ -213,22 +256,14 @@ int cmd_batch(const util::Cli& cli) {
     }
   }
 
-  std::vector<core::BatchEntry> entries;
-  for (const auto& spec : specs) {
-    core::BatchEntry e;
-    e.app = apps::make_app(spec.app);
-    e.config.runs_per_region = spec.runs_per_region;
-    e.config.seed = spec.seed;
-    e.config.regions = spec.regions;
-    e.config.dictionary_entries = spec.dictionary_entries;
-    e.config.prune = spec.prune;
-    entries.push_back(std::move(e));
-  }
+  std::vector<core::BatchEntry> entries = batch_entries(specs);
 
   core::BatchConfig bc;
   bc.jobs = static_cast<int>(cli.num(
       "jobs",
       static_cast<std::int64_t>(util::ThreadPool::default_workers())));
+  bc.checkpoint_path = cli.str("checkpoint", "");
+  bc.checkpoint_every = static_cast<int>(cli.num("checkpoint-every", 64));
   if (cli.has("shard")) {
     const std::string s = cli.str("shard", "0/1");
     const auto slash = s.find('/');
@@ -238,25 +273,51 @@ int cmd_batch(const util::Cli& cli) {
     bc.shard.count = std::atoi(s.substr(slash + 1).c_str());
   }
   if (!cli.flag("quiet")) {
-    bc.progress = [](const std::string& app, core::Region region, int done,
-                     int total) {
-      if (done == 1 || done == total || done % 50 == 0)
-        std::fprintf(stderr, "\r  %-8s %-13s %4d/%d", app.c_str(),
-                     core::region_name(region), done, total);
-      if (done == total) std::fprintf(stderr, "\n");
-    };
+    set_batch_progress(bc);
     std::fprintf(stderr,
                  "batch: %zu campaigns, %d jobs, shard %d/%d\n",
                  entries.size(), bc.jobs, bc.shard.index, bc.shard.count);
   }
 
   const core::BatchResult res = core::run_batch(entries, bc);
-  // A shard partial's natural artifact is the JSON that `fsim merge`
-  // consumes; tables and CSV stay available on request.
-  if (res.shard.count > 1 && !cli.flag("json") && !cli.flag("csv"))
-    write_output(cli, core::batch_json(res) + "\n");
-  else
-    write_output(cli, render_batch(cli, res));
+  write_batch_output(cli, res);
+  return 0;
+}
+
+int cmd_resume(const util::Cli& cli) {
+  const std::vector<std::string>& files = cli.positional();
+  if (files.size() != 1) {
+    std::fprintf(stderr,
+                 "resume: expected exactly one checkpoint file\n"
+                 "usage: fsim resume CKPT.json [--jobs=N] [--out=FILE]\n");
+    return 2;
+  }
+  const core::Checkpoint ck =
+      core::parse_checkpoint_json(util::read_file(files[0]));
+
+  std::vector<core::BatchEntry> entries = batch_entries(ck.specs);
+
+  core::BatchConfig bc;
+  bc.jobs = static_cast<int>(cli.num(
+      "jobs",
+      static_cast<std::int64_t>(util::ThreadPool::default_workers())));
+  bc.shard = ck.shard;
+  bc.resume = &ck;
+  // Keep checkpointing into the same sidecar (a second crash resumes from
+  // wherever this invocation got to) unless redirected with --checkpoint.
+  bc.checkpoint_path = cli.str("checkpoint", files[0]);
+  bc.checkpoint_every = static_cast<int>(cli.num("checkpoint-every", 64));
+  if (!cli.flag("quiet")) {
+    set_batch_progress(bc);
+    std::fprintf(stderr,
+                 "resume: %zu campaigns, shard %d/%d, %d of %d runs already "
+                 "checkpointed, %d jobs\n",
+                 entries.size(), bc.shard.index, bc.shard.count,
+                 ck.completed_runs(), ck.owned_runs(), bc.jobs);
+  }
+
+  const core::BatchResult res = core::run_batch(entries, bc);
+  write_batch_output(cli, res);
   return 0;
 }
 
@@ -264,15 +325,35 @@ int cmd_merge(const util::Cli& cli) {
   const std::vector<std::string>& files = cli.positional();
   if (files.empty()) {
     std::fprintf(stderr,
-                 "merge: no shard files given\n"
-                 "usage: fsim merge FILE... [--out=FILE] [--json] [--csv]\n");
+                 "merge: no input files given\n"
+                 "usage: fsim merge FILE... [--partial-report] [--out=FILE] "
+                 "[--json] [--csv]\n");
     return 2;
   }
+  // Inputs may be finished shard results or checkpoints; an incomplete
+  // checkpoint only contributes with an explicit --partial-report.
   std::vector<core::BatchResult> shards;
-  for (const auto& f : files)
-    shards.push_back(core::parse_batch_json(read_file(f)));
+  bool partial = false;
+  for (const auto& f : files) {
+    core::MergeInput in = core::parse_merge_input(util::read_file(f));
+    if (!in.complete) {
+      if (!cli.flag("partial-report"))
+        throw util::SetupError(
+            "merge: '" + f + "' is an incomplete checkpoint (" +
+            std::to_string(in.completed_runs) + " of " +
+            std::to_string(in.owned_runs) +
+            " shard runs); finish it with 'fsim resume', or pass "
+            "--partial-report to fold the partial counts anyway");
+      partial = true;
+    }
+    shards.push_back(std::move(in.result));
+  }
   const core::BatchResult merged = core::merge_batch(shards);
-  write_output(cli, render_batch(cli, merged));
+  std::string out = render_batch(cli, merged);
+  if (partial && !cli.flag("json") && !cli.flag("csv"))
+    out += "\nNOTE: partial report — one or more inputs were incomplete "
+           "checkpoints; counts cover only their completed runs.\n";
+  write_output(cli, out);
   return 0;
 }
 
@@ -396,6 +477,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(cli);
     if (command == "campaign") return cmd_campaign(cli);
     if (command == "batch") return cmd_batch(cli);
+    if (command == "resume") return cmd_resume(cli);
     if (command == "merge") return cmd_merge(cli);
     if (command == "analyze") return cmd_analyze(cli);
     if (command == "profile") return cmd_profile(cli);

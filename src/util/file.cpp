@@ -1,0 +1,38 @@
+#include "util/file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace fsim::util {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SetupError("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw SetupError("cannot write '" + tmp + "'");
+    out << content;
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw SetupError("short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SetupError("cannot rename '" + tmp + "' over '" + path + "'");
+  }
+}
+
+}  // namespace fsim::util

@@ -1,0 +1,23 @@
+// Small-file I/O shared by the CLI and the campaign checkpoint sink.
+//
+// `write_file_atomic` is the crash-consistency primitive: readers of the
+// target path either see the previous complete document or the new one,
+// never a torn write, because the content lands in a sibling temp file that
+// is renamed over the target (rename(2) is atomic within a filesystem).
+#pragma once
+
+#include <string>
+
+namespace fsim::util {
+
+/// Read a whole file into a string. Throws SetupError when the file cannot
+/// be opened.
+std::string read_file(const std::string& path);
+
+/// Replace `path` atomically with `content`: write to `path` + ".tmp",
+/// flush, then rename over the target. A process killed at any instant
+/// leaves either the old document or the new one — never a prefix. Throws
+/// SetupError on I/O failure (the temp file is removed on error).
+void write_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace fsim::util

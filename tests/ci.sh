@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # One-shot CI gate: configure and build the tree with warnings-as-errors,
-# run the full test suite, the lint gate (warnings fatal) and the docs
-# drift check — optionally repeating the whole cycle under AddressSanitizer.
+# run the full test suite, the lint gate (warnings fatal), the docs drift
+# check, the multi-process kill/resume crash-tolerance gate and the
+# checkpoint determinism/overhead gate — optionally repeating the whole
+# cycle under AddressSanitizer.
 #
 #   tests/ci.sh [--asan] [--build-dir=DIR] [--jobs=N]
 #
@@ -41,6 +43,10 @@ run_gate() {
   "$dir/src/tools/fsim" lint --app=all --werror
   echo "=== ci: docs check ==="
   bash "$root/tests/docs_check.sh" "$dir/src/tools/fsim" "$root"
+  echo "=== ci: crash tolerance (kill + resume + merge) ==="
+  bash "$root/tests/kill_resume_test.sh" "$dir/src/tools/fsim"
+  echo "=== ci: checkpoint determinism/overhead gate ==="
+  "$dir/bench/bench_checkpoint_overhead" --runs=40 --quiet
 }
 
 run_gate "$build"

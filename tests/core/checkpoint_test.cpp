@@ -1,0 +1,408 @@
+// Crash-tolerant campaigns: checkpoint serialization must round-trip and
+// refuse corruption, resuming a half-finished shard must reproduce the
+// uninterrupted aggregates bit for bit at any job count, identity
+// mismatches must be refused with precise errors, and `fsim merge` inputs
+// may mix finished shards with checkpoints.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
+#include "core/report.hpp"
+#include "util/file.hpp"
+#include "util/status.hpp"
+
+namespace fsim::core {
+namespace {
+
+apps::App tiny_wavetoy() {
+  apps::WavetoyConfig cfg;
+  cfg.ranks = 4;
+  cfg.columns = 8;
+  cfg.rows = 8;
+  cfg.steps = 8;
+  cfg.cold_functions = 10;
+  cfg.cold_heap_arrays = 1;
+  return apps::make_wavetoy(cfg);
+}
+
+apps::App tiny_minimd() {
+  apps::MinimdConfig cfg;
+  cfg.ranks = 4;
+  cfg.atoms = 6;
+  cfg.steps = 4;
+  cfg.cold_functions = 10;
+  cfg.cold_heap_bytes = 2048;
+  return apps::make_minimd(cfg);
+}
+
+std::vector<BatchEntry> two_campaign_batch() {
+  std::vector<BatchEntry> entries(2);
+  entries[0].app = tiny_wavetoy();
+  entries[0].config.runs_per_region = 10;
+  entries[0].config.seed = 0xabc;
+  entries[0].config.regions = {Region::kRegularReg, Region::kData,
+                               Region::kMessage};
+  entries[1].app = tiny_minimd();
+  entries[1].config.runs_per_region = 8;
+  entries[1].config.seed = 0x123;
+  entries[1].config.regions = {Region::kRegularReg, Region::kMessage};
+  return entries;
+}
+
+/// Scratch sidecar path unique per test (ctest runs us in the build tree).
+std::string scratch(const std::string& name) {
+  return "checkpoint_test_" + name + ".json";
+}
+
+/// Run the batch streaming a checkpoint, return the final sidecar state.
+Checkpoint run_with_checkpoint(const std::vector<BatchEntry>& entries,
+                               const std::string& path, int jobs,
+                               int every = 1) {
+  BatchConfig bc;
+  bc.jobs = jobs;
+  bc.checkpoint_path = path;
+  bc.checkpoint_every = every;
+  (void)run_batch(entries, bc);
+  return parse_checkpoint_json(util::read_file(path));
+}
+
+/// A mid-flight checkpoint of `entries`, covering only the first
+/// `done_runs[c]` run indices of every region of campaign c. Built by
+/// checkpointing a shortened batch and then widening the specs back to the
+/// full grid — valid because a run's identity is (campaign seed, region,
+/// index), independent of runs_per_region.
+Checkpoint partial_checkpoint(const std::vector<BatchEntry>& entries,
+                              const std::vector<int>& done_runs,
+                              const std::string& path) {
+  std::vector<BatchEntry> shortened = entries;
+  for (std::size_t c = 0; c < shortened.size(); ++c)
+    shortened[c].config.runs_per_region = done_runs[c];
+  Checkpoint ck = run_with_checkpoint(shortened, path, /*jobs=*/2);
+  for (std::size_t c = 0; c < ck.specs.size(); ++c)
+    ck.specs[c].runs_per_region = entries[c].config.runs_per_region;
+  return ck;
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t i = 0; i < a.regions.size(); ++i) {
+    const RegionResult& ra = a.regions[i];
+    const RegionResult& rb = b.regions[i];
+    EXPECT_EQ(ra.region, rb.region);
+    EXPECT_EQ(ra.executions, rb.executions);
+    EXPECT_EQ(ra.skipped, rb.skipped);
+    EXPECT_EQ(ra.counts, rb.counts);
+    EXPECT_EQ(ra.crash_kinds, rb.crash_kinds);
+    EXPECT_EQ(ra.pruned, rb.pruned);
+    EXPECT_EQ(ra.act_executions, rb.act_executions);
+    EXPECT_EQ(ra.act_counts, rb.act_counts);
+  }
+  EXPECT_EQ(aggregate_digest(a), aggregate_digest(b));
+}
+
+TEST(RunSet, InsertCoalescesAndAnswersContains) {
+  RunSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0);
+  for (int i : {5, 3, 4, 9, 0, 1}) set.insert(i);
+  // {0,1}, {3,4,5}, {9}
+  ASSERT_EQ(set.ranges().size(), 3u);
+  EXPECT_EQ(set.size(), 6);
+  for (int i : {0, 1, 3, 4, 5, 9}) EXPECT_TRUE(set.contains(i)) << i;
+  for (int i : {2, 6, 8, 10}) EXPECT_FALSE(set.contains(i)) << i;
+  set.insert(2);  // bridges {0,1} and {3,4,5}
+  ASSERT_EQ(set.ranges().size(), 2u);
+  EXPECT_EQ(set.ranges()[0], (std::pair<int, int>{0, 5}));
+  set.insert(4);  // idempotent
+  EXPECT_EQ(set.size(), 7);
+}
+
+TEST(RunSet, AppendRangeRejectsDisorder) {
+  RunSet set;
+  set.append_range(0, 3);
+  set.append_range(5, 5);
+  EXPECT_EQ(set.size(), 5);
+  EXPECT_THROW(set.append_range(4, 4), util::SetupError);  // adjacent
+  EXPECT_THROW(set.append_range(2, 9), util::SetupError);  // overlap
+  RunSet bad;
+  EXPECT_THROW(bad.append_range(3, 2), util::SetupError);
+  EXPECT_THROW(bad.append_range(-1, 2), util::SetupError);
+}
+
+TEST(Checkpoint, FinishedShardLeavesACompleteCheckpointThatRoundTrips) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  const std::string path = scratch("roundtrip");
+  const Checkpoint ck = run_with_checkpoint(entries, path, /*jobs=*/4,
+                                            /*every=*/16);
+  EXPECT_TRUE(ck.complete());
+  EXPECT_EQ(ck.completed_runs(), ck.owned_runs());
+  EXPECT_EQ(ck.completed_runs(), 10 * 3 + 8 * 2);
+  ASSERT_EQ(ck.slots.size(), 5u);
+  for (const auto& slot : ck.slots)
+    EXPECT_EQ(slot.counts.executions, slot.done.size());
+
+  // Byte-stable and digest-verified through a second round trip.
+  const std::string text = checkpoint_json(ck);
+  const Checkpoint again = parse_checkpoint_json(text);
+  EXPECT_EQ(checkpoint_json(again), text);
+  EXPECT_EQ(again.specs, ck.specs);
+  for (std::size_t s = 0; s < ck.slots.size(); ++s)
+    EXPECT_EQ(again.slots[s].done, ck.slots[s].done);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptedOrForeignDocumentsAreRefused) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  const std::string path = scratch("corrupt");
+  const Checkpoint ck = run_with_checkpoint(entries, path, /*jobs=*/2);
+  const std::string text = checkpoint_json(ck);
+
+  // Flip one aggregate count without fixing the digests.
+  const auto pos = text.find("\"executions\":");
+  ASSERT_NE(pos, std::string::npos);
+  std::string tampered = text;
+  tampered[pos + 14] = tampered[pos + 14] == '9' ? '8' : '9';
+  EXPECT_THROW(parse_checkpoint_json(tampered), util::SetupError);
+
+  // A result document is not a checkpoint, and vice versa.
+  BatchConfig bc;
+  const BatchResult res = run_batch(entries, bc);
+  EXPECT_THROW(parse_checkpoint_json(batch_json(res)), util::SetupError);
+  EXPECT_THROW(parse_batch_json(text), util::SetupError);
+  EXPECT_THROW(parse_checkpoint_json("not json"), util::SetupError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SinkRejectsNonPositiveInterval) {
+  EXPECT_THROW(
+      CheckpointSink("x.json", 0, make_checkpoint({}, {}, ShardSpec{})),
+      util::SetupError);
+}
+
+TEST(Resume, ReproducesTheUninterruptedAggregatesAtAnyJobCount) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  BatchConfig mono;
+  mono.jobs = 4;
+  const BatchResult whole = run_batch(entries, mono);
+
+  const std::string path = scratch("resume");
+  const Checkpoint ck = partial_checkpoint(entries, {6, 5}, path);
+  EXPECT_FALSE(ck.complete());
+  EXPECT_EQ(ck.completed_runs(), 6 * 3 + 5 * 2);
+
+  for (int jobs : {1, 8}) {
+    BatchConfig bc;
+    bc.jobs = jobs;
+    bc.resume = &ck;
+    const BatchResult resumed = run_batch(entries, bc);
+    ASSERT_EQ(resumed.campaigns.size(), whole.campaigns.size());
+    for (std::size_t c = 0; c < whole.campaigns.size(); ++c)
+      expect_identical(resumed.campaigns[c], whole.campaigns[c]);
+    EXPECT_EQ(batch_digest(resumed), batch_digest(whole));
+    // The merged artefact is byte-identical, derived columns and all.
+    EXPECT_EQ(batch_json(resumed), batch_json(whole));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Resume, CompleteCheckpointIsANoOpResume) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  BatchConfig mono;
+  mono.jobs = 2;
+  const BatchResult whole = run_batch(entries, mono);
+
+  const std::string path = scratch("noop");
+  const Checkpoint ck = run_with_checkpoint(entries, path, /*jobs=*/2);
+  ASSERT_TRUE(ck.complete());
+  BatchConfig bc;
+  bc.jobs = 2;
+  bc.resume = &ck;
+  const BatchResult resumed = run_batch(entries, bc);
+  EXPECT_EQ(batch_json(resumed), batch_json(whole));
+  std::remove(path.c_str());
+}
+
+TEST(Resume, RefusesMismatchedIdentity) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  const std::string path = scratch("identity");
+  Checkpoint ck = partial_checkpoint(entries, {6, 5}, path);
+
+  {  // Different campaign seed: a different batch.
+    std::vector<BatchEntry> other = entries;
+    other[0].config.seed ^= 1;
+    BatchConfig bc;
+    bc.resume = &ck;
+    EXPECT_THROW(run_batch(other, bc), util::SetupError);
+  }
+  {  // Different app params: a different linked image.
+    std::vector<BatchEntry> other = entries;
+    other[1].params.steps = 3;
+    BatchConfig bc;
+    bc.resume = &ck;
+    EXPECT_THROW(run_batch(other, bc), util::SetupError);
+  }
+  {  // Checkpoint covers a different shard than the batch runs.
+    BatchConfig bc;
+    bc.resume = &ck;
+    bc.shard = ShardSpec{0, 2};
+    EXPECT_THROW(run_batch(entries, bc), util::SetupError);
+  }
+  {  // Tampered golden identity.
+    Checkpoint bad = ck;
+    bad.goldens[0].instructions ^= 1;
+    BatchConfig bc;
+    bc.resume = &bad;
+    EXPECT_THROW(run_batch(entries, bc), util::SetupError);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Merge, AcceptsMixedShardsAndCheckpoints) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  BatchConfig mono;
+  mono.jobs = 2;
+  const BatchResult whole = run_batch(entries, mono);
+
+  // Shard 0 finishes and leaves its complete checkpoint; shard 1 exports
+  // the usual result document. Merging the mixture reproduces the whole.
+  const std::string path = scratch("merge");
+  BatchConfig s0;
+  s0.jobs = 2;
+  s0.shard = ShardSpec{0, 2};
+  s0.checkpoint_path = path;
+  (void)run_batch(entries, s0);
+  BatchConfig s1;
+  s1.jobs = 2;
+  s1.shard = ShardSpec{1, 2};
+  const BatchResult part1 = run_batch(entries, s1);
+
+  const MergeInput in0 = parse_merge_input(util::read_file(path));
+  EXPECT_TRUE(in0.from_checkpoint);
+  EXPECT_TRUE(in0.complete);
+  const MergeInput in1 = parse_merge_input(batch_json(part1));
+  EXPECT_FALSE(in1.from_checkpoint);
+  const BatchResult merged = merge_batch({in0.result, in1.result});
+  EXPECT_EQ(batch_json(merged), batch_json(whole));
+  std::remove(path.c_str());
+}
+
+TEST(Merge, IncompleteCheckpointIsFlaggedAndFoldsPartialCounts) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  const std::string path = scratch("partial");
+  const Checkpoint ck = partial_checkpoint(entries, {6, 5}, path);
+  const MergeInput in = parse_merge_input(checkpoint_json(ck));
+  EXPECT_TRUE(in.from_checkpoint);
+  EXPECT_FALSE(in.complete);
+  EXPECT_EQ(in.completed_runs, 6 * 3 + 5 * 2);
+  EXPECT_EQ(in.owned_runs, 10 * 3 + 8 * 2);
+
+  // The projected result merges (shard count 1 here), yielding exactly the
+  // checkpointed partial counts.
+  const BatchResult merged = merge_batch({in.result});
+  int total = 0;
+  for (const auto& campaign : merged.campaigns)
+    for (const auto& rr : campaign.regions) total += rr.executions;
+  EXPECT_EQ(total, 6 * 3 + 5 * 2);
+  std::remove(path.c_str());
+}
+
+TEST(Observer, HooksFireSerializedAndCountEveryRun) {
+  struct Counter : CampaignObserver {
+    int runs = 0, regions = 0, checkpoints = 0, max_done = 0;
+    void on_run_done(const RunEvent& ev) override {
+      ++runs;
+      max_done = std::max(max_done, ev.done);
+      ASSERT_NE(ev.outcome, nullptr);
+      ASSERT_NE(ev.app, nullptr);
+    }
+    void on_region_done(std::size_t, const std::string&, Region,
+                        int) override {
+      ++regions;
+    }
+    void on_checkpoint(const std::string&, int) override { ++checkpoints; }
+  };
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  const std::string path = scratch("observer");
+  Counter counter;
+  int legacy_calls = 0;
+  BatchConfig bc;
+  bc.jobs = 4;
+  bc.observer = &counter;
+  bc.checkpoint_path = path;
+  bc.checkpoint_every = 8;
+  bc.progress = [&legacy_calls](const std::string&, Region, int, int) {
+    ++legacy_calls;  // the legacy shim keeps working alongside the observer
+  };
+  (void)run_batch(entries, bc);
+  EXPECT_EQ(counter.runs, 10 * 3 + 8 * 2);
+  EXPECT_EQ(legacy_calls, counter.runs);
+  EXPECT_EQ(counter.regions, 5);
+  // ceil(46 / 8) periodic writes plus the final flush.
+  EXPECT_GE(counter.checkpoints, 46 / 8);
+  EXPECT_EQ(counter.max_done, 10);
+  std::remove(path.c_str());
+}
+
+TEST(Format, LegacyV1ResultDocumentsStillParse) {
+  // A pinned pre-v2 shard document (no "kind", no app params, no digest —
+  // all optional in v1). The reader must fill defaults, not refuse.
+  const std::string v1 = R"({
+    "format": "fsim-batch-v1",
+    "shard": {"index": 0, "count": 1},
+    "campaigns": [{
+      "spec": {"app": "wavetoy", "runs_per_region": 2, "seed": 7,
+               "regions": ["regular"], "dictionary_entries": 16,
+               "prune": "full"},
+      "result": {"app": "wavetoy", "seed": 7,
+                 "golden": {"instructions": 100, "hang_budget": 200,
+                            "rx_bytes_per_rank": [0, 8]},
+                 "regions": [{"region": "Regular Reg.",
+                              "executions": 2, "skipped": 0,
+                              "manifestations": {}, "crash_kinds": {},
+                              "pruned": 0}]}
+    }]})";
+  const BatchResult res = parse_batch_json(v1);
+  ASSERT_EQ(res.specs.size(), 1u);
+  EXPECT_EQ(res.specs[0].params, apps::AppParams{});
+  EXPECT_EQ(res.campaigns[0].regions[0].executions, 2);
+
+  EXPECT_THROW(parse_batch_json("{\"format\": \"fsim-batch-v3\"}"),
+               util::SetupError);
+}
+
+TEST(Format, V2SpecFilesCarryAppParams) {
+  const std::string spec = R"({
+    "format": "fsim-batch-v2",
+    "runs": 8, "seed": 5, "ranks": 4,
+    "campaigns": [
+      {"app": "wavetoy", "steps": 8},
+      {"app": "minimd", "ranks": 2}
+    ]})";
+  const std::vector<CampaignSpec> specs = parse_batch_spec(spec);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].params.ranks, 4);  // top-level default
+  EXPECT_EQ(specs[0].params.steps, 8);
+  EXPECT_EQ(specs[1].params.ranks, 2);  // per-campaign override
+  EXPECT_EQ(specs[1].params.steps, 0);
+
+  // v1 spec files cannot smuggle in params, and unknown formats are refused.
+  EXPECT_THROW(
+      parse_batch_spec(R"({"campaigns": [{"app": "wavetoy", "ranks": 4}]})"),
+      util::SetupError);
+  EXPECT_THROW(parse_batch_spec(
+                   R"({"format": "fsim-batch-v9", "campaigns": []})"),
+               util::SetupError);
+
+  // Params flow into the linked app and are refused when out of range.
+  EXPECT_EQ(apps::make_app("wavetoy", {4, 8}).world.nranks, 4);
+  EXPECT_THROW(apps::make_app("wavetoy", {65, 0}), util::SetupError);
+  EXPECT_THROW(apps::make_app("minimd", {0, -1}), util::SetupError);
+}
+
+}  // namespace
+}  // namespace fsim::core

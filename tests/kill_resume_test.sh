@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Crash-tolerance integration gate: spawn real `fsim batch --shard=i/N`
+# subprocesses, SIGKILL one mid-flight, resume it from its incremental
+# checkpoint, merge with the surviving shard, and require the merged JSON
+# to be byte-identical to a monolithic run — at --jobs=1 and --jobs=8.
+#
+# usage: kill_resume_test.sh /path/to/fsim
+set -euo pipefail
+
+FSIM=${1:?usage: kill_resume_test.sh /path/to/fsim}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+cd "$work"
+
+# fsim-batch-v2 spec with per-campaign app params, sized so a shard runs
+# long enough (hundreds of runs) for the kill to land mid-flight.
+cat > spec.json <<'EOF'
+{"format": "fsim-batch-v2", "runs": 200, "seed": 99,
+ "regions": ["regular", "message"],
+ "campaigns": [{"app": "wavetoy", "ranks": 4, "steps": 8},
+               {"app": "minimd", "ranks": 4, "steps": 4}]}
+EOF
+
+echo "== monolithic reference"
+"$FSIM" batch --spec=spec.json --jobs=4 --quiet --json --out=mono.json
+
+for jobs in 1 8; do
+  echo "== jobs=$jobs"
+  rm -f ck0.json shard0.json shard1.json merged.json
+
+  "$FSIM" batch --spec=spec.json --shard=1/2 --jobs="$jobs" --quiet \
+      --out=shard1.json
+
+  # Shard 0 streams a checkpoint after every completed run; kill it as soon
+  # as the sidecar exists (the atomic rename guarantees a parseable file).
+  "$FSIM" batch --spec=spec.json --shard=0/2 --jobs="$jobs" --quiet \
+      --checkpoint=ck0.json --checkpoint-every=1 --out=shard0.json &
+  pid=$!
+  for _ in $(seq 1 200); do
+    [ -f ck0.json ] && break
+    sleep 0.05
+  done
+  [ -f ck0.json ] || { echo "FAIL: checkpoint never appeared"; exit 1; }
+  sleep 0.2
+  kill -KILL "$pid" 2>/dev/null || true
+  status=0
+  wait "$pid" || status=$?
+
+  if [ "$status" -ne 0 ]; then
+    echo "   killed mid-flight (status $status), checkpoint is partial"
+    # An incomplete checkpoint must be refused without --partial-report...
+    if "$FSIM" merge ck0.json shard1.json --json --out=/dev/null \
+        2>merge_err.txt; then
+      echo "FAIL: merge accepted an incomplete checkpoint"; exit 1
+    fi
+    grep -q "partial-report" merge_err.txt || {
+      echo "FAIL: refusal did not mention --partial-report"; exit 1; }
+    # ...and folded (as partial counts) when asked explicitly.
+    "$FSIM" merge ck0.json shard1.json --partial-report --json \
+        --out=partial.json
+  else
+    echo "   shard finished before the kill; resume degenerates to a no-op"
+  fi
+
+  "$FSIM" resume ck0.json --jobs="$jobs" --quiet --out=shard0.json
+  "$FSIM" merge shard0.json shard1.json --json --out=merged.json
+  if ! diff -q mono.json merged.json; then
+    echo "FAIL: merged result differs from the monolithic run at jobs=$jobs"
+    exit 1
+  fi
+  echo "   kill/resume/merge byte-identical to monolithic (jobs=$jobs)"
+done
+
+echo "PASS"
