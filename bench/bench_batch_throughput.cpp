@@ -5,10 +5,14 @@
 //                 pool drains to a tail of stragglers between campaigns)
 //   batch:        one run_batch over the combined grid at jobs=N (links
 //                 once, one pool, interleaved grid keeps workers busy)
-// Emitted as JSON with per-mode runs/sec and speedups. Aggregates must be
-// bit-identical across all three modes (checked via core::aggregate_digest);
-// the process exits nonzero on any mismatch, so this doubles as a
-// determinism regression gate.
+// plus an execution-engine A/B stage: the same three apps, scaled to more
+// timesteps so simulated execution (not per-run world setup) dominates,
+// run serially once per engine (interp vs threaded). Emitted as JSON with
+// per-mode runs/sec and instructions/sec and the engine speedup.
+//
+// Aggregates must be bit-identical across all three modes AND across both
+// engines (checked via core::aggregate_digest); the process exits nonzero
+// on any mismatch, so this doubles as a determinism regression gate.
 //
 //   bench_batch_throughput [--runs=N] [--seed=S] [--jobs=N]
 #include <chrono>
@@ -57,21 +61,64 @@ std::vector<core::BatchEntry> small_batch(const bench::BenchArgs& args) {
   return entries;
 }
 
+/// Heavier variants of the same three apps for the engine A/B stage: more
+/// timesteps per run, so the measured wall time is dominated by simulated
+/// execution rather than per-run world construction (which costs the same
+/// under either engine and would otherwise dilute the ratio).
+std::vector<core::BatchEntry> engine_batch(const bench::BenchArgs& args) {
+  std::vector<core::BatchEntry> entries = small_batch(args);
+  apps::WavetoyConfig wt;
+  wt.ranks = 4;
+  wt.columns = 8;
+  wt.rows = 8;
+  wt.steps = 144;
+  apps::MinimdConfig md;
+  md.ranks = 4;
+  md.atoms = 8;
+  md.steps = 72;
+  apps::AtmoConfig at;
+  at.ranks = 4;
+  at.columns = 8;
+  at.steps = 96;
+  entries[0].app = apps::make_wavetoy(wt);
+  entries[1].app = apps::make_minimd(md);
+  entries[2].app = apps::make_atmo(at);
+  for (auto& e : entries) {
+    // Unpruned, so every grid point actually executes under both engines.
+    e.config.prune = core::PruneLevel::kOff;
+    e.config.runs_per_region = std::max(1, args.runs / 4);
+  }
+  return entries;
+}
+
+/// Sums the executed instructions of every completed run (the batch
+/// serializes observer dispatch, so no locking is needed at any job count).
+struct InstrSum : core::CampaignObserver {
+  std::uint64_t instructions = 0;
+  void on_run_done(const core::RunEvent& ev) override {
+    if (ev.outcome) instructions += ev.outcome->instructions;
+  }
+};
+
 struct Measured {
   double seconds = 0;
+  std::uint64_t instructions = 0;      // executed per repetition (identical
+                                       // across reps: runs are deterministic)
   std::vector<std::uint64_t> digests;  // one per campaign, order = entries
 };
 
 template <typename RunFn>
-Measured best_of(int repeats, RunFn run) {
+Measured best_of(int repeats, InstrSum& sum, RunFn run) {
   Measured m;
   for (int rep = 0; rep < repeats; ++rep) {
+    sum.instructions = 0;
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<core::CampaignResult> results = run();
     const auto t1 = std::chrono::steady_clock::now();
     const double s = std::chrono::duration<double>(t1 - t0).count();
     // Best-of-N: the minimum is the least scheduler-noise-polluted sample.
     if (rep == 0 || s < m.seconds) m.seconds = s;
+    m.instructions = sum.instructions;
     m.digests.clear();
     for (const auto& r : results) m.digests.push_back(core::aggregate_digest(r));
   }
@@ -79,14 +126,27 @@ Measured best_of(int repeats, RunFn run) {
 }
 
 std::vector<core::CampaignResult> campaigns_at(
-    const std::vector<core::BatchEntry>& entries, int jobs) {
+    const std::vector<core::BatchEntry>& entries, int jobs,
+    core::CampaignObserver* observer) {
   std::vector<core::CampaignResult> out;
   for (const auto& e : entries) {
     core::CampaignConfig cfg = e.config;
     cfg.jobs = jobs;
+    cfg.observer = observer;
     out.push_back(core::run_campaign(e.app, cfg));
   }
   return out;
+}
+
+std::vector<core::CampaignResult> batch_with_engine(
+    const std::vector<core::BatchEntry>& entries, svm::exec::EngineKind kind,
+    core::CampaignObserver* observer) {
+  std::vector<core::BatchEntry> tuned = entries;
+  for (auto& e : tuned) e.config.engine = kind;
+  core::BatchConfig bc;
+  bc.jobs = 1;
+  bc.observer = observer;
+  return core::run_batch(tuned, bc).campaigns;
 }
 
 }  // namespace
@@ -107,18 +167,36 @@ int main(int argc, char** argv) {
                total_runs, jobs);
 
   constexpr int kRepeats = 3;
+  InstrSum sum;
   const Measured serial =
-      best_of(kRepeats, [&] { return campaigns_at(entries, 1); });
+      best_of(kRepeats, sum, [&] { return campaigns_at(entries, 1, &sum); });
   const Measured percamp =
-      best_of(kRepeats, [&] { return campaigns_at(entries, jobs); });
-  const Measured batch = best_of(kRepeats, [&] {
+      best_of(kRepeats, sum, [&] { return campaigns_at(entries, jobs, &sum); });
+  const Measured batch = best_of(kRepeats, sum, [&] {
     core::BatchConfig bc;
     bc.jobs = jobs;
+    bc.observer = &sum;
     return core::run_batch(entries, bc).campaigns;
+  });
+
+  const std::vector<core::BatchEntry> ab_entries = engine_batch(args);
+  int ab_runs = 0;
+  for (const auto& e : ab_entries)
+    ab_runs += e.config.runs_per_region *
+               static_cast<int>(e.config.regions.size());
+  std::fprintf(stderr, "engine A/B: %d unpruned runs per engine, jobs=1\n",
+               ab_runs);
+  const Measured interp = best_of(kRepeats, sum, [&] {
+    return batch_with_engine(ab_entries, svm::exec::EngineKind::kInterp, &sum);
+  });
+  const Measured threaded = best_of(kRepeats, sum, [&] {
+    return batch_with_engine(ab_entries, svm::exec::EngineKind::kThreaded,
+                             &sum);
   });
 
   const bool identical =
       serial.digests == percamp.digests && serial.digests == batch.digests;
+  const bool engines_identical = interp.digests == threaded.digests;
 
   auto rate = [&](const Measured& m) {
     return m.seconds > 0 ? total_runs / m.seconds : 0.0;
@@ -126,6 +204,10 @@ int main(int argc, char** argv) {
   auto speedup = [&](const Measured& m) {
     return serial.seconds > 0 && m.seconds > 0 ? serial.seconds / m.seconds
                                                : 0.0;
+  };
+  auto instr_rate = [](const Measured& m) {
+    return m.seconds > 0 ? static_cast<double>(m.instructions) / m.seconds
+                         : 0.0;
   };
   util::JsonWriter w;
   w.begin_object();
@@ -137,18 +219,35 @@ int main(int argc, char** argv) {
   w.key("jobs").value(jobs);
   w.key("serial_seconds").value(serial.seconds);
   w.key("serial_runs_per_sec").value(rate(serial));
+  w.key("serial_instr_per_sec").value(instr_rate(serial));
   w.key("per_campaign_seconds").value(percamp.seconds);
   w.key("per_campaign_runs_per_sec").value(rate(percamp));
+  w.key("per_campaign_instr_per_sec").value(instr_rate(percamp));
   w.key("per_campaign_speedup").value(speedup(percamp));
   w.key("batch_seconds").value(batch.seconds);
   w.key("batch_runs_per_sec").value(rate(batch));
+  w.key("batch_instr_per_sec").value(instr_rate(batch));
   w.key("batch_speedup").value(speedup(batch));
   w.key("batch_vs_per_campaign").value(
       percamp.seconds > 0 && batch.seconds > 0
           ? percamp.seconds / batch.seconds
           : 0.0);
+  w.key("engine_runs").value(ab_runs);
+  w.key("engine_interp_seconds").value(interp.seconds);
+  w.key("engine_interp_runs_per_sec").value(
+      interp.seconds > 0 ? ab_runs / interp.seconds : 0.0);
+  w.key("engine_interp_instr_per_sec").value(instr_rate(interp));
+  w.key("engine_threaded_seconds").value(threaded.seconds);
+  w.key("engine_threaded_runs_per_sec").value(
+      threaded.seconds > 0 ? ab_runs / threaded.seconds : 0.0);
+  w.key("engine_threaded_instr_per_sec").value(instr_rate(threaded));
+  w.key("engine_speedup").value(
+      interp.seconds > 0 && threaded.seconds > 0
+          ? interp.seconds / threaded.seconds
+          : 0.0);
   w.key("aggregates_identical").value(identical);
+  w.key("engines_identical").value(engines_identical);
   w.end_object();
   std::printf("%s\n", w.str().c_str());
-  return identical ? 0 : 1;
+  return identical && engines_identical ? 0 : 1;
 }

@@ -47,19 +47,30 @@ inline BenchArgs parse_args(int argc, char** argv, int default_runs) {
   return a;
 }
 
+/// stderr progress ticker shared by the bench drivers; one updating line
+/// per region (app-prefixed inside a multi-app batch). A function-local
+/// static instance outlives every campaign.
+class ProgressTicker final : public core::CampaignObserver {
+ public:
+  void on_run_done(const core::RunEvent& ev) override {
+    if (ev.done == 1 || ev.done == ev.total || ev.done % 50 == 0)
+      std::fprintf(stderr, "\r  %-13s %4d/%d", core::region_name(ev.region),
+                   ev.done, ev.total);
+    if (ev.done == ev.total) std::fprintf(stderr, "\n");
+  }
+};
+
+inline core::CampaignObserver* progress_ticker() {
+  static ProgressTicker ticker;
+  return &ticker;
+}
+
 inline core::CampaignConfig campaign_config(const BenchArgs& a) {
   core::CampaignConfig cfg;
   cfg.runs_per_region = a.runs;
   cfg.seed = a.seed;
   cfg.jobs = a.jobs;
-  if (!a.quiet) {
-    cfg.progress = [](core::Region region, int done, int total) {
-      if (done == 1 || done == total || done % 50 == 0)
-        std::fprintf(stderr, "\r  %-13s %4d/%d", core::region_name(region),
-                     done, total);
-      if (done == total) std::fprintf(stderr, "\n");
-    };
-  }
+  if (!a.quiet) cfg.observer = progress_ticker();
   return cfg;
 }
 
@@ -208,15 +219,7 @@ inline int run_table(const std::string& app_name, const BenchArgs& args) {
   entry.config.seed = args.seed;
   core::BatchConfig bc;
   bc.jobs = args.jobs;
-  if (!args.quiet) {
-    bc.progress = [](const std::string&, core::Region region, int done,
-                     int total) {
-      if (done == 1 || done == total || done % 50 == 0)
-        std::fprintf(stderr, "\r  %-13s %4d/%d", core::region_name(region),
-                     done, total);
-      if (done == total) std::fprintf(stderr, "\n");
-    };
-  }
+  if (!args.quiet) bc.observer = progress_ticker();
   const core::BatchResult batch = core::run_batch({std::move(entry)}, bc);
   const core::CampaignResult& res = batch.campaigns.front();
   print_table(res, args.runs);

@@ -26,15 +26,7 @@ int main(int argc, char** argv) {
 
   core::BatchConfig bc;
   bc.jobs = args.jobs;
-  if (!args.quiet) {
-    bc.progress = [](const std::string& app, core::Region region, int done,
-                     int total) {
-      if (done == 1 || done == total || done % 50 == 0)
-        std::fprintf(stderr, "\r  %-8s %-13s %4d/%d", app.c_str(),
-                     core::region_name(region), done, total);
-      if (done == total) std::fprintf(stderr, "\n");
-    };
-  }
+  if (!args.quiet) bc.observer = bench::progress_ticker();
   const core::BatchResult batch = core::run_batch(entries, bc);
 
   for (const core::CampaignResult& res : batch.campaigns) {

@@ -29,11 +29,15 @@ int main(int argc, char** argv) {
   std::istringstream rs(regions);
   std::string tok;
   while (std::getline(rs, tok, ',')) cfg.regions.push_back(core::parse_region(tok));
-  cfg.progress = [](core::Region region, int done, int total) {
-    if (done == total)
+  class RegionTicker final : public core::CampaignObserver {
+   public:
+    void on_region_done(std::size_t, const std::string&, core::Region region,
+                        int executed) override {
       std::fprintf(stderr, "  %s: %d runs done\n", core::region_name(region),
-                   total);
-  };
+                   executed);
+    }
+  } ticker;
+  cfg.observer = &ticker;
 
   std::printf("campaign: %s, %d runs/region (estimation error d = %.1f%% at "
               "95%% confidence)\n\n",

@@ -9,6 +9,7 @@
 #include "core/dictionary.hpp"
 #include "util/status.hpp"
 #include "svm/analysis/analysis.hpp"
+#include "svm/exec/compiled.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -29,6 +30,11 @@ struct CampaignPlan {
   svm::Program program;
   std::array<std::unique_ptr<FaultDictionary>, kNumRegions> dicts;
   std::unique_ptr<svm::analysis::ProgramAnalysis> analysis;
+  /// Pre-decoded instruction stream, lowered once per campaign in the
+  /// basic-block order of the analysis CFG and shared read-only by every
+  /// worker's machines (each machine clones it privately only if a text
+  /// flip lands).
+  std::shared_ptr<const svm::exec::CompiledProgram> compiled;
   RunContext ctx;
 };
 
@@ -43,7 +49,6 @@ CampaignPlan prepare_campaign(const apps::App& app,
   // image is only ever read after this point, so the golden run, the fault
   // dictionaries and every injected run (on any worker) share it.
   plan.program = app.link();
-  result.golden = run_golden(app, plan.program);
 
   // Dictionaries for the static regions are built once per campaign from
   // the linked image (§3.2: "several thousand addresses randomly selected").
@@ -67,7 +72,17 @@ CampaignPlan prepare_campaign(const apps::App& app,
       d->annotate(
           [&](svm::Addr a) { return !plan.analysis->data_byte_dead(a); });
   }
-  plan.ctx = RunContext{plan.analysis.get(), config.prune};
+
+  // Compile stage: lower the image once in the CFG's basic-block order;
+  // the golden run and every injected run share the stream read-only.
+  plan.compiled = std::make_shared<svm::exec::CompiledProgram>(
+      plan.program, plan.analysis->cfg());
+
+  result.golden = run_golden(app, plan.program, 1, config.engine,
+                             plan.compiled);
+
+  plan.ctx = RunContext{plan.analysis.get(), config.prune, config.engine,
+                        plan.compiled};
   return plan;
 }
 
@@ -113,6 +128,7 @@ CampaignSpec spec_of(const std::string& app_name,
   spec.regions = config.regions;
   spec.dictionary_entries = config.dictionary_entries;
   spec.prune = config.prune;
+  spec.engine = config.engine;
   return spec;
 }
 
@@ -214,14 +230,12 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
                                             config.observer);
   }
 
-  // Serialized observer fan-in: legacy progress fn, caller observer,
-  // checkpoint sink — in that order, under one mutex, at any job count.
+  // Serialized observer fan-in: caller observer, then checkpoint sink —
+  // under one mutex, at any job count.
   std::mutex observer_mu;
-  const bool observing = config.progress || config.observer || sink;
+  const bool observing = config.observer || sink;
   auto notify = [&](const RunEvent& ev) {
     std::lock_guard<std::mutex> lock(observer_mu);
-    if (config.progress)
-      config.progress(*ev.app, ev.region, ev.done, ev.total);
     if (config.observer) {
       config.observer->on_run_done(ev);
       if (ev.done == ev.total)
@@ -357,11 +371,6 @@ CampaignResult run_campaign(const apps::App& app,
   BatchConfig bc;
   bc.jobs = config.jobs;
   bc.observer = config.observer;
-  if (config.progress) {
-    const auto& cb = config.progress;
-    bc.progress = [cb](const std::string&, Region region, int done,
-                       int total) { cb(region, done, total); };
-  }
   std::vector<BatchEntry> entries;
   entries.push_back(BatchEntry{app, config, apps::AppParams{}});
   BatchResult batch = run_batch(entries, bc);

@@ -4,7 +4,6 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,9 +35,7 @@ struct RunEvent {
 /// progress display, the checkpoint sink and batch-aware reporting; the
 /// batch serializes all hook invocations (they are never called
 /// concurrently with themselves or each other, at any job count), so
-/// implementations need no locking of their own. The legacy `progress`
-/// std::function fields still work — they are wrapped in an internal
-/// observer — so existing callers compile unchanged.
+/// implementations need no locking of their own.
 class CampaignObserver {
  public:
   virtual ~CampaignObserver() = default;
@@ -80,14 +77,13 @@ struct CampaignConfig {
   /// proof to integer registers (the PR-2 scope); kFull adds provably
   /// empty FP-stack slots, unreachable text and dead data/BSS symbols.
   PruneLevel prune = PruneLevel::kFull;
-  /// Called after every run (for progress display); may be empty. With
-  /// jobs > 1 the callback is invoked under a mutex (never concurrently
-  /// with itself); `done` is the region's monotonically increasing
-  /// completion count, not a run index. Legacy shim — new code should
-  /// prefer `observer`.
-  std::function<void(Region, int done, int total)> progress;
-  /// Optional richer callback surface (borrowed, not owned); receives the
-  /// same serialized dispatch as the batch executor's observers.
+  /// Execution engine for every run (golden and injected). Both engines
+  /// are bit-identical at quantum boundaries, so aggregates never depend
+  /// on this — it is a pure throughput knob and excluded from the
+  /// campaign's spec identity.
+  svm::exec::EngineKind engine = svm::exec::EngineKind::kThreaded;
+  /// Optional callback surface (borrowed, not owned); receives the same
+  /// serialized dispatch as the batch executor's observers.
   CampaignObserver* observer = nullptr;
 };
 
@@ -170,8 +166,17 @@ struct CampaignSpec {
   /// Per-campaign app-config overrides (fsim-batch-v2 spec schema). Part
   /// of the campaign identity: different params link a different image.
   apps::AppParams params;
+  /// Engine the campaign ran under — carried for reporting only. Engines
+  /// are bit-identical, so it is NOT part of the identity: shard partials
+  /// and checkpoints from different engines merge/resume freely.
+  svm::exec::EngineKind engine = svm::exec::EngineKind::kThreaded;
 
-  bool operator==(const CampaignSpec&) const = default;
+  bool operator==(const CampaignSpec& o) const {
+    return app == o.app && runs_per_region == o.runs_per_region &&
+           seed == o.seed && regions == o.regions &&
+           dictionary_entries == o.dictionary_entries && prune == o.prune &&
+           params == o.params;  // engine deliberately excluded
+  }
 };
 
 /// The spec a (app name, config) pair induces.
@@ -200,8 +205,8 @@ constexpr bool shard_owns(std::uint64_t grid_index,
 }
 
 /// One campaign in a batch. The entry's config supplies runs/seed/regions/
-/// dictionary_entries/prune; its jobs and progress fields are ignored — the
-/// batch-level pool and progress callback drive execution.
+/// dictionary_entries/prune/engine; its jobs and observer fields are
+/// ignored — the batch-level pool and observer drive execution.
 struct BatchEntry {
   apps::App app;
   CampaignConfig config;
@@ -215,15 +220,9 @@ struct BatchConfig {
   int jobs = 1;
   /// Grid shard this invocation executes (default: the whole grid).
   ShardSpec shard;
-  /// Per-run progress; `done`/`total` count this shard's grid points for
-  /// the (app, region) pair. Same locking contract as CampaignConfig.
-  /// Legacy shim — new code should prefer `observer`.
-  std::function<void(const std::string& app, Region region, int done,
-                     int total)>
-      progress;
   /// Optional callback surface (borrowed, not owned). All hooks are
-  /// dispatched under one batch-wide mutex, after the legacy progress
-  /// function and before the internal checkpoint sink.
+  /// dispatched under one batch-wide mutex, before the internal
+  /// checkpoint sink.
   CampaignObserver* observer = nullptr;
 
   // --- Crash tolerance ---

@@ -203,6 +203,7 @@ void write_campaign_spec(util::JsonWriter& w, const CampaignSpec& spec) {
   w.key("dictionary_entries")
       .value(static_cast<std::uint64_t>(spec.dictionary_entries));
   w.key("prune").value(prune_level_name(spec.prune));
+  w.key("engine").value(svm::exec::engine_name(spec.engine));
   if (spec.params.ranks) w.key("ranks").value(spec.params.ranks);
   if (spec.params.steps) w.key("steps").value(spec.params.steps);
   w.end_object();
@@ -218,6 +219,14 @@ CampaignSpec read_campaign_spec(const util::JsonValue& v) {
   spec.dictionary_entries =
       static_cast<std::size_t>(v.at("dictionary_entries").as_u64());
   spec.prune = read_prune(v.at("prune"));
+  // Engine is a reporting tag, not identity (results are bit-identical
+  // across engines); documents that predate it default to threaded.
+  if (const auto* f = v.find("engine")) {
+    if (auto kind = svm::exec::parse_engine_kind(f->as_string()))
+      spec.engine = *kind;
+    else
+      throw util::SetupError("unknown engine '" + f->as_string() + "'");
+  }
   // v1 documents predate app-param overrides; absent keys mean app defaults.
   if (const auto* f = v.find("ranks"))
     spec.params.ranks = static_cast<int>(f->as_int());
@@ -522,6 +531,13 @@ std::vector<CampaignSpec> parse_batch_spec(const std::string& text) {
       for (const auto& r : f->items())
         spec.regions.push_back(parse_region(r.as_string()));
     }
+    if (const auto* f = v.find("engine")) {
+      if (auto kind = svm::exec::parse_engine_kind(f->as_string()))
+        spec.engine = *kind;
+      else
+        throw util::SetupError("batch spec: unknown engine '" +
+                               f->as_string() + "'");
+    }
     if (!v2) {
       if (v.find("ranks") || v.find("steps"))
         throw util::SetupError(
@@ -541,6 +557,7 @@ std::vector<CampaignSpec> parse_batch_spec(const std::string& text) {
   base.regions = defaults.regions;
   base.dictionary_entries = defaults.dictionary_entries;
   base.prune = defaults.prune;
+  base.engine = defaults.engine;
   fill(base, doc);
 
   std::vector<CampaignSpec> specs;

@@ -65,9 +65,12 @@ Golden run_golden(const apps::App& app, std::uint64_t seed) {
 }
 
 Golden run_golden(const apps::App& app, const svm::Program& program,
-                  std::uint64_t seed) {
+                  std::uint64_t seed, svm::exec::EngineKind engine,
+                  std::shared_ptr<const svm::exec::CompiledProgram> compiled) {
   simmpi::WorldOptions opts = app.world;
   opts.seed = seed;
+  opts.machine.engine = engine;
+  opts.machine.compiled = std::move(compiled);
   simmpi::World world(program, opts);
   const simmpi::JobStatus status = world.run(4'000'000'000ull);
   if (status != simmpi::JobStatus::kCompleted)
@@ -115,6 +118,8 @@ RunOutcome run_injected(const apps::App& app, const svm::Program& program,
   simmpi::WorldOptions opts = app.world;
   opts.seed = 1;  // the same world seed as the golden run: differences in
                   // the baseline stream are attributable to the fault alone
+  opts.machine.engine = ctx.engine;
+  opts.machine.compiled = ctx.compiled;
   simmpi::World world(program, opts);
 
   RunOutcome outcome;

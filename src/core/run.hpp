@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -11,10 +12,14 @@
 #include "apps/app.hpp"
 #include "core/dictionary.hpp"
 #include "core/outcome.hpp"
+#include "svm/exec/engine.hpp"
 #include "util/rng.hpp"
 
 namespace fsim::svm::analysis {
 class ProgramAnalysis;
+}
+namespace fsim::svm::exec {
+class CompiledProgram;
 }
 
 namespace fsim::core {
@@ -35,8 +40,10 @@ Golden run_golden(const apps::App& app, std::uint64_t seed = 1);
 /// so drivers that execute many runs (campaigns, single-run CLI paths) link
 /// once and share the `Program` read-only across every run — including
 /// across the campaign executor's worker threads.
-Golden run_golden(const apps::App& app, const svm::Program& program,
-                  std::uint64_t seed = 1);
+Golden run_golden(
+    const apps::App& app, const svm::Program& program, std::uint64_t seed = 1,
+    svm::exec::EngineKind engine = svm::exec::EngineKind::kThreaded,
+    std::shared_ptr<const svm::exec::CompiledProgram> compiled = nullptr);
 
 /// Run once with a single injected fault and classify the outcome.
 ///  * memory/register regions: the fault fires at a uniformly random global
@@ -96,6 +103,13 @@ struct RunContext {
   /// text never fetched, data/BSS symbol never read), so the full run
   /// would replay the golden execution.
   PruneLevel prune = PruneLevel::kOff;
+  /// Execution engine for every machine of the run. Both engines are
+  /// bit-identical at quantum boundaries, so this never changes outcomes —
+  /// only throughput.
+  svm::exec::EngineKind engine = svm::exec::EngineKind::kThreaded;
+  /// Pre-lowered instruction stream shared across runs (campaigns lower
+  /// once per batch entry). Null = each machine lowers its own lazily.
+  std::shared_ptr<const svm::exec::CompiledProgram> compiled;
 };
 
 /// Same, with activation tagging and optional pre-injection pruning. The

@@ -23,7 +23,9 @@ Machine::Machine(const Program& program, const Config& config, int rank)
     : mem_(image_sizes(program),
            Memory::Config{config.heap_capacity, config.stack_capacity}),
       program_(&program),
-      rank_(rank) {
+      rank_(rank),
+      engine_(config.engine),
+      code_(config.compiled) {
   // Copy the static images in with the privileged interface.
   for (unsigned i = 0; i < kNumSegments; ++i) {
     const Segment seg = static_cast<Segment>(i);
@@ -39,9 +41,37 @@ Machine::Machine(const Program& program, const Config& config, int rank)
   regs_.set_sp(stack_top - 4);
   regs_.set_fp(stack_top - 4);
   FSIM_CHECK(mem_.poke32(regs_.sp(), kExitSentinel));
+  // Text now equals the image any CompiledProgram was lowered from; pokes
+  // after this point are what refresh_code() must catch.
+  code_version_seen_ = mem_.code_version();
+}
+
+void Machine::ensure_code() {
+  if (cur_code_ != nullptr) return;
+  if (!code_) patched_ = std::make_unique<exec::CompiledProgram>(*program_);
+  cur_code_ = patched_ ? patched_.get() : code_.get();
+}
+
+const exec::CompiledProgram* Machine::refresh_code() {
+  ensure_code();
+  if (mem_.code_version() != code_version_seen_) {
+    if (!patched_) {
+      // First text mutation under a shared stream: take a private copy so
+      // the campaign-wide instance stays pristine for sibling machines.
+      patched_ = std::make_unique<exec::CompiledProgram>(*code_);
+      cur_code_ = patched_.get();
+    }
+    patched_->repatch(mem_);
+    code_version_seen_ = mem_.code_version();
+  }
+  return cur_code_;
 }
 
 std::uint64_t Machine::step(std::uint64_t max_instructions) {
+  // The threaded engine has no observer hooks; trace/working-set tools that
+  // attach an AccessObserver transparently fall back to the interpreter.
+  if (engine_ == exec::EngineKind::kThreaded && mem_.observer() == nullptr)
+    return step_threaded(max_instructions);
   std::uint64_t executed = 0;
   while (executed < max_instructions && state_ == RunState::kReady) {
     const std::uint64_t before = icount_;
@@ -62,8 +92,19 @@ bool Machine::exec_one() {
     raise(t, regs_.pc);
     return false;
   }
-  const Instr in = decode(word);
-  if (!is_valid_opcode(static_cast<std::uint8_t>(in.op))) {
+  // Decode cache: reuse the pre-lowered op when the fetched word still
+  // matches what it was lowered from; a mismatch (injected text flip) takes
+  // the one-off slow decode for just that word.
+  ensure_code();
+  exec::DOp d;
+  if (const std::uint32_t idx = cur_code_->index_of(regs_.pc);
+      idx != exec::CompiledProgram::kNoIndex &&
+      cur_code_->ops()[idx].raw == word) {
+    d = cur_code_->ops()[idx];
+  } else {
+    d = exec::lower_op(regs_.pc, word);
+  }
+  if (!d.valid) {
     raise(Trap::kIllegalInstruction, regs_.pc);
     return false;
   }
@@ -78,129 +119,129 @@ bool Machine::exec_one() {
     return false;
   };
 
-  switch (in.op) {
+  switch (static_cast<Op>(d.op)) {
     case Op::kNop:
       break;
     case Op::kMov:
-      g[in.a] = g[in.b];
+      g[d.a] = g[d.b];
       break;
     case Op::kLdi:
-      g[in.a] = static_cast<std::uint32_t>(in.simm());
+      g[d.a] = static_cast<std::uint32_t>(d.simm);
       break;
     case Op::kLui:
-      g[in.a] = static_cast<std::uint32_t>(in.imm) << 16;
+      g[d.a] = static_cast<std::uint32_t>(d.imm) << 16;
       break;
     case Op::kAdd:
-      g[in.a] = g[in.b] + g[in.c()];
+      g[d.a] = g[d.b] + g[d.c];
       break;
     case Op::kSub:
-      g[in.a] = g[in.b] - g[in.c()];
+      g[d.a] = g[d.b] - g[d.c];
       break;
     case Op::kMul:
-      g[in.a] = g[in.b] * g[in.c()];
+      g[d.a] = g[d.b] * g[d.c];
       break;
     case Op::kDivs: {
-      const std::int32_t d = static_cast<std::int32_t>(g[in.c()]);
-      if (d == 0) return mem_fail(Trap::kIntDivideByZero, regs_.pc);
-      const std::int32_t n = static_cast<std::int32_t>(g[in.b]);
+      const std::int32_t dv = static_cast<std::int32_t>(g[d.c]);
+      if (dv == 0) return mem_fail(Trap::kIntDivideByZero, regs_.pc);
+      const std::int32_t n = static_cast<std::int32_t>(g[d.b]);
       // INT_MIN / -1 overflows on x86 (SIGFPE); model the same.
-      if (n == std::numeric_limits<std::int32_t>::min() && d == -1)
+      if (n == std::numeric_limits<std::int32_t>::min() && dv == -1)
         return mem_fail(Trap::kIntDivideByZero, regs_.pc);
-      g[in.a] = static_cast<std::uint32_t>(n / d);
+      g[d.a] = static_cast<std::uint32_t>(n / dv);
       break;
     }
     case Op::kRems: {
-      const std::int32_t d = static_cast<std::int32_t>(g[in.c()]);
-      if (d == 0) return mem_fail(Trap::kIntDivideByZero, regs_.pc);
-      const std::int32_t n = static_cast<std::int32_t>(g[in.b]);
-      if (n == std::numeric_limits<std::int32_t>::min() && d == -1)
+      const std::int32_t dv = static_cast<std::int32_t>(g[d.c]);
+      if (dv == 0) return mem_fail(Trap::kIntDivideByZero, regs_.pc);
+      const std::int32_t n = static_cast<std::int32_t>(g[d.b]);
+      if (n == std::numeric_limits<std::int32_t>::min() && dv == -1)
         return mem_fail(Trap::kIntDivideByZero, regs_.pc);
-      g[in.a] = static_cast<std::uint32_t>(n % d);
+      g[d.a] = static_cast<std::uint32_t>(n % dv);
       break;
     }
     case Op::kAnd:
-      g[in.a] = g[in.b] & g[in.c()];
+      g[d.a] = g[d.b] & g[d.c];
       break;
     case Op::kOr:
-      g[in.a] = g[in.b] | g[in.c()];
+      g[d.a] = g[d.b] | g[d.c];
       break;
     case Op::kXor:
-      g[in.a] = g[in.b] ^ g[in.c()];
+      g[d.a] = g[d.b] ^ g[d.c];
       break;
     case Op::kShl:
-      g[in.a] = g[in.b] << (g[in.c()] & 31);
+      g[d.a] = g[d.b] << (g[d.c] & 31);
       break;
     case Op::kShr:
-      g[in.a] = g[in.b] >> (g[in.c()] & 31);
+      g[d.a] = g[d.b] >> (g[d.c] & 31);
       break;
     case Op::kSra:
-      g[in.a] = static_cast<std::uint32_t>(
-          static_cast<std::int32_t>(g[in.b]) >> (g[in.c()] & 31));
+      g[d.a] = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(g[d.b]) >> (g[d.c] & 31));
       break;
     case Op::kAddi:
-      g[in.a] = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      g[d.a] = g[d.b] + static_cast<std::uint32_t>(d.simm);
       break;
     case Op::kMuli:
-      g[in.a] = g[in.b] * static_cast<std::uint32_t>(in.simm());
+      g[d.a] = g[d.b] * static_cast<std::uint32_t>(d.simm);
       break;
     case Op::kAndi:
-      g[in.a] = g[in.b] & in.imm;
+      g[d.a] = g[d.b] & d.imm;
       break;
     case Op::kOri:
-      g[in.a] = g[in.b] | in.imm;
+      g[d.a] = g[d.b] | d.imm;
       break;
     case Op::kXori:
-      g[in.a] = g[in.b] ^ in.imm;
+      g[d.a] = g[d.b] ^ d.imm;
       break;
     case Op::kShli:
-      g[in.a] = g[in.b] << (in.imm & 31);
+      g[d.a] = g[d.b] << (d.imm & 31);
       break;
     case Op::kShri:
-      g[in.a] = g[in.b] >> (in.imm & 31);
+      g[d.a] = g[d.b] >> (d.imm & 31);
       break;
     case Op::kSrai:
-      g[in.a] = static_cast<std::uint32_t>(
-          static_cast<std::int32_t>(g[in.b]) >> (in.imm & 31));
+      g[d.a] = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(g[d.b]) >> (d.imm & 31));
       break;
     case Op::kSlt:
-      g[in.a] = static_cast<std::int32_t>(g[in.b]) <
-                        static_cast<std::int32_t>(g[in.c()])
-                    ? 1
-                    : 0;
+      g[d.a] = static_cast<std::int32_t>(g[d.b]) <
+                       static_cast<std::int32_t>(g[d.c])
+                   ? 1
+                   : 0;
       break;
     case Op::kSltu:
-      g[in.a] = g[in.b] < g[in.c()] ? 1 : 0;
+      g[d.a] = g[d.b] < g[d.c] ? 1 : 0;
       break;
     case Op::kLdw: {
-      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      const Addr a = g[d.b] + static_cast<std::uint32_t>(d.simm);
       std::uint32_t v = 0;
       if (Trap t = mem_.load32(a, v); t != Trap::kNone) return mem_fail(t, a);
-      g[in.a] = v;
+      g[d.a] = v;
       break;
     }
     case Op::kStw: {
-      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
-      if (Trap t = mem_.store32(a, g[in.a]); t != Trap::kNone)
+      const Addr a = g[d.b] + static_cast<std::uint32_t>(d.simm);
+      if (Trap t = mem_.store32(a, g[d.a]); t != Trap::kNone)
         return mem_fail(t, a);
       break;
     }
     case Op::kLdb: {
-      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      const Addr a = g[d.b] + static_cast<std::uint32_t>(d.simm);
       std::uint8_t v = 0;
       if (Trap t = mem_.load8(a, v); t != Trap::kNone) return mem_fail(t, a);
-      g[in.a] = v;
+      g[d.a] = v;
       break;
     }
     case Op::kStb: {
-      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
-      if (Trap t = mem_.store8(a, static_cast<std::uint8_t>(g[in.a]));
+      const Addr a = g[d.b] + static_cast<std::uint32_t>(d.simm);
+      if (Trap t = mem_.store8(a, static_cast<std::uint8_t>(g[d.a]));
           t != Trap::kNone)
         return mem_fail(t, a);
       break;
     }
     case Op::kPush: {
       const Addr a = g[kSp] - 4;
-      if (Trap t = mem_.store32(a, g[in.a]); t != Trap::kNone)
+      if (Trap t = mem_.store32(a, g[d.a]); t != Trap::kNone)
         return mem_fail(t == Trap::kBadAddress ? Trap::kStackOverflow : t, a);
       g[kSp] = a;
       break;
@@ -209,44 +250,44 @@ bool Machine::exec_one() {
       std::uint32_t v = 0;
       if (Trap t = mem_.load32(g[kSp], v); t != Trap::kNone)
         return mem_fail(t, g[kSp]);
-      g[in.a] = v;
+      g[d.a] = v;
       g[kSp] += 4;
       break;
     }
     case Op::kBeq:
-      if (g[in.a] == g[in.b]) next_pc = regs_.pc + 4 + in.simm() * 4;
+      if (g[d.a] == g[d.b]) next_pc = d.target;
       break;
     case Op::kBne:
-      if (g[in.a] != g[in.b]) next_pc = regs_.pc + 4 + in.simm() * 4;
+      if (g[d.a] != g[d.b]) next_pc = d.target;
       break;
     case Op::kBlt:
-      if (static_cast<std::int32_t>(g[in.a]) <
-          static_cast<std::int32_t>(g[in.b]))
-        next_pc = regs_.pc + 4 + in.simm() * 4;
+      if (static_cast<std::int32_t>(g[d.a]) <
+          static_cast<std::int32_t>(g[d.b]))
+        next_pc = d.target;
       break;
     case Op::kBge:
-      if (static_cast<std::int32_t>(g[in.a]) >=
-          static_cast<std::int32_t>(g[in.b]))
-        next_pc = regs_.pc + 4 + in.simm() * 4;
+      if (static_cast<std::int32_t>(g[d.a]) >=
+          static_cast<std::int32_t>(g[d.b]))
+        next_pc = d.target;
       break;
     case Op::kBltu:
-      if (g[in.a] < g[in.b]) next_pc = regs_.pc + 4 + in.simm() * 4;
+      if (g[d.a] < g[d.b]) next_pc = d.target;
       break;
     case Op::kBgeu:
-      if (g[in.a] >= g[in.b]) next_pc = regs_.pc + 4 + in.simm() * 4;
+      if (g[d.a] >= g[d.b]) next_pc = d.target;
       break;
     case Op::kJmp:
-      next_pc = regs_.pc + 4 + in.simm() * 4;
+      next_pc = d.target;
       break;
     case Op::kJmpr:
-      next_pc = g[in.a];
+      next_pc = g[d.a];
       break;
     case Op::kCall: {
       const Addr a = g[kSp] - 4;
       if (Trap t = mem_.store32(a, regs_.pc + 4); t != Trap::kNone)
         return mem_fail(t == Trap::kBadAddress ? Trap::kStackOverflow : t, a);
       g[kSp] = a;
-      next_pc = regs_.pc + 4 + in.simm() * 4;
+      next_pc = d.target;
       break;
     }
     case Op::kCallr: {
@@ -254,7 +295,7 @@ bool Machine::exec_one() {
       if (Trap t = mem_.store32(a, regs_.pc + 4); t != Trap::kNone)
         return mem_fail(t == Trap::kBadAddress ? Trap::kStackOverflow : t, a);
       g[kSp] = a;
-      next_pc = g[in.a];
+      next_pc = g[d.a];
       break;
     }
     case Op::kRet: {
@@ -271,7 +312,7 @@ bool Machine::exec_one() {
         return mem_fail(t == Trap::kBadAddress ? Trap::kStackOverflow : t, a);
       g[kSp] = a;
       g[kFp] = a;
-      g[kSp] -= in.imm;
+      g[kSp] -= d.imm;
       break;
     }
     case Op::kLeave: {
@@ -285,7 +326,7 @@ bool Machine::exec_one() {
     }
     case Op::kSys: {
       if (handler_ == nullptr) return mem_fail(Trap::kBadSyscall, regs_.pc);
-      const SysResult r = handler_->on_syscall(*this, in.imm);
+      const SysResult r = handler_->on_syscall(*this, d.imm);
       switch (r) {
         case SysResult::kDone:
           break;
@@ -302,7 +343,7 @@ bool Machine::exec_one() {
 
     // --- x87-style floating point ---
     case Op::kFld: {
-      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      const Addr a = g[d.b] + static_cast<std::uint32_t>(d.simm);
       std::uint64_t bits = 0;
       if (Trap t = mem_.load64(a, bits); t != Trap::kNone)
         return mem_fail(t, a);
@@ -310,7 +351,7 @@ bool Machine::exec_one() {
       break;
     }
     case Op::kFst: {
-      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      const Addr a = g[d.b] + static_cast<std::uint32_t>(d.simm);
       const double v = f.st(0);
       if (Trap t = mem_.store64(a, std::bit_cast<std::uint64_t>(v));
           t != Trap::kNone)
@@ -319,7 +360,7 @@ bool Machine::exec_one() {
       break;
     }
     case Op::kFstnp: {
-      const Addr a = g[in.b] + static_cast<std::uint32_t>(in.simm());
+      const Addr a = g[d.b] + static_cast<std::uint32_t>(d.simm);
       const double v = f.st(0);
       if (Trap t = mem_.store64(a, std::bit_cast<std::uint64_t>(v));
           t != Trap::kNone)
@@ -368,10 +409,10 @@ bool Machine::exec_one() {
       f.set_st(0, std::cos(f.st(0)));
       break;
     case Op::kFxch:
-      f.exchange(in.imm & 7);
+      f.exchange(d.imm & 7);
       break;
     case Op::kFdup:
-      f.push(f.st(in.imm & 7));
+      f.push(f.st(d.imm & 7));
       break;
     case Op::kFcmp: {
       const double a = f.st(0), b = f.st(1);
@@ -380,7 +421,7 @@ bool Machine::exec_one() {
       else if (a < b) r = -1;
       else if (a > b) r = 1;
       else r = 0;
-      g[in.a] = static_cast<std::uint32_t>(r);
+      g[d.a] = static_cast<std::uint32_t>(r);
       break;
     }
     case Op::kF2i: {
@@ -391,11 +432,11 @@ bool Machine::exec_one() {
         r = std::numeric_limits<std::int32_t>::min();
       else
         r = static_cast<std::int32_t>(v);
-      g[in.a] = static_cast<std::uint32_t>(r);
+      g[d.a] = static_cast<std::uint32_t>(r);
       break;
     }
     case Op::kI2f:
-      f.push(static_cast<double>(static_cast<std::int32_t>(g[in.a])));
+      f.push(static_cast<double>(static_cast<std::int32_t>(g[d.a])));
       break;
     case Op::kFpop:
       f.pop();

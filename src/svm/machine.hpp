@@ -10,6 +10,9 @@
 #include <memory>
 #include <string>
 
+#include "svm/exec/compiled.hpp"
+#include "svm/exec/engine.hpp"
+#include "svm/exec/fastmem.hpp"
 #include "svm/isa.hpp"
 #include "svm/layout.hpp"
 #include "svm/memory.hpp"
@@ -41,6 +44,13 @@ class Machine {
   struct Config {
     std::uint32_t heap_capacity = 1u << 20;
     std::uint32_t stack_capacity = 1u << 16;
+    /// Which execution engine runs this machine's instructions. Both are
+    /// bit-identical at quantum boundaries; threaded is the fast default.
+    exec::EngineKind engine = exec::EngineKind::kThreaded;
+    /// Optional pre-lowered instruction stream shared across machines (the
+    /// campaign driver lowers once per batch entry). When absent the machine
+    /// lazily lowers its own copy on first step.
+    std::shared_ptr<const exec::CompiledProgram> compiled;
   };
 
   Machine(const Program& program, const Config& config, int rank = 0);
@@ -63,6 +73,7 @@ class Machine {
   ExitKind exit_kind() const noexcept { return exit_kind_; }
   std::uint64_t instructions() const noexcept { return icount_; }
   int rank() const noexcept { return rank_; }
+  exec::EngineKind engine() const noexcept { return engine_; }
 
   // --- Architectural state (fault-injection surface) ---
   RegFile& regs() noexcept { return regs_; }
@@ -114,6 +125,14 @@ class Machine {
 
  private:
   bool exec_one();  // returns false when execution must stop
+  std::uint64_t step_threaded(std::uint64_t max_instructions);  // exec/threaded.cpp
+
+  /// Lazily bind the pre-decoded stream (shared copy, or lower our own).
+  void ensure_code();
+  /// ensure_code() plus re-lowering of blocks whose text bytes changed since
+  /// the stream was last patched (threaded engine; the interpreter instead
+  /// verifies the raw word per instruction and never needs a private copy).
+  const exec::CompiledProgram* refresh_code();
 
   Memory mem_;
   RegFile regs_;
@@ -126,6 +145,14 @@ class Machine {
   ExitKind exit_kind_ = ExitKind::kNormal;
   std::uint64_t icount_ = 0;
   int rank_ = 0;
+
+  // --- Execution-engine state ---
+  exec::EngineKind engine_ = exec::EngineKind::kThreaded;
+  std::shared_ptr<const exec::CompiledProgram> code_;  // shared, immutable
+  std::unique_ptr<exec::CompiledProgram> patched_;     // machine-private copy
+  const exec::CompiledProgram* cur_code_ = nullptr;    // effective stream
+  std::uint64_t code_version_seen_ = 0;
+  exec::FastMem fastmem_;  // threaded engine's segment snapshot (lazy)
 };
 
 }  // namespace fsim::svm

@@ -136,6 +136,7 @@ bool Memory::poke8(Addr addr, std::uint8_t value) noexcept {
   std::byte* p = locate(addr, 1, seg);
   if (!p) return false;
   *p = static_cast<std::byte>(value);
+  note_poke(seg);
   return true;
 }
 
@@ -152,6 +153,7 @@ bool Memory::poke32(Addr addr, std::uint32_t value) noexcept {
   std::byte* p = locate(addr, 4, seg);
   if (!p) return false;
   std::memcpy(p, &value, 4);
+  note_poke(seg);
   return true;
 }
 
@@ -168,6 +170,7 @@ bool Memory::poke64(Addr addr, std::uint64_t value) noexcept {
   std::byte* p = locate(addr, 8, seg);
   if (!p) return false;
   std::memcpy(p, &value, 8);
+  note_poke(seg);
   return true;
 }
 
@@ -184,6 +187,7 @@ bool Memory::poke_span(Addr addr, std::span<const std::byte> in) noexcept {
   std::byte* p = locate(addr, static_cast<unsigned>(in.size()), seg);
   if (!p) return false;
   std::memcpy(p, in.data(), in.size());
+  note_poke(seg);
   return true;
 }
 

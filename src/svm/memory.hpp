@@ -80,6 +80,14 @@ class Memory {
   bool flip_bit(Addr addr, unsigned bit) noexcept;
 
   void set_observer(AccessObserver* obs) noexcept { observer_ = obs; }
+  AccessObserver* observer() const noexcept { return observer_; }
+
+  /// Monotonic counter bumped whenever a privileged poke lands in a code
+  /// segment (or whole contents are restored). Execution engines compare it
+  /// against the version their pre-decoded stream was lowered at and
+  /// re-lower stale blocks — this is how injected text flips invalidate
+  /// compiled code.
+  std::uint64_t code_version() const noexcept { return code_version_; }
 
   /// Raw backing bytes of a segment (host-side, e.g. for output capture).
   std::span<std::byte> segment_bytes(Segment s) noexcept;
@@ -91,15 +99,20 @@ class Memory {
   }
   void restore_contents(const std::array<std::vector<std::byte>, kNumSegments>& b) {
     bytes_ = b;
+    ++code_version_;  // restored text may differ from what was compiled
   }
 
  private:
   std::byte* locate(Addr addr, unsigned size, Segment& seg) noexcept;
   const std::byte* locate(Addr addr, unsigned size, Segment& seg) const noexcept;
+  void note_poke(Segment seg) noexcept {
+    if (seg == Segment::kText || seg == Segment::kLibText) ++code_version_;
+  }
 
   std::array<SegmentExtent, kNumSegments> extents_{};
   std::array<std::vector<std::byte>, kNumSegments> bytes_{};
   AccessObserver* observer_ = nullptr;
+  std::uint64_t code_version_ = 0;
 };
 
 }  // namespace fsim::svm

@@ -132,17 +132,19 @@ class Fpu {
 
  private:
   void set_physical(unsigned phys, double v) noexcept {
-    regs_[phys] = std::bit_cast<std::uint64_t>(v);
-    if (v == 0.0) {
-      set_tag(phys, FpuTag::kZero);
-    } else if (v != v || v == std::numeric_limits<double>::infinity() ||
-               v == -std::numeric_limits<double>::infinity() ||
-               (v > -std::numeric_limits<double>::min() &&
-                v < std::numeric_limits<double>::min())) {
-      set_tag(phys, FpuTag::kSpecial);
-    } else {
-      set_tag(phys, FpuTag::kValid);
-    }
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    regs_[phys] = bits;
+    // Classify from the exponent field (sign dropped): all-zero magnitude is
+    // zero, biased exponent 0x7ff is NaN/infinity, biased exponent 0 with a
+    // nonzero mantissa is denormal — identical to the FP-compare
+    // classification (zero / NaN / ±inf / (-min, min)) it replaces.
+    const std::uint64_t mag = bits << 1;
+    FpuTag t = FpuTag::kValid;
+    if (mag == 0)
+      t = FpuTag::kZero;
+    else if (mag >= 0xffe0000000000000ull || mag < 0x0020000000000000ull)
+      t = FpuTag::kSpecial;
+    set_tag(phys, t);
   }
 
   std::array<std::uint64_t, kNumFpr> regs_{};

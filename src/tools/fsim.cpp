@@ -44,15 +44,18 @@ int print_usage() {
   std::printf(
       "usage: fsim <command> [options]\n"
       "  run       --app=NAME --region=REGION [--seed=N]\n"
+      "            [--engine=interp|threaded]\n"
       "  campaign  --app=NAME [--runs=N] [--regions=a,b,...] [--seed=N]\n"
       "            [--jobs=N] [--prune=off|regs|full] [--activation]\n"
-      "            [--json] [--csv] [--quiet]\n"
+      "            [--engine=interp|threaded] [--json] [--csv] [--quiet]\n"
       "  batch     --apps=a,b,... | --spec=FILE [--runs=N] [--regions=...]\n"
       "            [--seed=N] [--jobs=N] [--prune=off|regs|full] [--shard=i/N]\n"
       "            [--checkpoint=FILE] [--checkpoint-every=N]\n"
+      "            [--engine=interp|threaded]\n"
       "            [--out=FILE] [--json] [--csv] [--activation] [--quiet]\n"
       "  resume    CKPT.json [--jobs=N] [--checkpoint=FILE]\n"
-      "            [--checkpoint-every=N] [--out=FILE] [--json] [--csv]\n"
+      "            [--checkpoint-every=N] [--engine=interp|threaded]\n"
+      "            [--out=FILE] [--json] [--csv]\n"
       "            [--activation] [--quiet]\n"
       "  merge     FILE... [--partial-report] [--out=FILE] [--json] [--csv]\n"
       "            [--activation]\n"
@@ -107,23 +110,64 @@ bool parse_prune(const util::Cli& cli, core::PruneLevel& prune) {
   return false;
 }
 
+bool parse_engine(const util::Cli& cli, svm::exec::EngineKind& engine) {
+  if (!cli.has("engine")) return true;
+  const std::string v = cli.str("engine", "threaded");
+  if (const auto kind = svm::exec::parse_engine_kind(v)) {
+    engine = *kind;
+    return true;
+  }
+  std::fprintf(stderr, "option --engine expects interp|threaded, got '%s'\n",
+               v.c_str());
+  return false;
+}
+
+/// stderr progress display for `fsim campaign`: one updating line per
+/// region, refreshed every 50 runs.
+class CampaignProgress final : public core::CampaignObserver {
+ public:
+  void on_run_done(const core::RunEvent& ev) override {
+    if (ev.done == 1 || ev.done == ev.total || ev.done % 50 == 0)
+      std::fprintf(stderr, "\r  %-13s %4d/%d", core::region_name(ev.region),
+                   ev.done, ev.total);
+    if (ev.done == ev.total) std::fprintf(stderr, "\n");
+  }
+};
+
+/// stderr progress display shared by `fsim batch` and `fsim resume`:
+/// the campaign line prefixed with the app name.
+class BatchProgress final : public core::CampaignObserver {
+ public:
+  void on_run_done(const core::RunEvent& ev) override {
+    if (ev.done == 1 || ev.done == ev.total || ev.done % 50 == 0)
+      std::fprintf(stderr, "\r  %-8s %-13s %4d/%d",
+                   ev.app ? ev.app->c_str() : "?",
+                   core::region_name(ev.region), ev.done, ev.total);
+    if (ev.done == ev.total) std::fprintf(stderr, "\n");
+  }
+};
+
 int cmd_run(const util::Cli& cli) {
   apps::App app = apps::make_app(cli.str("app", "wavetoy"));
   const core::Region region = core::parse_region(cli.str("region", "regular"));
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.num("seed", 1));
+  svm::exec::EngineKind engine = svm::exec::EngineKind::kThreaded;
+  if (!parse_engine(cli, engine)) return 1;
 
   // Link once; the golden run, the dictionary and the injected run all
   // read the same image (the assembler is deterministic anyway).
   const svm::Program program = app.link();
-  const core::Golden golden = core::run_golden(app, program);
+  const core::Golden golden = core::run_golden(app, program, 1, engine);
   std::unique_ptr<core::FaultDictionary> dict;
   if (region == core::Region::kText || region == core::Region::kData ||
       region == core::Region::kBss) {
     util::Rng drng(seed ^ 0xd1c7);
     dict = std::make_unique<core::FaultDictionary>(program, region, drng);
   }
+  core::RunContext ctx;
+  ctx.engine = engine;
   const core::RunOutcome out =
-      core::run_injected(app, program, golden, region, dict.get(), seed);
+      core::run_injected(app, program, golden, region, dict.get(), seed, ctx);
   std::printf("app:     %s\nregion:  %s\nseed:    %llu\nfault:   %s\n",
               app.name.c_str(), core::region_name(region),
               static_cast<unsigned long long>(seed),
@@ -146,14 +190,9 @@ int cmd_campaign(const util::Cli& cli) {
       static_cast<std::int64_t>(util::ThreadPool::default_workers())));
   if (cli.has("regions")) cfg.regions = parse_region_list(cli.str("regions", ""));
   if (!parse_prune(cli, cfg.prune)) return 1;
-  if (!cli.flag("quiet")) {
-    cfg.progress = [](core::Region region, int done, int total) {
-      if (done == 1 || done == total || done % 50 == 0)
-        std::fprintf(stderr, "\r  %-13s %4d/%d", core::region_name(region),
-                     done, total);
-      if (done == total) std::fprintf(stderr, "\n");
-    };
-  }
+  if (!parse_engine(cli, cfg.engine)) return 1;
+  CampaignProgress progress;
+  if (!cli.flag("quiet")) cfg.observer = &progress;
   std::printf("campaign: %s, %d runs/region, seed %llu, %d jobs "
               "(d = %.1f%% at 95%%)\n\n",
               app.name.c_str(), cfg.runs_per_region,
@@ -207,20 +246,10 @@ std::vector<core::BatchEntry> batch_entries(
     e.config.regions = spec.regions;
     e.config.dictionary_entries = spec.dictionary_entries;
     e.config.prune = spec.prune;
+    e.config.engine = spec.engine;
     entries.push_back(std::move(e));
   }
   return entries;
-}
-
-/// stderr progress line shared by `fsim batch` and `fsim resume`.
-void set_batch_progress(core::BatchConfig& bc) {
-  bc.progress = [](const std::string& app, core::Region region, int done,
-                   int total) {
-    if (done == 1 || done == total || done % 50 == 0)
-      std::fprintf(stderr, "\r  %-8s %-13s %4d/%d", app.c_str(),
-                   core::region_name(region), done, total);
-    if (done == total) std::fprintf(stderr, "\n");
-  };
 }
 
 /// Shard partials default to the JSON that `fsim merge` consumes; tables
@@ -238,6 +267,12 @@ int cmd_batch(const util::Cli& cli) {
   std::vector<core::CampaignSpec> specs;
   if (cli.has("spec")) {
     specs = core::parse_batch_spec(util::read_file(cli.str("spec", "")));
+    // --engine on the command line overrides whatever the spec file says —
+    // engines are bit-identical, so this never changes the batch identity.
+    svm::exec::EngineKind engine = svm::exec::EngineKind::kThreaded;
+    if (!parse_engine(cli, engine)) return 1;
+    if (cli.has("engine"))
+      for (auto& spec : specs) spec.engine = engine;
   } else {
     core::CampaignConfig base;
     base.runs_per_region = static_cast<int>(cli.num("runs", 200));
@@ -245,6 +280,7 @@ int cmd_batch(const util::Cli& cli) {
     if (cli.has("regions"))
       base.regions = parse_region_list(cli.str("regions", ""));
     if (!parse_prune(cli, base.prune)) return 1;
+    if (!parse_engine(cli, base.engine)) return 1;
     std::istringstream as(
         cli.str("apps", "wavetoy,minimd,atmo"));
     std::string name;
@@ -272,8 +308,9 @@ int cmd_batch(const util::Cli& cli) {
     bc.shard.index = std::atoi(s.substr(0, slash).c_str());
     bc.shard.count = std::atoi(s.substr(slash + 1).c_str());
   }
+  BatchProgress progress;
   if (!cli.flag("quiet")) {
-    set_batch_progress(bc);
+    bc.observer = &progress;
     std::fprintf(stderr,
                  "batch: %zu campaigns, %d jobs, shard %d/%d\n",
                  entries.size(), bc.jobs, bc.shard.index, bc.shard.count);
@@ -292,8 +329,14 @@ int cmd_resume(const util::Cli& cli) {
                  "usage: fsim resume CKPT.json [--jobs=N] [--out=FILE]\n");
     return 2;
   }
-  const core::Checkpoint ck =
+  core::Checkpoint ck =
       core::parse_checkpoint_json(util::read_file(files[0]));
+  // The checkpoint records the engine the shard ran under, but engines are
+  // bit-identical: resuming under a different one is always legal.
+  svm::exec::EngineKind engine = svm::exec::EngineKind::kThreaded;
+  if (!parse_engine(cli, engine)) return 1;
+  if (cli.has("engine"))
+    for (auto& spec : ck.specs) spec.engine = engine;
 
   std::vector<core::BatchEntry> entries = batch_entries(ck.specs);
 
@@ -307,8 +350,9 @@ int cmd_resume(const util::Cli& cli) {
   // wherever this invocation got to) unless redirected with --checkpoint.
   bc.checkpoint_path = cli.str("checkpoint", files[0]);
   bc.checkpoint_every = static_cast<int>(cli.num("checkpoint-every", 64));
+  BatchProgress progress;
   if (!cli.flag("quiet")) {
-    set_batch_progress(bc);
+    bc.observer = &progress;
     std::fprintf(stderr,
                  "resume: %zu campaigns, shard %d/%d, %d of %d runs already "
                  "checkpointed, %d jobs\n",

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # One-shot CI gate: configure and build the tree with warnings-as-errors,
 # run the full test suite, the lint gate (warnings fatal), the docs drift
-# check, the multi-process kill/resume crash-tolerance gate and the
-# checkpoint determinism/overhead gate — optionally repeating the whole
+# check, the multi-process kill/resume crash-tolerance gate, the checkpoint
+# determinism/overhead gate, the execution-engine A/B digest gate (interp
+# and threaded must agree bit-for-bit at every job count and prune level)
+# and the batch-throughput bench (which itself exits nonzero on digest
+# divergence between modes or engines) — optionally repeating the whole
 # cycle under AddressSanitizer.
 #
 #   tests/ci.sh [--asan] [--build-dir=DIR] [--jobs=N]
@@ -47,6 +50,27 @@ run_gate() {
   bash "$root/tests/kill_resume_test.sh" "$dir/src/tools/fsim"
   echo "=== ci: checkpoint determinism/overhead gate ==="
   "$dir/bench/bench_checkpoint_overhead" --runs=40 --quiet
+  echo "=== ci: execution-engine A/B digest gate ==="
+  local fsim="$dir/src/tools/fsim" ref=""
+  for engine in interp threaded; do
+    for jobs_ab in 1 8; do
+      for prune in off full; do
+        digest="$("$fsim" batch --apps=wavetoy,minimd,atmo --runs=4 \
+                    --jobs=$jobs_ab --prune=$prune --engine=$engine \
+                    --json --quiet | grep -o "\"digest\": *[0-9]*" | head -1)"
+        echo "  engine=$engine jobs=$jobs_ab prune=$prune -> $digest"
+        key="${digest}:prune=$prune"
+        case "$ref" in
+          *"|$key|"*) ;;  # digest already seen for this prune level: ok
+          *"prune=$prune|"*) echo "ci.sh: engine digest divergence" >&2
+                             exit 1 ;;
+          *) ref="$ref|$key|" ;;
+        esac
+      done
+    done
+  done
+  echo "=== ci: batch throughput + engine speedup gate ==="
+  "$dir/bench/bench_batch_throughput" --runs=16
 }
 
 run_gate "$build"

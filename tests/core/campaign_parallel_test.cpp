@@ -73,17 +73,23 @@ TEST(CampaignParallel, ProgressReachesTotalExactlyOncePerRegion) {
   const apps::App app = tiny_wavetoy();
   CampaignConfig cfg = base_config();
   cfg.jobs = 4;
-  std::array<int, kNumRegions> calls{};
-  std::array<int, kNumRegions> completions{};
-  std::array<int, kNumRegions> max_done{};
-  cfg.progress = [&](Region r, int done, int total) {
-    // Invoked under the executor's mutex, so plain increments are safe.
-    const auto idx = static_cast<unsigned>(r);
-    ++calls[idx];
-    if (done == total) ++completions[idx];
-    if (done > max_done[idx]) max_done[idx] = done;
-  };
+  struct PerRegion final : CampaignObserver {
+    std::array<int, kNumRegions> calls{};
+    std::array<int, kNumRegions> completions{};
+    std::array<int, kNumRegions> max_done{};
+    void on_run_done(const RunEvent& ev) override {
+      // Invoked under the executor's mutex, so plain increments are safe.
+      const auto idx = static_cast<unsigned>(ev.region);
+      ++calls[idx];
+      if (ev.done == ev.total) ++completions[idx];
+      if (ev.done > max_done[idx]) max_done[idx] = ev.done;
+    }
+  } obs;
+  cfg.observer = &obs;
   (void)run_campaign(app, cfg);
+  const auto& calls = obs.calls;
+  const auto& completions = obs.completions;
+  const auto& max_done = obs.max_done;
   for (Region r : cfg.regions) {
     const auto idx = static_cast<unsigned>(r);
     EXPECT_EQ(calls[idx], cfg.runs_per_region);

@@ -329,18 +329,13 @@ TEST(Observer, HooksFireSerializedAndCountEveryRun) {
   const std::vector<BatchEntry> entries = two_campaign_batch();
   const std::string path = scratch("observer");
   Counter counter;
-  int legacy_calls = 0;
   BatchConfig bc;
   bc.jobs = 4;
   bc.observer = &counter;
   bc.checkpoint_path = path;
   bc.checkpoint_every = 8;
-  bc.progress = [&legacy_calls](const std::string&, Region, int, int) {
-    ++legacy_calls;  // the legacy shim keeps working alongside the observer
-  };
   (void)run_batch(entries, bc);
   EXPECT_EQ(counter.runs, 10 * 3 + 8 * 2);
-  EXPECT_EQ(legacy_calls, counter.runs);
   EXPECT_EQ(counter.regions, 5);
   // ceil(46 / 8) periodic writes plus the final flush.
   EXPECT_GE(counter.checkpoints, 46 / 8);

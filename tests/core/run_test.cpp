@@ -119,8 +119,11 @@ TEST(Campaign, SmallCampaignAggregates) {
   CampaignConfig cfg;
   cfg.runs_per_region = 10;
   cfg.regions = {Region::kRegularReg, Region::kMessage};
-  int progress_calls = 0;
-  cfg.progress = [&](Region, int, int) { ++progress_calls; };
+  struct Counting final : CampaignObserver {
+    int runs = 0;
+    void on_run_done(const RunEvent&) override { ++runs; }
+  } counting;
+  cfg.observer = &counting;
   const CampaignResult res = run_campaign(app, cfg);
   EXPECT_EQ(res.app, app.name);
   ASSERT_EQ(res.regions.size(), 2u);
@@ -132,7 +135,7 @@ TEST(Campaign, SmallCampaignAggregates) {
     EXPECT_GE(rr.error_rate(), 0.0);
     EXPECT_LE(rr.error_rate(), 1.0);
   }
-  EXPECT_EQ(progress_calls, 20);
+  EXPECT_EQ(counting.runs, 20);
   EXPECT_NE(res.find(Region::kRegularReg), nullptr);
   EXPECT_EQ(res.find(Region::kHeap), nullptr);
 }
