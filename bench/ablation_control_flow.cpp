@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
   const svm::Program program = app.link();
   util::Rng drng(util::hash_seed({args.seed, 0xcfc}));
   core::FaultDictionary dict(program, core::Region::kText, drng);
+  // One pre-generated signature table, shared read-only by every rank's
+  // checker across all runs (static mode: no decode on the fetch path).
+  const core::CfcSignatures sigs(program);
 
   int manifested = 0, manifested_flagged = 0;
   int benign = 0, benign_flagged = 0;
@@ -53,7 +56,7 @@ int main(int argc, char** argv) {
     std::vector<std::unique_ptr<core::ControlFlowChecker>> checkers;
     for (int r = 0; r < world.size(); ++r)
       checkers.push_back(std::make_unique<core::ControlFlowChecker>(
-          program, world.machine(r)));
+          program, world.machine(r), &sigs));
 
     const std::uint64_t t_inject = rng.below(golden.instructions);
     core::Injector injector(core::Region::kText, &dict);

@@ -9,6 +9,7 @@
 // equivalence or analysis coverage are all visible from the same artifact.
 //
 //   bench_prune_speedup [--runs=N] [--seed=S] [--jobs=N]
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -44,7 +45,12 @@ struct Measured {
   double runs_per_sec = 0;
   int pruned = 0;
   std::vector<int> pruned_by_region;  // parallel to kRegions
+  std::array<int, core::kNumPruneRungs> pruned_rungs{};  // summed over regions
   std::uint64_t digest = 0;  // checksum of the prune-invariant aggregates
+
+  int rung(core::PruneRung r) const noexcept {
+    return pruned_rungs[static_cast<unsigned>(r)];
+  }
 };
 
 std::uint64_t digest_counts(const core::CampaignResult& res) {
@@ -90,9 +96,12 @@ Measured measure(const apps::App& app, const bench::BenchArgs& args,
     m.digest = digest_counts(res);  // identical every repeat (deterministic)
     m.pruned = 0;
     m.pruned_by_region.clear();
+    m.pruned_rungs.fill(0);
     for (const auto& rr : res.regions) {
       m.pruned += rr.pruned;
       m.pruned_by_region.push_back(rr.pruned);
+      for (unsigned i = 0; i < core::kNumPruneRungs; ++i)
+        m.pruned_rungs[i] += rr.pruned_rungs[i];
     }
   }
   const double total_runs = static_cast<double>(args.runs) * kRegions.size();
@@ -115,6 +124,12 @@ void write_level(util::JsonWriter& w, const bench::BenchArgs& args,
                    ? static_cast<double>(m.pruned_by_region[i]) / args.runs
                    : 0.0);
   w.end_object();
+  w.key("pruned_rungs");
+  w.begin_object();
+  for (unsigned i = 1; i < core::kNumPruneRungs; ++i)
+    w.key(core::prune_rung_token(static_cast<core::PruneRung>(i)))
+        .value(m.pruned_rungs[i]);
+  w.end_object();
   w.end_object();
 }
 
@@ -136,10 +151,17 @@ int main(int argc, char** argv) {
   const bool identical =
       off.digest == regs.digest && off.digest == full.digest;
   // Full pruning must actually reach past the integer registers: the FP
-  // stack (index 1 in kRegions) and text (index 2) both prune runs.
+  // stack (index 1 in kRegions) and text (index 2) both prune runs, and
+  // every rung of the precision ladder must have decided at least one run
+  // — losing a rung silently would be a throughput regression the digest
+  // equality above cannot see.
   const bool coverage = full.pruned_by_region[0] > 0 &&
                         full.pruned_by_region[1] > 0 &&
-                        full.pruned_by_region[2] > 0;
+                        full.pruned_by_region[2] > 0 &&
+                        full.rung(core::PruneRung::kBase) > 0 &&
+                        full.rung(core::PruneRung::kFpCtx) > 0 &&
+                        full.rung(core::PruneRung::kTimeWindow) > 0 &&
+                        full.rung(core::PruneRung::kValueRange) > 0;
 
   util::JsonWriter w;
   w.begin_object();

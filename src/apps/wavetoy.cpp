@@ -81,6 +81,9 @@ main:
     la r5, u_new_p
     stw [r5], r12
     call init_field
+    ldi r2, 0          ; column cursor for the probe's other caller
+    call wt_fpstat
+    call wt_vr_gate
     ldi r5, 0
     stw [fp-20], r5
 steploop:
@@ -207,7 +210,16 @@ rloop:
 )";
   os << "    ldi r3, " << cfg.rows << "\n    blt r4, r3, rloop\n";
   os << "    fpop\n    addi r5, r5, 1\n    ldi r3, " << cfg.columns
-     << "\n    blt r5, r3, iloop\n    leave\n    ret\n";
+     << "\n    blt r5, r3, iloop\n";
+  // Init-phase profile word: written and read back once right here, then
+  // never touched again — from any later pause point the time-window
+  // analysis proves every byte of it past its last read.
+  os << R"(    la r6, wt_initprof
+    stw [r6], r5
+    ldw r6, [r6]
+    leave
+    ret
+)";
 
   // Halo exchange: ghost-column blocks with each neighbour.
   os << R"(
@@ -268,6 +280,12 @@ update_kernel:
     la r6, c2
     fld [r6]
 )";
+    // FP probe: wt_fpstat runs here with c2 parked on the FPU stack
+    // (depth 1) and from main at depth 0 — two call contexts whose depths
+    // only the summary-based analysis keeps apart. The whole kernel sits
+    // downstream of this return site, so the context-insensitive depth
+    // model smears [0,1] over ujloop/uiloop while the summary stays exact.
+    os << "    call wt_fpstat\n";
     os << "    ldi r2, " << cfg.ghost << "\n";
     os << "ujloop:\n    muli r3, r2, " << colb << "\n";
     os << R"(    add r4, r11, r3
@@ -389,6 +407,32 @@ wbloop:
     leave
     ret
 
+; --- wt_fpstat: tiny FP probe, called from two different stack depths ---
+wt_fpstat:
+    enter 0
+    la r5, c2
+    fld [r5]
+    fdup 0
+    fmulp
+    fpop
+    leave
+    ret
+
+; --- wt_vr_gate: configuration gate on a constant-zero data word; the
+;     value-range analysis decides the branch, so the cold option-parsing
+;     arm is statically dead even though plain reachability keeps it ---
+wt_vr_gate:
+    enter 0
+    la r5, wt_gate
+    ldw r5, [r5]
+    ldi r6, 0
+    beq r5, r6, wt_vr_off
+    call wt_parse_options
+    call wt_print_usage
+wt_vr_off:
+    leave
+    ret
+
 )";
   os << cold_code_asm("wt", cfg.cold_functions);
 
@@ -401,6 +445,8 @@ wbloop:
   os << "ampl: .f64 " << f64_literal(cfg.amplitude) << "\n";
   os << "banner: .asciz \"WAVETOY OUTPUT\\n\"\n";
   os << "nl: .asciz \"\\n\"\n";
+  os << ".align 4\n";
+  os << "wt_gate: .word 0\n";  // verbose-options gate, constant zero
   os << "coef_table:";
   for (int i = 0; i < 64; ++i) {
     os << (i % 8 == 0 ? "\n  .f64 " : ", ") << f64_literal(0.25 + 0.001 * i);
@@ -413,7 +459,8 @@ wbloop:
   os << "u_p: .space 4\n";
   os << "u_new_p: .space 4\n";
   os << "gatherbuf: .space " << intb << "\n";
-  os << "diag: .space 512\n";  // cold diagnostic buffer
+  os << "diag: .space 512\n";        // cold diagnostic buffer
+  os << "wt_initprof: .space 64\n";  // init-phase profile, dead after init
 
   App app;
   app.name = "wavetoy";

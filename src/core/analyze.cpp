@@ -127,6 +127,7 @@ AnalyzeResult analyze_app(const apps::App& app, const AnalyzeConfig& config) {
       ra.executions = rr->executions;
       ra.correct = rr->counts[static_cast<unsigned>(Manifestation::kCorrect)];
       ra.pruned = rr->pruned;
+      ra.pruned_rungs = rr->pruned_rungs;
       ra.act_live = rr->act_executions[RegionResult::kLiveIdx];
       ra.act_dead = rr->act_executions[RegionResult::kDeadIdx];
     }
@@ -187,16 +188,20 @@ std::string format_analyze(const AnalyzeResult& r) {
 
   os << "\n";
   if (r.runs > 0) {
-    std::snprintf(line, sizeof line, "%-16s %16s  %16s  %7s  %s\n", "region",
-                  "predicted-masked", "measured Correct", "pruned",
-                  "act live/dead");
+    std::snprintf(line, sizeof line,
+                  "%-16s %16s  %16s  %7s  %6s %6s %7s %7s  %s\n", "region",
+                  "predicted-masked", "measured Correct", "pruned", "base",
+                  "fp-ctx", "timewin", "valrng", "act live/dead");
     os << line;
     for (const auto& ra : r.regions) {
-      std::snprintf(line, sizeof line, "%-16s %16s  %16s  %7d  %8d/%d\n",
+      std::snprintf(line, sizeof line,
+                    "%-16s %16s  %16s  %7d  %6d %6d %7d %7d  %8d/%d\n",
                     region_name(ra.region),
                     percent(ra.predicted_masked).c_str(),
                     percent(ra.measured_correct()).c_str(), ra.pruned,
-                    ra.act_live, ra.act_dead);
+                    ra.rung(PruneRung::kBase), ra.rung(PruneRung::kFpCtx),
+                    ra.rung(PruneRung::kTimeWindow),
+                    ra.rung(PruneRung::kValueRange), ra.act_live, ra.act_dead);
       os << line;
     }
     os << "\npredicted-masked is a sound lower bound: every statically "
@@ -251,6 +256,10 @@ std::string analyze_json(const AnalyzeResult& r) {
       w.key("correct").value(ra.correct);
       w.key("measured_correct").value(ra.measured_correct());
       w.key("pruned").value(ra.pruned);
+      w.key("pruned_base").value(ra.rung(PruneRung::kBase));
+      w.key("pruned_fp_ctx").value(ra.rung(PruneRung::kFpCtx));
+      w.key("pruned_time_window").value(ra.rung(PruneRung::kTimeWindow));
+      w.key("pruned_value_range").value(ra.rung(PruneRung::kValueRange));
       w.key("act_live").value(ra.act_live);
       w.key("act_dead").value(ra.act_dead);
     }
@@ -264,13 +273,17 @@ std::string analyze_json(const AnalyzeResult& r) {
 std::string analyze_csv(const AnalyzeResult& r) {
   std::ostringstream os;
   os << "app,region,predicted_masked,executions,correct,measured_correct,"
-        "pruned,act_live,act_dead\n";
-  char line[200];
+        "pruned,pruned_base,pruned_fp_ctx,pruned_time_window,"
+        "pruned_value_range,act_live,act_dead\n";
+  char line[220];
   for (const auto& ra : r.regions) {
-    std::snprintf(line, sizeof line, "%s,%s,%.6f,%d,%d,%.6f,%d,%d,%d\n",
+    std::snprintf(line, sizeof line,
+                  "%s,%s,%.6f,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d\n",
                   r.app.c_str(), region_token(ra.region), ra.predicted_masked,
                   ra.executions, ra.correct, ra.measured_correct(), ra.pruned,
-                  ra.act_live, ra.act_dead);
+                  ra.rung(PruneRung::kBase), ra.rung(PruneRung::kFpCtx),
+                  ra.rung(PruneRung::kTimeWindow),
+                  ra.rung(PruneRung::kValueRange), ra.act_live, ra.act_dead);
     os << line;
   }
   return os.str();

@@ -15,6 +15,7 @@
 //   stack/heap/message — 0 (no static proof covers them).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -46,8 +47,15 @@ struct RegionAnalysis {
   int executions = 0;
   int correct = 0;
   int pruned = 0;
+  /// Pruned counts split by the ladder rung whose proof decided each run
+  /// (indexed by PruneRung; the kNone slot stays zero).
+  std::array<int, kNumPruneRungs> pruned_rungs{};
   int act_live = 0;
   int act_dead = 0;
+
+  int rung(PruneRung r) const noexcept {
+    return pruned_rungs[static_cast<unsigned>(r)];
+  }
 
   double measured_correct() const noexcept {
     return executions ? static_cast<double>(correct) / executions : 0.0;

@@ -66,7 +66,15 @@ CampaignPlan prepare_campaign(const apps::App& app,
   plan.analysis =
       std::make_unique<svm::analysis::ProgramAnalysis>(plan.program);
   if (auto& d = plan.dicts[static_cast<unsigned>(Region::kText)]; d)
-    d->annotate([&](svm::Addr a) { return plan.analysis->text_reachable(a); });
+    d->annotate(
+        [&](svm::Addr a) { return plan.analysis->text_reachable_refined(a); },
+        [&](svm::Addr a) {
+          // Ladder attribution: base reachability already proves most dead
+          // text; only entries the branch-deciding refinement alone kills
+          // are credited to the value-range rung.
+          return plan.analysis->text_reachable(a) ? PruneRung::kValueRange
+                                                  : PruneRung::kBase;
+        });
   for (Region r : {Region::kData, Region::kBss}) {
     if (auto& d = plan.dicts[static_cast<unsigned>(r)]; d)
       d->annotate(
@@ -94,7 +102,10 @@ void accumulate_outcome(RegionResult& rr, const RunOutcome& out) {
   ++rr.counts[static_cast<unsigned>(out.manifestation)];
   if (out.manifestation == Manifestation::kCrash)
     ++rr.crash_kinds[static_cast<unsigned>(out.crash_kind)];
-  if (out.pruned) ++rr.pruned;
+  if (out.pruned) {
+    ++rr.pruned;
+    ++rr.pruned_rungs[static_cast<unsigned>(out.prune_rung)];
+  }
   if (out.activation != Activation::kUnknown) {
     const unsigned a = out.activation == Activation::kDead
                            ? RegionResult::kDeadIdx
@@ -112,6 +123,8 @@ void merge_region_counts(RegionResult& into, const RegionResult& from) {
   for (unsigned k = 0; k < kNumCrashKinds; ++k)
     into.crash_kinds[k] += from.crash_kinds[k];
   into.pruned += from.pruned;
+  for (unsigned r = 0; r < kNumPruneRungs; ++r)
+    into.pruned_rungs[r] += from.pruned_rungs[r];
   for (unsigned a = 0; a < 2; ++a) {
     into.act_executions[a] += from.act_executions[a];
     for (unsigned m = 0; m < kNumManifestations; ++m)

@@ -94,6 +94,11 @@ struct RegionResult {
   std::array<int, kNumManifestations> counts{};  // indexed by Manifestation
   std::array<int, kNumCrashKinds> crash_kinds{};  // breakdown of Crash
   int pruned = 0;  // runs decided statically, never resumed
+  /// Pruned runs by deciding precision-ladder rung (diagnostic; index 0 =
+  /// PruneRung::kNone is always 0, and the rest sum to `pruned`). Not part
+  /// of the aggregate digests: like `pruned` it differs across prune
+  /// levels by construction.
+  std::array<int, kNumPruneRungs> pruned_rungs{};
 
   /// Activation-class split (paper §6-§7): executions and manifestation
   /// counts for faults the static analysis tagged live vs dead. Runs with

@@ -33,6 +33,29 @@ CfcSignatures::CfcSignatures(const svm::analysis::Cfg& cfg) {
   }
 }
 
+CfcSignatures::CfcSignatures(const svm::Program& program) {
+  base_ = program.segment_base(Segment::kText);
+  const auto& img = program.image(Segment::kText);
+  end_ = base_ + static_cast<Addr>(img.size());
+  sigs_.reserve(img.size() / 4);
+  for (Addr pc = base_; pc < end_; pc += 4) {
+    std::uint32_t word = 0;
+    std::memcpy(&word, img.data() + (pc - base_), 4);
+    CfcSignature s;
+    s.kind = svm::analysis::flow_of(word);
+    switch (s.kind) {
+      case FlowKind::kBranch:
+      case FlowKind::kJump:
+      case FlowKind::kCall:
+        s.target = svm::analysis::rel_target(pc, svm::decode(word));
+        break;
+      default:
+        break;
+    }
+    sigs_.push_back(s);
+  }
+}
+
 const CfcSignature* CfcSignatures::at(Addr pc) const noexcept {
   if (pc < base_ || pc >= end_ || pc % 4 != 0) return nullptr;
   return &sigs_[(pc - base_) / 4];
@@ -40,7 +63,13 @@ const CfcSignature* CfcSignatures::at(Addr pc) const noexcept {
 
 ControlFlowChecker::ControlFlowChecker(const svm::Program& program,
                                        svm::Machine& machine)
-    : ControlFlowChecker(program, machine, nullptr, CfcMode::kOnline) {}
+    : ControlFlowChecker(program, machine, nullptr, CfcMode::kStatic) {
+  // Default configuration: generate the signature table at construction
+  // and run purely off it — the hot fetch path never decodes.
+  owned_sigs_ = std::make_unique<CfcSignatures>(program);
+  signatures_ = owned_sigs_.get();
+  mode_ = CfcMode::kStatic;
+}
 
 ControlFlowChecker::ControlFlowChecker(const svm::Program& program,
                                        svm::Machine& machine,

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -39,6 +40,10 @@ struct CfcSignature {
 class CfcSignatures {
  public:
   explicit CfcSignatures(const svm::analysis::Cfg& cfg);
+  /// Same table built straight from the linked image, for callers that
+  /// have no CFG at hand (identical contents: both derive every record
+  /// from flow_of/rel_target over the raw user-text words).
+  explicit CfcSignatures(const svm::Program& program);
 
   /// Signature of the instruction at `pc`; nullptr outside user text.
   const CfcSignature* at(svm::Addr pc) const noexcept;
@@ -61,8 +66,10 @@ enum class CfcMode : std::uint8_t {
 
 class ControlFlowChecker : public svm::AccessObserver {
  public:
-  /// Builds the static model from the (uncorrupted) program image and
-  /// attaches itself as the machine's memory observer (kOnline mode).
+  /// Builds and owns a link-time signature table from the (uncorrupted)
+  /// program image and attaches itself as the machine's memory observer,
+  /// running in kStatic mode: every fetch is checked against the
+  /// pre-generated table, with no instruction decode on the hot path.
   ControlFlowChecker(const svm::Program& program, svm::Machine& machine);
 
   /// Same, with a pre-built signature table. `signatures` must outlive the
@@ -106,6 +113,7 @@ class ControlFlowChecker : public svm::AccessObserver {
   svm::Addr lib_base_ = 0;              // library text (not modelled; calls
   std::uint32_t lib_size_ = 0;          //  into it are treated as opaque)
   const CfcSignatures* signatures_ = nullptr;
+  std::unique_ptr<CfcSignatures> owned_sigs_;  // set by the 2-arg ctor
   CfcMode mode_ = CfcMode::kOnline;
   std::vector<svm::Addr> shadow_stack_;
   bool have_prev_ = false;

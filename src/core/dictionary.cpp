@@ -74,11 +74,17 @@ const DictEntry& FaultDictionary::pick(util::Rng& rng) const {
 }
 
 void FaultDictionary::annotate(
-    const std::function<bool(svm::Addr)>& is_live) {
+    const std::function<bool(svm::Addr)>& is_live,
+    const std::function<PruneRung(svm::Addr)>& rung_of) {
   dead_entries_ = 0;
   for (DictEntry& e : entries_) {
     e.activation = is_live(e.address) ? Activation::kLive : Activation::kDead;
-    if (e.activation == Activation::kDead) ++dead_entries_;
+    if (e.activation == Activation::kDead) {
+      ++dead_entries_;
+      e.rung = rung_of ? rung_of(e.address) : PruneRung::kBase;
+    } else {
+      e.rung = PruneRung::kNone;
+    }
   }
   annotated_ = true;
 }

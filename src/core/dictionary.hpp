@@ -24,6 +24,9 @@ struct DictEntry {
   /// Static activation class (set by annotate(); kLive until then so
   /// un-annotated dictionaries behave exactly as before).
   Activation activation = Activation::kUnknown;
+  /// Precision-ladder rung whose proof tagged the entry dead (kNone for
+  /// live or un-annotated entries).
+  PruneRung rung = PruneRung::kNone;
 };
 
 class FaultDictionary {
@@ -45,8 +48,11 @@ class FaultDictionary {
   /// Tag every entry with its static activation class. `is_live` receives
   /// the entry's address and returns whether the corrupted byte can be
   /// consumed (text: block reachability; data/BSS: symbol referenced from
-  /// reachable code).
-  void annotate(const std::function<bool(svm::Addr)>& is_live);
+  /// reachable code). `rung_of`, when given, attributes each dead entry to
+  /// the precision-ladder rung whose proof decided it; without it every
+  /// dead entry is credited to the base rung.
+  void annotate(const std::function<bool(svm::Addr)>& is_live,
+                const std::function<PruneRung(svm::Addr)>& rung_of = {});
   bool annotated() const noexcept { return annotated_; }
   /// Entries tagged dead by annotate() (0 before annotation).
   std::size_t dead_entries() const noexcept { return dead_entries_; }

@@ -101,6 +101,8 @@ std::optional<AppliedFault> Injector::inject_into_rank(simmpi::World& world,
         fault.activation = analysis_->register_dead_at(m.regs().pc, reg)
                                ? Activation::kDead
                                : Activation::kLive;
+        if (fault.activation == Activation::kDead)
+          fault.rung = PruneRung::kBase;
       }
       break;
     }
@@ -115,10 +117,18 @@ std::optional<AppliedFault> Injector::inject_into_rank(simmpi::World& world,
       // kUnknown: they corrupt the control state the proof relies on.
       if (flip.data_slot && analysis_ != nullptr &&
           analysis_->covers(m.regs().pc)) {
-        fault.activation =
-            analysis_->fpu_slot_dead_at(m.regs().pc, *flip.data_slot)
-                ? Activation::kDead
-                : Activation::kLive;
+        // Ladder attribution: credit the context-insensitive proof first;
+        // the context-sensitive rung gets only the slots it alone decides.
+        if (analysis_->fpu_slot_dead_at(m.regs().pc, *flip.data_slot)) {
+          fault.activation = Activation::kDead;
+          fault.rung = PruneRung::kBase;
+        } else if (analysis_->fpu_slot_dead_ctx(m.regs().pc,
+                                                *flip.data_slot)) {
+          fault.activation = Activation::kDead;
+          fault.rung = PruneRung::kFpCtx;
+        } else {
+          fault.activation = Activation::kLive;
+        }
       }
       break;
     }
@@ -133,6 +143,18 @@ std::optional<AppliedFault> Injector::inject_into_rank(simmpi::World& world,
       what << region_name(region_) << " '" << e.symbol << "' at "
            << hexaddr(e.address) << " bit " << bit;
       fault.activation = e.activation;
+      fault.rung = e.rung;
+      // Time-windowed liveness: a data/BSS byte that is live somewhere may
+      // still be past its last read *at this point in the run* — every
+      // future path is read-free, so the flip is never observed. The
+      // window check is keyed on the paused rank's pc (memory is per-rank).
+      if ((region_ == Region::kData || region_ == Region::kBss) &&
+          fault.activation == Activation::kLive && analysis_ != nullptr &&
+          analysis_->covers(m.regs().pc) &&
+          analysis_->data_byte_dead_at(e.address, m.regs().pc)) {
+        fault.activation = Activation::kDead;
+        fault.rung = PruneRung::kTimeWindow;
+      }
       break;
     }
     case Region::kHeap: {

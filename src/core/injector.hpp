@@ -26,6 +26,9 @@ struct AppliedFault {
   /// of the hit register at the rank's paused pc; for dictionary faults,
   /// the (annotated) entry's class. kUnknown for everything else.
   Activation activation = Activation::kUnknown;
+  /// Precision-ladder rung whose proof tagged the fault dead (kNone for
+  /// live/unknown targets).
+  PruneRung rung = PruneRung::kNone;
 };
 
 class Injector {

@@ -133,6 +133,37 @@ constexpr const char* activation_name(Activation a) noexcept {
   return "?";
 }
 
+/// Which rung of the static precision ladder decided a pruned run. The
+/// ladder is attribution-ordered: a fault provable by several analyses is
+/// credited to the lowest rung that proves it, so per-rung counts measure
+/// the *marginal* coverage each precision step adds.
+enum class PruneRung : std::uint8_t {
+  kNone = 0,     // run was not pruned
+  kBase,         // PR-2/4 proofs: register liveness, context-insensitive FP
+                 // depth, text reachability, whole-run memory liveness
+  kFpCtx,        // context-sensitive FP-stack depth (summary-composed)
+  kTimeWindow,   // time-windowed memory liveness (dead from this pc on)
+  kValueRange,   // value-range refined reachability
+  kCount,
+};
+
+inline constexpr unsigned kNumPruneRungs =
+    static_cast<unsigned>(PruneRung::kCount);
+
+/// Stable token for reports/JSON ("base", "fp-ctx", "time-window",
+/// "value-range"; "none" for unpruned runs).
+constexpr const char* prune_rung_token(PruneRung r) noexcept {
+  switch (r) {
+    case PruneRung::kNone: return "none";
+    case PruneRung::kBase: return "base";
+    case PruneRung::kFpCtx: return "fp-ctx";
+    case PruneRung::kTimeWindow: return "time-window";
+    case PruneRung::kValueRange: return "value-range";
+    case PruneRung::kCount: break;
+  }
+  return "?";
+}
+
 /// Result of one injected execution.
 struct RunOutcome {
   Manifestation manifestation = Manifestation::kCorrect;
@@ -144,6 +175,8 @@ struct RunOutcome {
   CrashKind crash_kind = CrashKind::kNone;  // set when manifestation==kCrash
   Activation activation = Activation::kUnknown;  // static class of the target
   bool pruned = false;  // classified Correct statically, without resuming
+  /// Ladder rung whose proof decided the pruned run (kNone when !pruned).
+  PruneRung prune_rung = PruneRung::kNone;
 
   // Message-region diagnostics (§6.2 header-vs-payload analysis).
   bool msg_fired = false;       // the armed channel fault actually flipped

@@ -33,6 +33,13 @@ CrashKind crash_kind_from_name(const std::string& name) {
   throw util::SetupError("json: unknown crash kind '" + name + "'");
 }
 
+PruneRung prune_rung_from_token(const std::string& name) {
+  for (unsigned r = 0; r < kNumPruneRungs; ++r)
+    if (name == prune_rung_token(static_cast<PruneRung>(r)))
+      return static_cast<PruneRung>(r);
+  throw util::SetupError("json: unknown prune rung '" + name + "'");
+}
+
 /// Campaign result object body, shared by campaign_json and batch_json.
 void write_campaign(util::JsonWriter& w, const CampaignResult& result) {
   w.begin_object();
@@ -72,6 +79,17 @@ void write_campaign(util::JsonWriter& w, const CampaignResult& result) {
     }
     w.end_object();
     w.key("pruned").value(rr.pruned);
+    if (rr.pruned > 0) {
+      // Diagnostic breakdown by deciding precision-ladder rung; zero rungs
+      // are omitted and readers default absent keys to zero.
+      w.key("pruned_rungs").begin_object();
+      for (unsigned r = 1; r < kNumPruneRungs; ++r) {
+        if (rr.pruned_rungs[r] == 0) continue;
+        w.key(prune_rung_token(static_cast<PruneRung>(r)))
+            .value(rr.pruned_rungs[r]);
+      }
+      w.end_object();
+    }
     if (rr.act_executions[0] + rr.act_executions[1] > 0) {
       w.key("activation").begin_object();
       const char* names[2] = {"live", "dead"};
@@ -178,6 +196,35 @@ std::uint64_t batch_digest(const BatchResult& result) {
   return h;
 }
 
+std::uint64_t outcome_digest(const BatchResult& result) {
+  // Like batch_digest, but deliberately excluding `pruned`/`pruned_rungs`:
+  // those count *how* runs were decided, which differs across prune levels
+  // by construction, while everything mixed here — executions, skipped,
+  // manifestation counts, crash kinds, activation splits — is what pruning
+  // must preserve. Equal outcome digests across --prune levels are the
+  // soundness oracle the ci prune×engine matrix asserts.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  for (const auto& campaign : result.campaigns) {
+    mix(campaign.seed);
+    for (const auto& rr : campaign.regions) {
+      mix(static_cast<std::uint64_t>(rr.region));
+      mix(static_cast<std::uint64_t>(rr.executions));
+      mix(static_cast<std::uint64_t>(rr.skipped));
+      for (int c : rr.counts) mix(static_cast<std::uint64_t>(c));
+      for (int k : rr.crash_kinds) mix(static_cast<std::uint64_t>(k));
+      for (unsigned a = 0; a < 2; ++a) {
+        mix(static_cast<std::uint64_t>(rr.act_executions[a]));
+        for (int c : rr.act_counts[a]) mix(static_cast<std::uint64_t>(c));
+      }
+    }
+  }
+  return h;
+}
+
 namespace {
 
 /// Spec "prune" values: the level name ("off" | "regs" | "full"), with the
@@ -264,6 +311,9 @@ void write_region_counts(util::JsonWriter& w, const RegionResult& rr) {
   for (int k : rr.crash_kinds) w.value(k);
   w.end_array();
   w.key("pruned").value(rr.pruned);
+  w.key("pruned_rungs").begin_array();
+  for (int c : rr.pruned_rungs) w.value(c);
+  w.end_array();
   w.key("act_executions").begin_array();
   for (int e : rr.act_executions) w.value(e);
   w.end_array();
@@ -300,6 +350,12 @@ void read_region_counts(const util::JsonValue& v, RegionResult& rr) {
       rr.crash_kinds[k] = static_cast<int>((*items)[k].as_int());
   }
   rr.pruned = static_cast<int>(v.at("pruned").as_int());
+  // Absent in checkpoints written before the precision ladder: all zero.
+  if (const util::JsonValue* rungs = v.find("pruned_rungs")) {
+    const auto* items = fixed(*rungs, kNumPruneRungs, "prune-rung");
+    for (unsigned r = 0; r < kNumPruneRungs; ++r)
+      rr.pruned_rungs[r] = static_cast<int>((*items)[r].as_int());
+  }
   {
     const auto* items = fixed(v.at("act_executions"), 2, "activation");
     for (unsigned a = 0; a < 2; ++a)
@@ -339,6 +395,12 @@ CampaignResult read_campaign(const util::JsonValue& v) {
       rr.crash_kinds[static_cast<unsigned>(crash_kind_from_name(name))] =
           static_cast<int>(count.as_int());
     rr.pruned = static_cast<int>(rv.at("pruned").as_int());
+    // Optional (absent in pre-ladder documents and when nothing pruned).
+    if (const util::JsonValue* rungs = rv.find("pruned_rungs")) {
+      for (const auto& [name, count] : rungs->members())
+        rr.pruned_rungs[static_cast<unsigned>(prune_rung_from_token(name))] =
+            static_cast<int>(count.as_int());
+    }
     if (const util::JsonValue* act = rv.find("activation")) {
       const char* names[2] = {"live", "dead"};
       for (unsigned a = 0; a < 2; ++a) {
@@ -368,6 +430,7 @@ std::string batch_json(const BatchResult& result) {
   w.key("count").value(result.shard.count);
   w.end_object();
   w.key("digest").value(batch_digest(result));
+  w.key("outcome_digest").value(outcome_digest(result));
   w.key("campaigns").begin_array();
   for (std::size_t c = 0; c < result.campaigns.size(); ++c) {
     w.begin_object();
@@ -492,6 +555,8 @@ BatchResult merge_batch(const std::vector<BatchResult>& shards) {
         for (unsigned k = 0; k < kNumCrashKinds; ++k)
           rr.crash_kinds[k] += p.crash_kinds[k];
         rr.pruned += p.pruned;
+        for (unsigned pr = 0; pr < kNumPruneRungs; ++pr)
+          rr.pruned_rungs[pr] += p.pruned_rungs[pr];
         for (unsigned a = 0; a < 2; ++a) {
           rr.act_executions[a] += p.act_executions[a];
           for (unsigned m = 0; m < kNumManifestations; ++m)

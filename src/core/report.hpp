@@ -39,6 +39,15 @@ std::uint64_t aggregate_digest(const CampaignResult& result);
 /// Digest of a whole batch (campaign digests folded in spec order).
 std::uint64_t batch_digest(const BatchResult& result);
 
+/// Prune-invariant digest: folds every field pruning must preserve
+/// (executions, skipped, manifestation counts, crash kinds, activation
+/// splits) while excluding the pruned/pruned_rungs bookkeeping, which
+/// legitimately differs across --prune levels. Two batches of the same
+/// spec run at different prune levels (or engines, or job counts) must
+/// produce equal outcome digests — the ci matrix gate asserts exactly
+/// that.
+std::uint64_t outcome_digest(const BatchResult& result);
+
 /// Batch (or shard partial) as a self-describing JSON document: shard
 /// coordinates plus, per campaign, the full spec and the campaign result.
 /// parse_batch_json inverts it exactly (Golden::baseline, a raw output

@@ -176,6 +176,7 @@ RunOutcome run_injected(const apps::App& app, const svm::Program& program,
         if (prune_allows(ctx.prune, region) &&
             fault->activation == Activation::kDead) {
           outcome.pruned = true;
+          outcome.prune_rung = fault->rung;
           outcome.manifestation = Manifestation::kCorrect;
           outcome.fault_description = desc.str() + " (pruned: statically dead)";
           outcome.instructions = world.global_instructions();

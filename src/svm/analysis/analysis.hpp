@@ -6,9 +6,12 @@
 
 #include "svm/analysis/cfg.hpp"
 #include "svm/analysis/fpdepth.hpp"
+#include "svm/analysis/fpdepth_ctx.hpp"
 #include "svm/analysis/lint.hpp"
 #include "svm/analysis/liveness.hpp"
 #include "svm/analysis/memliveness.hpp"
+#include "svm/analysis/timewindow.hpp"
+#include "svm/analysis/valuerange.hpp"
 
 namespace fsim::svm::analysis {
 
@@ -19,12 +22,18 @@ class ProgramAnalysis {
         liveness_(cfg_, DefUseModel::kSound),
         symbol_access_(scan_symbol_access(cfg_)),
         fpdepth_(cfg_),
-        memliveness_(cfg_, symbol_access_) {}
+        fpdepth_ctx_(cfg_),
+        memliveness_(cfg_, symbol_access_),
+        timewindow_(cfg_, symbol_access_, memliveness_),
+        valuerange_(cfg_, symbol_access_) {}
 
   const Cfg& cfg() const noexcept { return cfg_; }
   const Liveness& liveness() const noexcept { return liveness_; }
   const FpDepth& fpdepth() const noexcept { return fpdepth_; }
+  const FpDepthCtx& fpdepth_ctx() const noexcept { return fpdepth_ctx_; }
   const MemLiveness& memliveness() const noexcept { return memliveness_; }
+  const TimeWindow& timewindow() const noexcept { return timewindow_; }
+  const ValueRange& valuerange() const noexcept { return valuerange_; }
 
   /// True if `gpr` is provably overwritten before any read on every path
   /// from `pc` — the pruning proof. Never true outside the code ranges.
@@ -42,11 +51,28 @@ class ProgramAnalysis {
     return fpdepth_.slot_empty_at(pc, phys);
   }
 
+  /// True if slot `phys` is provably empty at `pc` under the
+  /// context-sensitive depth analysis (summary-composed call contexts).
+  /// Strictly more precise than `fpu_slot_dead_at`; callers wanting ladder
+  /// attribution should query the insensitive proof first.
+  bool fpu_slot_dead_ctx(Addr pc, unsigned phys) const noexcept;
+
   /// True if a fault in the data/BSS byte at `addr` is provably masked:
   /// the owning symbol is never read and never escapes, at any instant.
   bool data_byte_dead(Addr addr) const noexcept {
     return memliveness_.data_byte_dead(addr);
   }
+
+  /// Time-windowed proof: true if the data/BSS byte at `addr`, though
+  /// possibly live somewhere in the program, has no reachable read on any
+  /// path from `pc` — a flip applied while paused at `pc` is never
+  /// observed.
+  bool data_byte_dead_at(Addr addr, Addr pc) const noexcept;
+
+  /// Value-range-refined text reachability: like `text_reachable`, but
+  /// branches the interval analysis decides statically follow only the
+  /// taken successor. refined ⊆ base reachability.
+  bool text_reachable_refined(Addr a) const;
 
   /// Static reachability of a text address from the entry point. Byte
   /// addresses are mapped to the instruction word containing them: a
@@ -74,7 +100,10 @@ class ProgramAnalysis {
   Liveness liveness_;
   std::map<Addr, SymbolAccess> symbol_access_;
   FpDepth fpdepth_;
+  FpDepthCtx fpdepth_ctx_;
   MemLiveness memliveness_;
+  TimeWindow timewindow_;
+  ValueRange valuerange_;
 };
 
 }  // namespace fsim::svm::analysis

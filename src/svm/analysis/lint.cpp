@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "svm/analysis/fpdepth.hpp"
+#include "svm/analysis/valuerange.hpp"
 #include "svm/syscall.hpp"
 #include "util/json.hpp"
 
@@ -234,12 +235,15 @@ std::map<Addr, SymbolAccess> scan_symbol_access(const Cfg& cfg) {
     if (a >= it->lo && a < it->hi) return &access[it->key];
     return nullptr;
   };
-  auto mark = [&](Addr a, bool read, bool write, bool escape) {
+  auto mark = [&](Addr a, bool read, bool write, bool escape, Addr pc = 0) {
     if (SymbolAccess* sa = owner(a)) {
       sa->read |= read;
       sa->written |= write;
       sa->escaped |= escape;
-      if (read) ++sa->read_sites;
+      if (read) {
+        ++sa->read_sites;
+        sa->read_pcs.push_back(pc);
+      }
       if (write) ++sa->write_sites;
     }
   };
@@ -279,13 +283,13 @@ std::map<Addr, SymbolAccess> scan_symbol_access(const Cfg& cfg) {
         case Op::kLdb:
           if (known[in.b])
             mark(*known[in.b] + static_cast<Addr>(in.simm()), true, false,
-                 false);
+                 false, pc);
           known[in.a].reset();
           continue;
         case Op::kFld:
           if (known[in.b])
             mark(*known[in.b] + static_cast<Addr>(in.simm()), true, false,
-                 false);
+                 false, pc);
           continue;
         case Op::kStw:
         case Op::kStb:
@@ -449,6 +453,18 @@ LintResult run_lint(const Cfg& cfg, const Liveness& lint_liveness,
 
   // Data/BSS symbol access smells.
   res.symbol_access = scan_symbol_access(cfg);
+
+  // Value-range findings: conditional branches the interval analysis
+  // decides statically (one arm dead) and stores whose address interval
+  // runs past the symbol it starts in (valuerange.hpp).
+  {
+    const ValueRange vr(cfg, res.symbol_access);
+    for (const ValueRangeIssue& issue : vr.issues()) {
+      warn(issue.code, issue.addr, symbol_name_at(cfg, issue.addr),
+           issue.message);
+    }
+  }
+
   for (const Symbol& s : prog.symbols()) {
     if (s.segment != Segment::kData && s.segment != Segment::kBss) continue;
     auto it = res.symbol_access.find(s.address);

@@ -41,6 +41,9 @@ struct SymbolAccess {
   /// address lands in the symbol); escapes are not counted as sites.
   int read_sites = 0;
   int write_sites = 0;
+  /// PCs of the read sites (one entry per read_sites increment) — the
+  /// anchor points of the time-windowed liveness analysis.
+  std::vector<Addr> read_pcs;
 
   bool referenced() const noexcept { return read || written || escaped; }
   int sites() const noexcept { return read_sites + write_sites; }

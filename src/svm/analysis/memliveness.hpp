@@ -72,6 +72,14 @@ class MemLiveness {
   /// Total write-only local slots across non-escaping frames.
   int dead_stack_slots() const noexcept;
 
+  /// Was the symbol keyed by `symbol_addr` published through a
+  /// pointer-sized .data word (a `.word symbol` relocation)? Such symbols
+  /// are readable through loaded pointers the access scan cannot see, so
+  /// no per-site analysis may trust their recorded read sites.
+  bool pointer_published(Addr symbol_addr) const noexcept {
+    return pointer_escaped_.count(symbol_addr) > 0;
+  }
+
  private:
   void scan_data_pointers();
   void scan_frames();

@@ -4,9 +4,12 @@
 # check, the multi-process kill/resume crash-tolerance gate, the checkpoint
 # determinism/overhead gate, the execution-engine A/B digest gate (interp
 # and threaded must agree bit-for-bit at every job count and prune level)
-# and the batch-throughput bench (which itself exits nonzero on digest
-# divergence between modes or engines) — optionally repeating the whole
-# cycle under AddressSanitizer.
+# the prune x engine outcome-digest matrix (off|full x interp|threaded x
+# jobs 1|8 must agree byte-for-byte on the prune-invariant digest), the
+# prune-speedup bench (nonzero exit if any precision-ladder rung stops
+# pruning) and the batch-throughput bench (which itself exits nonzero on
+# digest divergence between modes or engines) — optionally repeating the
+# whole cycle under AddressSanitizer.
 #
 #   tests/ci.sh [--asan] [--build-dir=DIR] [--jobs=N]
 #
@@ -69,6 +72,10 @@ run_gate() {
       done
     done
   done
+  echo "=== ci: prune x engine outcome-digest matrix ==="
+  bash "$root/tests/prune_matrix_test.sh" "$fsim"
+  echo "=== ci: prune speedup + ladder coverage gate ==="
+  "$dir/bench/bench_prune_speedup" --runs=60 --jobs="$jobs" > /dev/null
   echo "=== ci: batch throughput + engine speedup gate ==="
   "$dir/bench/bench_batch_throughput" --runs=16
 }

@@ -47,6 +47,8 @@ helper:
 
 TEST(Cfc, CleanRunHasNoViolations) {
   Proc p(kBranchy);
+  // The default checker owns a link-time table and runs in static mode.
+  EXPECT_EQ(p.cfc.mode(), CfcMode::kStatic);
   p.machine.step(100000);
   ASSERT_EQ(p.machine.state(), svm::RunState::kExited);
   EXPECT_FALSE(p.cfc.violated());
@@ -183,6 +185,20 @@ TEST(CfcSignatures, TableMatchesOnlineDecodeEverywhere) {
     EXPECT_EQ(sigs.at(cfg.user_text_base() - 4), nullptr);
     EXPECT_EQ(sigs.at(cfg.user_text_end()), nullptr);
     EXPECT_EQ(sigs.at(cfg.user_text_base() + 2), nullptr);
+
+    // The CFG-less constructor (what the default checker uses) produces
+    // the identical table.
+    const CfcSignatures from_image(program);
+    ASSERT_EQ(from_image.size(), sigs.size()) << name;
+    EXPECT_EQ(from_image.text_base(), sigs.text_base()) << name;
+    for (svm::Addr pc = cfg.user_text_base(); pc < cfg.user_text_end();
+         pc += 4) {
+      const CfcSignature* a = sigs.at(pc);
+      const CfcSignature* b = from_image.at(pc);
+      ASSERT_NE(b, nullptr) << name;
+      EXPECT_EQ(a->kind, b->kind) << name;
+      EXPECT_EQ(a->target, b->target) << name;
+    }
   }
 }
 

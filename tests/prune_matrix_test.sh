@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Prune x engine matrix gate: the prune-invariant aggregate digest
+# (outcome_digest: everything except the pruned/pruned_rungs accounting)
+# must be byte-identical across --prune=off|full, --engine=interp|threaded
+# and --jobs=1|8 on the three paper apps. Any cell disagreeing means the
+# precision ladder changed an outcome instead of just short-circuiting it.
+#
+#   tests/prune_matrix_test.sh <path-to-fsim> [runs]
+set -euo pipefail
+
+fsim="${1:?usage: prune_matrix_test.sh <fsim> [runs]}"
+runs="${2:-4}"
+
+ref=""
+for prune in off full; do
+  for engine in interp threaded; do
+    for jobs in 1 8; do
+      digest="$("$fsim" batch --apps=wavetoy,minimd,atmo --runs="$runs" \
+                  --jobs="$jobs" --prune="$prune" --engine="$engine" \
+                  --json --quiet |
+                grep -o '"outcome_digest": *[0-9]*' | head -1 |
+                grep -o '[0-9]*$')"
+      if [ -z "$digest" ]; then
+        echo "prune_matrix: no outcome_digest in batch output" >&2
+        exit 1
+      fi
+      echo "  prune=$prune engine=$engine jobs=$jobs -> $digest"
+      if [ -z "$ref" ]; then
+        ref="$digest"
+      elif [ "$digest" != "$ref" ]; then
+        echo "prune_matrix: outcome digest divergence" \
+             "(prune=$prune engine=$engine jobs=$jobs:" \
+             "$digest != $ref)" >&2
+        exit 1
+      fi
+    done
+  done
+done
+echo "prune_matrix: all 8 cells agree (outcome_digest $ref)"

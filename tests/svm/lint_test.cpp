@@ -144,6 +144,74 @@ buf:
   EXPECT_TRUE(has_code(r, "bss-read-never-written"));
 }
 
+TEST(Lint, RangeDeadBranchIsAWarningAndSuppressible) {
+  // `gate` is a tracked constant-zero word, so the value-range analysis
+  // proves the beq always taken and flags the statically dead arm.
+  const std::string src = R"(
+.text
+main:
+    la r2, gate
+    ldw r2, [r2]
+    ldi r3, 0
+    beq r2, r3, off
+    ldi r1, 1
+off:
+    ldi r1, 0
+    ret
+.data
+gate:
+    .word 0
+)";
+  const LintResult plain = lint(assemble(src));
+  EXPECT_EQ(plain.errors, 0);
+  EXPECT_TRUE(has_code(plain, "range-dead-branch"));
+
+  LintOptions opts;
+  opts.suppress = {"main"};
+  const LintResult quiet = lint(assemble(src), opts);
+  EXPECT_FALSE(has_code(quiet, "range-dead-branch"));
+  EXPECT_GT(quiet.suppressed, 0);
+}
+
+TEST(Lint, RangeStoreOobIsAWarning) {
+  // A 4-byte store at buf+4 runs two bytes past the 6-byte symbol.
+  const LintResult r = lint(assemble(R"(
+.text
+main:
+    la r2, buf
+    ldi r3, 7
+    stw [r2+4], r3
+    ldi r2, 0
+    ret
+.bss
+buf:
+    .space 6
+)"));
+  EXPECT_EQ(r.errors, 0);
+  EXPECT_TRUE(has_code(r, "range-store-oob"));
+}
+
+TEST(Lint, RangeChecksAppearInJson) {
+  const LintResult r = lint(assemble(R"(
+.text
+main:
+    la r2, gate
+    ldw r2, [r2]
+    ldi r3, 0
+    bne r2, r3, on
+    ldi r1, 0
+on:
+    ret
+.data
+gate:
+    .word 0
+)"));
+  EXPECT_TRUE(has_code(r, "range-dead-branch"));
+  const std::string js = lint_json(r, "crafted");
+  EXPECT_NE(js.find("\"range-dead-branch\""), std::string::npos);
+  EXPECT_NE(js.find("is never taken"), std::string::npos);
+}
+
 // --- Symbol access scan --------------------------------------------------
 
 TEST(Lint, SymbolAccessScanClassifiesReadAndWrite) {

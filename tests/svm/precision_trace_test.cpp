@@ -1,0 +1,147 @@
+// Machine-trace validation of the precision-ladder claims the injector
+// prunes on (analysis.hpp): on a fault-free run of each paper app,
+//   - a physical FP slot the context-sensitive analysis calls empty must
+//     hold a kEmpty tag at every scheduler pause,
+//   - a data/BSS byte claimed dead-from-here (time-windowed liveness) must
+//     never be read by that rank later in the run,
+//   - the value-range-refined reachable set must cover every user-text pc
+//     the machine actually fetches.
+// Each check also asserts the refinement had bite beyond the base proof,
+// so a regression to the insensitive answer fails loudly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "simmpi/world.hpp"
+#include "svm/analysis/analysis.hpp"
+#include "svm/machine.hpp"
+
+namespace fsim::svm::analysis {
+namespace {
+
+/// Records every user-text fetch and every data/BSS load of one rank,
+/// stamped with the machine's instruction count.
+struct TraceProbe : public AccessObserver {
+  const Machine* machine = nullptr;
+  std::set<Addr> fetched;
+  std::map<Addr, std::uint64_t> last_load;  // byte addr -> latest read time
+
+  void on_fetch(Addr addr) override { fetched.insert(addr); }
+  void on_load(Addr addr, unsigned size, Segment seg) override {
+    if (seg != Segment::kData && seg != Segment::kBss) return;
+    for (unsigned i = 0; i < size; ++i)
+      last_load[addr + i] = machine->instructions();
+  }
+  void on_store(Addr, unsigned, Segment) override {}
+};
+
+struct DeadClaim {
+  Addr addr = 0;           // byte the analysis called dead from here on
+  std::uint64_t time = 0;  // rank-local instruction count at the pause
+};
+
+void validate_precision_ladder(const apps::App& app) {
+  const Program program = app.link();
+  const ProgramAnalysis pa(program);
+  simmpi::World world(program, app.world);
+
+  std::vector<TraceProbe> probes(world.size());
+  for (int r = 0; r < world.size(); ++r) {
+    probes[r].machine = &world.machine(r);
+    world.machine(r).memory().set_observer(&probes[r]);
+  }
+
+  // One sample byte per data/BSS symbol keeps the per-pause sweep cheap.
+  std::vector<Addr> samples;
+  for (const Symbol& s : program.symbols())
+    if (s.segment == Segment::kData || s.segment == Segment::kBss)
+      samples.push_back(s.address);
+
+  std::uint64_t ctx_checked = 0, ctx_only = 0, window_only = 0;
+  std::vector<std::vector<DeadClaim>> claims(world.size());
+  while (world.status() == simmpi::JobStatus::kRunning) {
+    world.advance();
+    for (int r = 0; r < world.size(); ++r) {
+      const Machine& m = world.machine(r);
+      if (m.state() == RunState::kExited || m.state() == RunState::kTrapped)
+        continue;
+      const Addr pc = m.regs().pc;
+      if (!pa.covers(pc)) continue;
+      for (unsigned p = 0; p < kNumFpr; ++p) {
+        if (!pa.fpu_slot_dead_ctx(pc, p)) continue;
+        ASSERT_EQ(m.regs().fpu.tag(p), FpuTag::kEmpty)
+            << app.name << " slot " << p << " at pc " << pc;
+        ++ctx_checked;
+        if (!pa.fpu_slot_dead_at(pc, p)) ++ctx_only;
+      }
+      for (Addr a : samples) {
+        if (!pa.data_byte_dead_at(a, pc) || pa.data_byte_dead(a)) continue;
+        claims[r].push_back({a, m.instructions()});
+        ++window_only;
+      }
+    }
+    if (world.global_instructions() > 500'000'000ull) break;
+  }
+  ASSERT_EQ(world.status(), simmpi::JobStatus::kCompleted) << app.name;
+
+  // Time-windowed deadness: no rank read a claimed-dead byte after the
+  // pause at which the claim was made.
+  for (int r = 0; r < world.size(); ++r) {
+    for (const DeadClaim& c : claims[r]) {
+      auto it = probes[r].last_load.find(c.addr);
+      if (it == probes[r].last_load.end()) continue;
+      ASSERT_LE(it->second, c.time)
+          << app.name << " rank " << r << " read byte " << c.addr
+          << " after it was claimed dead";
+    }
+  }
+
+  // Refined reachability over-approximates the golden run's fetch set.
+  std::size_t refined_cut = 0;
+  for (int r = 0; r < world.size(); ++r) {
+    for (Addr pc : probes[r].fetched) {
+      if (!pa.text_reachable(pc)) continue;  // library text is out of scope
+      ASSERT_TRUE(pa.text_reachable_refined(pc))
+          << app.name << " fetched pc " << pc << " outside the refined set";
+    }
+  }
+  const auto& cfg = pa.cfg();
+  for (Addr pc = cfg.user_text_base(); pc < cfg.user_text_end(); pc += 4)
+    if (pa.text_reachable(pc) && !pa.text_reachable_refined(pc)) ++refined_cut;
+
+  // Every rung must have had actual bite on its showcase app.
+  EXPECT_GT(ctx_checked, 0u) << app.name;
+  if (app.name == "wavetoy") {
+    EXPECT_GT(ctx_only, 0u) << "ctx refinement proved nothing extra";
+    EXPECT_GT(window_only, 0u) << "time windows proved nothing extra";
+    EXPECT_GT(refined_cut, 0u) << "value ranges cut nothing from base";
+  }
+}
+
+TEST(PrecisionTrace, WavetoyClaimsHoldDynamically) {
+  apps::WavetoyConfig cfg;
+  cfg.ranks = 4;
+  cfg.columns = 6;
+  cfg.steps = 6;
+  validate_precision_ladder(apps::make_wavetoy(cfg));
+}
+
+TEST(PrecisionTrace, MinimdClaimsHoldDynamically) {
+  apps::MinimdConfig cfg;
+  cfg.ranks = 4;
+  cfg.steps = 4;
+  validate_precision_ladder(apps::make_minimd(cfg));
+}
+
+TEST(PrecisionTrace, AtmoClaimsHoldDynamically) {
+  apps::AtmoConfig cfg;
+  cfg.ranks = 4;
+  cfg.steps = 4;
+  validate_precision_ladder(apps::make_atmo(cfg));
+}
+
+}  // namespace
+}  // namespace fsim::svm::analysis
