@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/dictionary.hpp"
+#include "core/sampling.hpp"
 #include "svm/analysis/analysis.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -43,6 +44,12 @@ std::string percent(double f) {
   char buf[16];
   std::snprintf(buf, sizeof buf, "%5.1f%%", 100.0 * f);
   return buf;
+}
+
+/// Wilson 95% half-width of a measured proportion, in percentage points.
+double ci95_pts(int successes, int n) {
+  return 100.0 * wilson_half_width(0.05, static_cast<std::uint64_t>(successes),
+                                   static_cast<std::uint64_t>(n));
 }
 
 }  // namespace
@@ -189,16 +196,17 @@ std::string format_analyze(const AnalyzeResult& r) {
   os << "\n";
   if (r.runs > 0) {
     std::snprintf(line, sizeof line,
-                  "%-16s %16s  %16s  %7s  %6s %6s %7s %7s  %s\n", "region",
-                  "predicted-masked", "measured Correct", "pruned", "base",
-                  "fp-ctx", "timewin", "valrng", "act live/dead");
+                  "%-16s %16s  %16s %7s  %7s  %6s %6s %7s %7s  %s\n", "region",
+                  "predicted-masked", "measured Correct", "ci95", "pruned",
+                  "base", "fp-ctx", "timewin", "valrng", "act live/dead");
     os << line;
     for (const auto& ra : r.regions) {
       std::snprintf(line, sizeof line,
-                    "%-16s %16s  %16s  %7d  %6d %6d %7d %7d  %8d/%d\n",
+                    "%-16s %16s  %16s %6.1fpt  %7d  %6d %6d %7d %7d  %8d/%d\n",
                     region_name(ra.region),
                     percent(ra.predicted_masked).c_str(),
-                    percent(ra.measured_correct()).c_str(), ra.pruned,
+                    percent(ra.measured_correct()).c_str(),
+                    ci95_pts(ra.correct, ra.executions), ra.pruned,
                     ra.rung(PruneRung::kBase), ra.rung(PruneRung::kFpCtx),
                     ra.rung(PruneRung::kTimeWindow),
                     ra.rung(PruneRung::kValueRange), ra.act_live, ra.act_dead);
@@ -255,6 +263,10 @@ std::string analyze_json(const AnalyzeResult& r) {
       w.key("executions").value(ra.executions);
       w.key("correct").value(ra.correct);
       w.key("measured_correct").value(ra.measured_correct());
+      w.key("correct_ci95")
+          .value(wilson_half_width(0.05,
+                                   static_cast<std::uint64_t>(ra.correct),
+                                   static_cast<std::uint64_t>(ra.executions)));
       w.key("pruned").value(ra.pruned);
       w.key("pruned_base").value(ra.rung(PruneRung::kBase));
       w.key("pruned_fp_ctx").value(ra.rung(PruneRung::kFpCtx));
@@ -272,18 +284,22 @@ std::string analyze_json(const AnalyzeResult& r) {
 
 std::string analyze_csv(const AnalyzeResult& r) {
   std::ostringstream os;
+  // New columns only ever append at the end (prefix-keyed consumers).
   os << "app,region,predicted_masked,executions,correct,measured_correct,"
         "pruned,pruned_base,pruned_fp_ctx,pruned_time_window,"
-        "pruned_value_range,act_live,act_dead\n";
-  char line[220];
+        "pruned_value_range,act_live,act_dead,correct_ci95\n";
+  char line[240];
   for (const auto& ra : r.regions) {
     std::snprintf(line, sizeof line,
-                  "%s,%s,%.6f,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d\n",
+                  "%s,%s,%.6f,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%.6f\n",
                   r.app.c_str(), region_token(ra.region), ra.predicted_masked,
                   ra.executions, ra.correct, ra.measured_correct(), ra.pruned,
                   ra.rung(PruneRung::kBase), ra.rung(PruneRung::kFpCtx),
                   ra.rung(PruneRung::kTimeWindow),
-                  ra.rung(PruneRung::kValueRange), ra.act_live, ra.act_dead);
+                  ra.rung(PruneRung::kValueRange), ra.act_live, ra.act_dead,
+                  wilson_half_width(0.05,
+                                    static_cast<std::uint64_t>(ra.correct),
+                                    static_cast<std::uint64_t>(ra.executions)));
     os << line;
   }
   return os.str();

@@ -7,6 +7,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/dictionary.hpp"
+#include "core/sampling.hpp"
 #include "util/status.hpp"
 #include "svm/analysis/analysis.hpp"
 #include "svm/exec/compiled.hpp"
@@ -15,7 +16,9 @@
 
 namespace fsim::core {
 
-namespace {
+// Named (not anonymous) so BatchSession::Impl can hold CampaignPlans
+// without tripping GCC's -Wsubobject-linkage; still internal to this file.
+namespace batch_detail {
 
 std::uint64_t run_seed_for(const CampaignConfig& config, Region region,
                            int i) {
@@ -94,7 +97,11 @@ CampaignPlan prepare_campaign(const apps::App& app,
   return plan;
 }
 
-}  // namespace
+}  // namespace batch_detail
+
+using batch_detail::CampaignPlan;
+using batch_detail::prepare_campaign;
+using batch_detail::run_seed_for;
 
 void accumulate_outcome(RegionResult& rr, const RunOutcome& out) {
   ++rr.executions;
@@ -145,6 +152,183 @@ CampaignSpec spec_of(const std::string& app_name,
   return spec;
 }
 
+// --- BatchSession ---
+
+struct BatchSession::Impl {
+  const std::vector<BatchEntry>& entries;
+  std::vector<CampaignPlan> plans;
+  std::vector<CampaignSpec> specs;
+  std::vector<CampaignResult> campaigns;  // skeletons: app/seed/golden
+  std::vector<std::size_t> slot_base;     // ncamp + 1 cumulative regions
+  std::vector<std::uint64_t> grid_base;   // ncamp + 1 cumulative grid sizes
+  std::unique_ptr<util::ThreadPool> pool; // created only for jobs > 1
+  std::mutex observer_mu;
+
+  explicit Impl(const std::vector<BatchEntry>& e) : entries(e) {}
+};
+
+BatchSession::BatchSession(const std::vector<BatchEntry>& entries, int jobs)
+    : impl_(std::make_unique<Impl>(entries)) {
+  const std::size_t ncamp = entries.size();
+  impl_->plans.reserve(ncamp);
+  impl_->campaigns.resize(ncamp);
+  impl_->slot_base.assign(ncamp + 1, 0);
+  impl_->grid_base.assign(ncamp + 1, 0);
+  for (std::size_t c = 0; c < ncamp; ++c) {
+    impl_->plans.push_back(prepare_campaign(entries[c].app, entries[c].config,
+                                            impl_->campaigns[c]));
+    impl_->specs.push_back(spec_of(entries[c].app.name, entries[c].config));
+    impl_->specs.back().params = entries[c].params;
+    const CampaignConfig& cc = entries[c].config;
+    impl_->slot_base[c + 1] = impl_->slot_base[c] + cc.regions.size();
+    impl_->grid_base[c + 1] =
+        impl_->grid_base[c] +
+        static_cast<std::uint64_t>(cc.regions.size()) *
+            static_cast<std::uint64_t>(cc.runs_per_region);
+  }
+  if (jobs > 1)
+    impl_->pool =
+        std::make_unique<util::ThreadPool>(static_cast<std::size_t>(jobs));
+}
+
+BatchSession::~BatchSession() = default;
+
+std::size_t BatchSession::slots() const noexcept {
+  return impl_->slot_base.back();
+}
+
+std::size_t BatchSession::slot_of(std::size_t campaign,
+                                  std::size_t region_index) const {
+  return impl_->slot_base[campaign] + region_index;
+}
+
+std::uint64_t BatchSession::grid_index_of(std::size_t campaign,
+                                          std::size_t region_index,
+                                          int run) const {
+  const CampaignConfig& cc = impl_->entries[campaign].config;
+  return impl_->grid_base[campaign] +
+         static_cast<std::uint64_t>(region_index) *
+             static_cast<std::uint64_t>(cc.runs_per_region) +
+         static_cast<std::uint64_t>(run);
+}
+
+const std::vector<CampaignSpec>& BatchSession::specs() const noexcept {
+  return impl_->specs;
+}
+
+const std::vector<CampaignResult>& BatchSession::campaigns() const noexcept {
+  return impl_->campaigns;
+}
+
+void BatchSession::run_points(const std::vector<Point>& points,
+                              std::vector<RegionResult>& totals,
+                              std::vector<int>& done,
+                              const std::vector<int>& owned,
+                              const Notify& notify) {
+  Impl& im = *impl_;
+  const bool observing = static_cast<bool>(notify);
+  auto notify_locked = [&](const RunEvent& ev) {
+    std::lock_guard<std::mutex> lock(im.observer_mu);
+    notify(ev);
+  };
+
+  if (!im.pool) {
+    // Serial walk in the order given — callers passing enumeration order
+    // get the exact legacy execution order.
+    for (const Point& pt : points) {
+      const BatchEntry& e = im.entries[pt.campaign];
+      const CampaignPlan& plan = im.plans[pt.campaign];
+      const Region region = e.config.regions[pt.region_index];
+      const std::size_t slot = im.slot_base[pt.campaign] + pt.region_index;
+      const FaultDictionary* dict =
+          plan.dicts[static_cast<unsigned>(region)].get();
+      const RunOutcome out = run_injected(
+          e.app, plan.program, im.campaigns[pt.campaign].golden, region, dict,
+          run_seed_for(e.config, region, pt.run_index), plan.ctx);
+      accumulate_outcome(totals[slot], out);
+      const int d = ++done[slot];
+      if (observing) {
+        RunEvent ev;
+        ev.campaign = pt.campaign;
+        ev.app = &e.app.name;
+        ev.region = region;
+        ev.slot = slot;
+        ev.run_index = pt.run_index;
+        ev.grid_index = pt.grid_index;
+        ev.outcome = &out;
+        ev.done = d;
+        ev.total = owned[slot];
+        notify_locked(ev);
+      }
+    }
+    return;
+  }
+
+  // Pooled: every campaign's grid points interleave across the same
+  // workers. Workers accumulate lock-free into their own partials;
+  // partials merge worker 0..W-1 per slot afterwards, so the aggregates
+  // are bit-identical to the serial walk.
+  util::ThreadPool& pool = *im.pool;
+  const std::size_t nslots = slots();
+  std::vector<std::vector<RegionResult>> partials(
+      pool.workers(), std::vector<RegionResult>(nslots));
+  std::vector<std::atomic<int>> adone(nslots);
+  for (std::size_t s = 0; s < nslots; ++s)
+    adone[s].store(done[s], std::memory_order_relaxed);
+
+  for (const Point& pt : points) {
+    const apps::App* app = &im.entries[pt.campaign].app;
+    const CampaignConfig& cc = im.entries[pt.campaign].config;
+    const CampaignPlan* plan = &im.plans[pt.campaign];
+    const Golden* golden = &im.campaigns[pt.campaign].golden;
+    const Region region = cc.regions[pt.region_index];
+    const std::size_t slot = im.slot_base[pt.campaign] + pt.region_index;
+    const FaultDictionary* dict =
+        plan->dicts[static_cast<unsigned>(region)].get();
+    const std::uint64_t run_seed = run_seed_for(cc, region, pt.run_index);
+    pool.submit([&, app, plan, golden, pt, slot, region, dict, run_seed] {
+      const RunOutcome out = run_injected(*app, plan->program, *golden,
+                                          region, dict, run_seed, plan->ctx);
+      const int w = util::ThreadPool::current_worker();
+      accumulate_outcome(partials[static_cast<std::size_t>(w)][slot], out);
+      if (observing) {
+        RunEvent ev;
+        ev.campaign = pt.campaign;
+        ev.app = &app->name;
+        ev.region = region;
+        ev.slot = slot;
+        ev.run_index = pt.run_index;
+        ev.grid_index = pt.grid_index;
+        ev.outcome = &out;
+        ev.done = 1 + adone[slot].fetch_add(1, std::memory_order_relaxed);
+        ev.total = owned[slot];
+        notify_locked(ev);
+      }
+    });
+  }
+  pool.wait();
+
+  for (std::size_t slot = 0; slot < nslots; ++slot)
+    for (std::size_t w = 0; w < pool.workers(); ++w)
+      merge_region_counts(totals[slot], partials[w][slot]);
+  for (std::size_t s = 0; s < nslots; ++s)
+    done[s] = adone[s].load(std::memory_order_relaxed);
+}
+
+std::vector<CampaignResult> BatchSession::attach_regions(
+    const std::vector<RegionResult>& totals) const {
+  std::vector<CampaignResult> out = impl_->campaigns;
+  for (std::size_t c = 0; c < impl_->entries.size(); ++c) {
+    const auto& regions = impl_->entries[c].config.regions;
+    for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+      RegionResult rr = totals[impl_->slot_base[c] + ri];
+      rr.region = regions[ri];
+      out[c].regions.push_back(std::move(rr));
+    }
+  }
+  return out;
+}
+
 BatchResult run_batch(const std::vector<BatchEntry>& entries,
                       const BatchConfig& config) {
   if (config.shard.count < 1 || config.shard.index < 0 ||
@@ -154,25 +338,13 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
                            std::to_string(config.shard.count));
   }
 
+  BatchSession session(entries, config.jobs);
+  const std::size_t ncamp = entries.size();
+  const std::size_t nslots = session.slots();
+
   BatchResult result;
   result.shard = config.shard;
-  const std::size_t ncamp = entries.size();
-  std::vector<CampaignPlan> plans;
-  plans.reserve(ncamp);
-  result.campaigns.resize(ncamp);
-  for (std::size_t c = 0; c < ncamp; ++c) {
-    plans.push_back(prepare_campaign(entries[c].app, entries[c].config,
-                                     result.campaigns[c]));
-    result.specs.push_back(spec_of(entries[c].app.name, entries[c].config));
-    result.specs.back().params = entries[c].params;
-  }
-
-  // Flattened (campaign, region) slots; accumulation and the final merge
-  // index by slot, the shard filter by the global grid index.
-  std::vector<std::size_t> slot_base(ncamp + 1, 0);
-  for (std::size_t c = 0; c < ncamp; ++c)
-    slot_base[c + 1] = slot_base[c] + entries[c].config.regions.size();
-  const std::size_t nslots = slot_base[ncamp];
+  result.specs = session.specs();
 
   // Resume baseline: the checkpoint must identify exactly this batch —
   // same shard, same spec list (apps, params, runs, seeds, regions,
@@ -187,6 +359,10 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
           std::to_string(resume->shard.count) + ", batch runs shard " +
           std::to_string(config.shard.index) + "/" +
           std::to_string(config.shard.count));
+    if (resume->adaptive)
+      throw util::SetupError(
+          "resume: checkpoint belongs to an adaptive (--ci) campaign; "
+          "resume it through the adaptive scheduler");
     if (resume->specs != result.specs)
       throw util::SetupError(
           "resume: checkpoint was produced by a different batch spec "
@@ -196,7 +372,7 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
         resume->goldens.size() != ncamp)
       throw util::SetupError("resume: checkpoint slot layout is corrupted");
     for (std::size_t c = 0; c < ncamp; ++c) {
-      const Golden& g = result.campaigns[c].golden;
+      const Golden& g = session.campaigns()[c].golden;
       if (resume->goldens[c].instructions != g.instructions ||
           resume->goldens[c].hang_budget != g.hang_budget)
         throw util::SetupError(
@@ -206,24 +382,33 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
     }
   }
 
-  // This shard's grid-point count per slot (progress denominators).
+  // This shard's grid-point count per slot (progress denominators) and the
+  // work list itself: every shard-owned grid point not already covered by
+  // the resume baseline, in enumeration order.
   std::vector<int> owned(nslots, 0);
+  std::vector<BatchSession::Point> points;
   {
     std::uint64_t g = 0;
     for (std::size_t c = 0; c < ncamp; ++c) {
       const CampaignConfig& cc = entries[c].config;
-      for (std::size_t ri = 0; ri < cc.regions.size(); ++ri)
-        for (int i = 0; i < cc.runs_per_region; ++i, ++g)
-          if (shard_owns(g, config.shard)) ++owned[slot_base[c] + ri];
+      for (std::size_t ri = 0; ri < cc.regions.size(); ++ri) {
+        const std::size_t slot = session.slot_of(c, ri);
+        for (int i = 0; i < cc.runs_per_region; ++i, ++g) {
+          if (!shard_owns(g, config.shard)) continue;
+          ++owned[slot];
+          if (resume && resume->slots[slot].done.contains(i)) continue;
+          points.push_back(BatchSession::Point{c, ri, i, g});
+        }
+      }
     }
   }
 
   // Completion counters continue from the checkpoint baseline, so progress
   // displays and on_region_done see the cumulative shard state.
-  std::vector<int> base_done(nslots, 0);
+  std::vector<int> done(nslots, 0);
   if (resume)
     for (std::size_t s = 0; s < nslots; ++s)
-      base_done[s] = resume->slots[s].counts.executions;
+      done[s] = resume->slots[s].counts.executions;
 
   // Checkpoint sink: an internal observer fed through the same serialized
   // dispatch as the caller's hooks. Seeded from the resume baseline so the
@@ -232,7 +417,7 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
   if (!config.checkpoint_path.empty()) {
     std::vector<Golden> goldens;
     for (std::size_t c = 0; c < ncamp; ++c)
-      goldens.push_back(result.campaigns[c].golden);
+      goldens.push_back(session.campaigns()[c].golden);
     Checkpoint initial =
         resume ? *resume
                : make_checkpoint(result.specs, std::move(goldens),
@@ -243,119 +428,23 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
                                             config.observer);
   }
 
-  // Serialized observer fan-in: caller observer, then checkpoint sink —
-  // under one mutex, at any job count.
-  std::mutex observer_mu;
-  const bool observing = config.observer || sink;
-  auto notify = [&](const RunEvent& ev) {
-    std::lock_guard<std::mutex> lock(observer_mu);
-    if (config.observer) {
-      config.observer->on_run_done(ev);
-      if (ev.done == ev.total)
-        config.observer->on_region_done(ev.campaign, *ev.app, ev.region,
-                                        ev.done);
-    }
-    if (sink) sink->on_run_done(ev);
-  };
+  // Observer fan-in: caller observer, then checkpoint sink — the session
+  // serializes the whole callback under one mutex, at any job count.
+  BatchSession::Notify notify;
+  if (config.observer || sink) {
+    notify = [&config, &sink](const RunEvent& ev) {
+      if (config.observer) {
+        config.observer->on_run_done(ev);
+        if (ev.done == ev.total)
+          config.observer->on_region_done(ev.campaign, *ev.app, ev.region,
+                                          ev.done);
+      }
+      if (sink) sink->on_run_done(ev);
+    };
+  }
 
   std::vector<RegionResult> totals(nslots);
-  const int jobs = config.jobs;
-
-  if (jobs <= 1) {
-    // Serial grid walk in enumeration order — for a single unsharded
-    // campaign this is the exact legacy execution order.
-    std::vector<int> done = base_done;
-    std::uint64_t g = 0;
-    for (std::size_t c = 0; c < ncamp; ++c) {
-      const BatchEntry& e = entries[c];
-      const CampaignPlan& plan = plans[c];
-      for (std::size_t ri = 0; ri < e.config.regions.size(); ++ri) {
-        const Region region = e.config.regions[ri];
-        const std::size_t slot = slot_base[c] + ri;
-        const FaultDictionary* dict =
-            plan.dicts[static_cast<unsigned>(region)].get();
-        for (int i = 0; i < e.config.runs_per_region; ++i, ++g) {
-          if (!shard_owns(g, config.shard)) continue;
-          if (resume && resume->slots[slot].done.contains(i)) continue;
-          const RunOutcome out = run_injected(
-              e.app, plan.program, result.campaigns[c].golden, region, dict,
-              run_seed_for(e.config, region, i), plan.ctx);
-          accumulate_outcome(totals[slot], out);
-          const int d = ++done[slot];
-          if (observing) {
-            RunEvent ev;
-            ev.campaign = c;
-            ev.app = &e.app.name;
-            ev.region = region;
-            ev.slot = slot;
-            ev.run_index = i;
-            ev.grid_index = g;
-            ev.outcome = &out;
-            ev.done = d;
-            ev.total = owned[slot];
-            notify(ev);
-          }
-        }
-      }
-    }
-  } else {
-    // One pool for the whole batch: every campaign's grid points interleave
-    // across the same workers. Workers accumulate lock-free into their own
-    // partials; partials merge worker 0..W-1 per slot afterwards, so the
-    // per-campaign aggregates are bit-identical to the serial walk.
-    util::ThreadPool pool(static_cast<std::size_t>(jobs));
-    std::vector<std::vector<RegionResult>> partials(
-        pool.workers(), std::vector<RegionResult>(nslots));
-    std::vector<std::atomic<int>> done(nslots);
-    for (std::size_t s = 0; s < nslots; ++s)
-      done[s].store(base_done[s], std::memory_order_relaxed);
-
-    std::uint64_t g = 0;
-    for (std::size_t c = 0; c < ncamp; ++c) {
-      const apps::App* app = &entries[c].app;
-      const CampaignConfig& cc = entries[c].config;
-      const CampaignPlan* plan = &plans[c];
-      const Golden* golden = &result.campaigns[c].golden;
-      for (std::size_t ri = 0; ri < cc.regions.size(); ++ri) {
-        const Region region = cc.regions[ri];
-        const std::size_t slot = slot_base[c] + ri;
-        const FaultDictionary* dict =
-            plan->dicts[static_cast<unsigned>(region)].get();
-        for (int i = 0; i < cc.runs_per_region; ++i, ++g) {
-          if (!shard_owns(g, config.shard)) continue;
-          if (resume && resume->slots[slot].done.contains(i)) continue;
-          const std::uint64_t run_seed = run_seed_for(cc, region, i);
-          pool.submit([&, app, plan, golden, c, slot, region, dict, i, g,
-                       run_seed] {
-            const RunOutcome out = run_injected(*app, plan->program, *golden,
-                                                region, dict, run_seed,
-                                                plan->ctx);
-            const int w = util::ThreadPool::current_worker();
-            accumulate_outcome(partials[static_cast<std::size_t>(w)][slot],
-                               out);
-            if (observing) {
-              RunEvent ev;
-              ev.campaign = c;
-              ev.app = &app->name;
-              ev.region = region;
-              ev.slot = slot;
-              ev.run_index = i;
-              ev.grid_index = g;
-              ev.outcome = &out;
-              ev.done = 1 + done[slot].fetch_add(1, std::memory_order_relaxed);
-              ev.total = owned[slot];
-              notify(ev);
-            }
-          });
-        }
-      }
-    }
-    pool.wait();
-
-    for (std::size_t slot = 0; slot < nslots; ++slot)
-      for (std::size_t w = 0; w < pool.workers(); ++w)
-        merge_region_counts(totals[slot], partials[w][slot]);
-  }
+  session.run_points(points, totals, done, owned, notify);
 
   // Fold the checkpoint baseline back in: the resumed grid points ran in
   // the interrupted invocation, the rest just ran here, and every field is
@@ -368,14 +457,7 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
   // place of the shard result, and resuming it is a no-op.
   if (sink) sink->flush();
 
-  for (std::size_t c = 0; c < ncamp; ++c) {
-    const auto& regions = entries[c].config.regions;
-    for (std::size_t ri = 0; ri < regions.size(); ++ri) {
-      RegionResult& rr = totals[slot_base[c] + ri];
-      rr.region = regions[ri];
-      result.campaigns[c].regions.push_back(rr);
-    }
-  }
+  result.campaigns = session.attach_regions(totals);
   return result;
 }
 
@@ -400,8 +482,9 @@ std::string format_campaign(const CampaignResult& result) {
   }
 
   util::Table t("Fault Injection Results (" + result.app + ")");
-  std::vector<std::string> head = {"Region", "Executions", "Errors (%)",
-                                   "Crash", "Hang", "Incorrect"};
+  std::vector<std::string> head = {"Region",    "Executions", "Errors (%)",
+                                   "±95% (pts)", "Crash",     "Hang",
+                                   "Incorrect"};
   if (any_app) head.push_back("App Detected");
   if (any_mpi) head.push_back("MPI Detected");
   t.header(std::move(head));
@@ -419,6 +502,13 @@ std::string format_campaign(const CampaignResult& result) {
         region_name(rr.region),
         std::to_string(rr.executions),
         util::fmt_fixed(100.0 * rr.error_rate(), 1),
+        rr.executions > 0
+            ? util::fmt_fixed(
+                  100.0 * wilson_half_width(
+                              0.05, static_cast<std::uint64_t>(rr.errors()),
+                              static_cast<std::uint64_t>(rr.executions)),
+                  1)
+            : std::string("-"),
         share(rr, Manifestation::kCrash),
         share(rr, Manifestation::kHang),
         share(rr, Manifestation::kIncorrect),

@@ -4,6 +4,8 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -209,6 +211,35 @@ constexpr bool shard_owns(std::uint64_t grid_index,
              static_cast<std::uint64_t>(shard.index);
 }
 
+/// Adaptive (--ci) campaigns shard whole (campaign, region) cells rather
+/// than individual grid points: cell `slot` belongs to shard
+/// `slot mod count`, round-robin like shard_owns. Keeping every run of a
+/// cell on one host makes the per-cell stopping decisions local — each
+/// shard reaches exactly the decisions the unsharded run would, so
+/// `fsim merge` over cell shards reproduces it bit for bit.
+constexpr bool shard_owns_cell(std::size_t slot,
+                               const ShardSpec& shard) noexcept {
+  return shard.count <= 1 ||
+         slot % static_cast<std::size_t>(shard.count) ==
+             static_cast<std::size_t>(shard.index);
+}
+
+/// Stopping policy of an adaptive (CI-targeted) campaign, driven by
+/// core/adaptive.hpp: each (campaign, region) cell runs in waves of `wave`
+/// grid points until the Wilson half-width of its error rate reaches `ci`
+/// at confidence 1-alpha, subject to the small-sample clamp `min_runs` and
+/// the per-cell cap (the campaign's runs_per_region). Recorded in adaptive
+/// checkpoints — resuming under an unchanged policy reproduces the
+/// uninterrupted run bit for bit (see docs/STATISTICS.md).
+struct AdaptivePolicy {
+  double ci = 0.05;    // target half-width of the per-cell error rate
+  double alpha = 0.05; // confidence level 1 - alpha
+  int wave = 50;       // grid points scheduled per open cell per wave
+  int min_runs = 30;   // sampling.hpp kSmallSampleMin
+
+  bool operator==(const AdaptivePolicy&) const = default;
+};
+
 /// One campaign in a batch. The entry's config supplies runs/seed/regions/
 /// dictionary_entries/prune/engine; its jobs and observer fields are
 /// ignored — the batch-level pool and observer drive execution.
@@ -252,6 +283,69 @@ struct BatchResult {
   std::vector<CampaignSpec> specs;        // spec order, parallel to campaigns
   std::vector<CampaignResult> campaigns;  // per-campaign (possibly partial)
   ShardSpec shard;                        // which slice these counts cover
+};
+
+/// A prepared batch: every campaign linked, analysed, compiled and
+/// golden-run exactly once, ready to execute arbitrary subsets of the
+/// flattened (campaign, region, run) grid. run_batch prepares a session
+/// and walks the whole fixed-n grid; the adaptive scheduler
+/// (core/adaptive.hpp) drives data-dependent waves through the same
+/// session. Both paths share run seeds, pruning, engines and the
+/// serialized observer dispatch, so a run's outcome never depends on which
+/// scheduler asked for it.
+class BatchSession {
+ public:
+  /// One grid point scheduled for execution.
+  struct Point {
+    std::size_t campaign = 0;
+    std::size_t region_index = 0;  // into the campaign's region list
+    int run_index = 0;             // i within (campaign, region)
+    std::uint64_t grid_index = 0;  // fixed global enumeration index
+  };
+
+  /// Serialized per-run callback (may be empty = no observation).
+  using Notify = std::function<void(const RunEvent&)>;
+
+  /// Prepares every campaign. `entries` is borrowed and must outlive the
+  /// session; jobs > 1 creates the shared worker pool.
+  BatchSession(const std::vector<BatchEntry>& entries, int jobs);
+  ~BatchSession();
+
+  BatchSession(const BatchSession&) = delete;
+  BatchSession& operator=(const BatchSession&) = delete;
+
+  /// Flattened (campaign, region) slot count.
+  std::size_t slots() const noexcept;
+  /// Flattened slot index of (campaign, region-index).
+  std::size_t slot_of(std::size_t campaign, std::size_t region_index) const;
+  /// Global grid index of (campaign, region-index, run) in the fixed
+  /// campaign-major enumeration order shared with shard_owns.
+  std::uint64_t grid_index_of(std::size_t campaign, std::size_t region_index,
+                              int run) const;
+  /// Spec list in entry order (params included).
+  const std::vector<CampaignSpec>& specs() const noexcept;
+  /// Campaign result skeletons (app, seed, golden; regions still empty).
+  const std::vector<CampaignResult>& campaigns() const noexcept;
+
+  /// Execute the given grid points. Outcomes fold into `totals[slot]`;
+  /// `done[slot]` increments per completed point and `owned[slot]` is the
+  /// progress denominator reported in RunEvents. `notify` receives every
+  /// RunEvent under one session-wide mutex, at any job count. jobs <= 1
+  /// executes the points serially in the order given; jobs > 1 fans them
+  /// out over the session pool and merges per-worker partials in fixed
+  /// order — `totals` is bit-identical either way.
+  void run_points(const std::vector<Point>& points,
+                  std::vector<RegionResult>& totals, std::vector<int>& done,
+                  const std::vector<int>& owned, const Notify& notify);
+
+  /// Copy of the campaign skeletons with `totals` (slot order) distributed
+  /// into per-campaign region lists.
+  std::vector<CampaignResult> attach_regions(
+      const std::vector<RegionResult>& totals) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Run every campaign through one shared pool. Throws SetupError on an

@@ -1,6 +1,7 @@
 #include "core/checkpoint.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "core/report.hpp"
@@ -74,6 +75,14 @@ int Checkpoint::completed_runs() const noexcept {
 }
 
 int Checkpoint::owned_runs() const {
+  if (adaptive) {
+    // No a-priori denominator: the scheduler decides the grid as it goes.
+    // Count what it has committed to so far (owned cells' frontiers).
+    int n = 0;
+    for (std::size_t s = 0; s < slots.size(); ++s)
+      if (shard_owns_cell(s, shard)) n += slots[s].frontier;
+    return n;
+  }
   int n = 0;
   std::uint64_t g = 0;
   for (const auto& spec : specs)
@@ -84,6 +93,16 @@ int Checkpoint::owned_runs() const {
 }
 
 bool Checkpoint::complete() const {
+  if (adaptive) {
+    // Complete once every owned cell has stopped (target met or cap hit)
+    // with its whole frontier executed; other shards' cells don't count.
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (!shard_owns_cell(s, shard)) continue;
+      const CheckpointSlot& cs = slots[s];
+      if (!cs.stopped || cs.done.size() != cs.frontier) return false;
+    }
+    return true;
+  }
   std::uint64_t g = 0;
   std::size_t slot = 0;
   for (const auto& spec : specs) {
@@ -141,10 +160,19 @@ std::uint64_t spec_digest(std::uint64_t h, const CampaignSpec& spec) {
   return h;
 }
 
+/// Bit pattern of a policy double (doubles round-trip exactly through the
+/// %.17g JSON encoding, so hashing the representation is stable).
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+
 /// Digest of one checkpoint record: its coordinates, completed-run ranges
-/// and every aggregate field.
+/// and every aggregate field — plus the wave state when the document is
+/// adaptive (legacy fixed-n digests stay byte-identical).
 std::uint64_t slot_record_digest(std::size_t campaign,
-                                 const CheckpointSlot& slot) {
+                                 const CheckpointSlot& slot, bool adaptive) {
   std::uint64_t h = kFnvBasis;
   h = mix(h, static_cast<std::uint64_t>(campaign));
   h = mix(h, static_cast<std::uint64_t>(slot.counts.region));
@@ -152,16 +180,27 @@ std::uint64_t slot_record_digest(std::size_t campaign,
     h = mix(h, static_cast<std::uint64_t>(first));
     h = mix(h, static_cast<std::uint64_t>(last));
   }
+  if (adaptive) {
+    h = mix(h, static_cast<std::uint64_t>(slot.frontier));
+    h = mix(h, slot.stopped ? 1u : 0u);
+  }
   return region_counts_digest(slot.counts, h);
 }
 
 /// Whole-document digest: shard coordinates, cursor, every spec, every
-/// golden identity and every slot record.
+/// golden identity, every slot record and (when present) the adaptive
+/// stopping policy.
 std::uint64_t checkpoint_digest(const Checkpoint& ck) {
   std::uint64_t h = kFnvBasis;
   h = mix(h, static_cast<std::uint64_t>(ck.shard.index));
   h = mix(h, static_cast<std::uint64_t>(ck.shard.count));
   h = mix(h, ck.cursor);
+  if (ck.adaptive) {
+    h = mix(h, double_bits(ck.adaptive->ci));
+    h = mix(h, double_bits(ck.adaptive->alpha));
+    h = mix(h, static_cast<std::uint64_t>(ck.adaptive->wave));
+    h = mix(h, static_cast<std::uint64_t>(ck.adaptive->min_runs));
+  }
   for (const auto& spec : ck.specs) h = spec_digest(h, spec);
   for (const auto& g : ck.goldens) {
     h = mix(h, g.instructions);
@@ -172,7 +211,8 @@ std::uint64_t checkpoint_digest(const Checkpoint& ck) {
   std::size_t campaign = 0;
   for (const auto& spec : ck.specs) {
     for (std::size_t ri = 0; ri < spec.regions.size(); ++ri, ++slot)
-      h = mix(h, slot_record_digest(campaign, ck.slots[slot]));
+      h = mix(h, slot_record_digest(campaign, ck.slots[slot],
+                                    ck.adaptive.has_value()));
     ++campaign;
   }
   return h;
@@ -204,6 +244,18 @@ Checkpoint parse_checkpoint(const util::JsonValue& doc) {
   ck.shard.index = static_cast<int>(shard.at("index").as_int());
   ck.shard.count = static_cast<int>(shard.at("count").as_int());
   ck.cursor = doc.at("cursor").as_u64();
+  // Optional adaptive stopping policy (absent in fixed-n checkpoints).
+  if (const util::JsonValue* av = doc.find("adaptive")) {
+    AdaptivePolicy policy;
+    policy.ci = av->at("ci").as_double();
+    policy.alpha = av->at("alpha").as_double();
+    policy.wave = static_cast<int>(av->at("wave").as_int());
+    policy.min_runs = static_cast<int>(av->at("min_runs").as_int());
+    if (policy.ci <= 0.0 || policy.ci >= 1.0 || policy.alpha <= 0.0 ||
+        policy.alpha >= 1.0 || policy.wave < 1 || policy.min_runs < 1)
+      throw util::SetupError("checkpoint: malformed adaptive policy");
+    ck.adaptive = policy;
+  }
   for (const auto& cv : doc.at("campaigns").items()) {
     ck.specs.push_back(read_campaign_spec(cv.at("spec")));
     ck.goldens.push_back(read_golden_json(cv.at("golden")));
@@ -245,7 +297,17 @@ Checkpoint parse_checkpoint(const util::JsonValue& doc) {
     if (cs.counts.executions != cs.done.size())
       throw util::SetupError(
           "checkpoint: slot counts disagree with its completed-run set");
-    if (sv.at("digest").as_u64() != slot_record_digest(campaign, cs))
+    if (ck.adaptive) {
+      cs.frontier = static_cast<int>(sv.at("frontier").as_int());
+      cs.stopped = sv.at("stopped").as_bool();
+      if (cs.frontier < 0 ||
+          (!cs.done.empty() &&
+           cs.done.ranges().back().second >= cs.frontier))
+        throw util::SetupError(
+            "checkpoint: completed runs outside the cell's wave frontier");
+    }
+    if (sv.at("digest").as_u64() !=
+        slot_record_digest(campaign, cs, ck.adaptive.has_value()))
       throw util::SetupError(
           "checkpoint: record digest mismatch (file corrupted or "
           "hand-edited)");
@@ -280,6 +342,15 @@ std::string checkpoint_json(const Checkpoint& checkpoint) {
   w.end_object();
   w.key("cursor").value(checkpoint.cursor);
   w.key("completed_runs").value(checkpoint.completed_runs());
+  if (checkpoint.adaptive) {
+    const AdaptivePolicy& p = *checkpoint.adaptive;
+    w.key("adaptive").begin_object();
+    w.key("ci").value(p.ci);
+    w.key("alpha").value(p.alpha);
+    w.key("wave").value(p.wave);
+    w.key("min_runs").value(p.min_runs);
+    w.end_object();
+  }
   w.key("campaigns").begin_array();
   for (std::size_t c = 0; c < checkpoint.specs.size(); ++c) {
     w.begin_object();
@@ -293,7 +364,12 @@ std::string checkpoint_json(const Checkpoint& checkpoint) {
   w.key("slots").begin_array();
   for (std::size_t slot = 0; slot < checkpoint.slots.size(); ++slot) {
     const CheckpointSlot& cs = checkpoint.slots[slot];
-    if (cs.done.empty()) continue;  // nothing completed, nothing to record
+    // Slots with no state are omitted. An adaptive cell with a committed
+    // frontier (or a stop decision) is state even before any run finishes:
+    // losing it would replay a different wave schedule after a crash.
+    if (cs.done.empty() && !(checkpoint.adaptive && (cs.frontier > 0 ||
+                                                     cs.stopped)))
+      continue;
     const std::size_t campaign = campaign_of_slot(checkpoint, slot);
     w.begin_object();
     w.key("campaign").value(static_cast<int>(campaign));
@@ -310,7 +386,12 @@ std::string checkpoint_json(const Checkpoint& checkpoint) {
     w.begin_object();
     write_region_counts(w, cs.counts);
     w.end_object();
-    w.key("digest").value(slot_record_digest(campaign, cs));
+    if (checkpoint.adaptive) {
+      w.key("frontier").value(cs.frontier);
+      w.key("stopped").value(cs.stopped);
+    }
+    w.key("digest").value(
+        slot_record_digest(campaign, cs, checkpoint.adaptive.has_value()));
     w.end_object();
   }
   w.end_array();
@@ -387,6 +468,13 @@ void CheckpointSink::on_run_done(const RunEvent& event) {
 }
 
 void CheckpointSink::flush() { write(); }
+
+void CheckpointSink::update_cell(std::size_t slot, int frontier,
+                                 bool stopped) {
+  CheckpointSlot& cs = checkpoint_.slots[slot];
+  cs.frontier = frontier;
+  cs.stopped = stopped;
+}
 
 void CheckpointSink::write() {
   util::write_file_atomic(path_, checkpoint_json(checkpoint_) + "\n");

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -54,9 +55,18 @@ class RunSet {
 
 /// Per-(campaign, region) checkpoint record: the partial counts and the
 /// run indices they cover. Invariant: counts.executions == done.size().
+///
+/// Adaptive (--ci) checkpoints additionally record the cell's wave state:
+/// `frontier` is the number of grid points the scheduler has committed to
+/// run (done is always a subset of [0, frontier)), and `stopped` marks a
+/// cell whose interval already met the target (or hit its cap). Both stay
+/// zero/false in fixed-n checkpoints and are then neither serialized nor
+/// digested, so pre-adaptive sidecar files keep verifying unchanged.
 struct CheckpointSlot {
   RegionResult counts;
   RunSet done;
+  int frontier = 0;
+  bool stopped = false;
 };
 
 /// Crash-consistent snapshot of a half-finished shard. The spec list,
@@ -69,14 +79,25 @@ struct Checkpoint {
   std::vector<Golden> goldens;  // per campaign; `baseline` not serialized
   std::vector<CheckpointSlot> slots;  // campaign-major, then region order
   std::uint64_t cursor = 0;  // highest completed grid index + 1 (diagnostic)
+  /// Present iff the checkpoint belongs to an adaptive (--ci) campaign.
+  /// The policy is part of the artefact's identity: it is mixed into the
+  /// document digest and resume re-applies it, so an unchanged-policy
+  /// resume replays the uninterrupted wave schedule exactly. Adaptive
+  /// checkpoints shard by cell (shard_owns_cell), not by grid point.
+  std::optional<AdaptivePolicy> adaptive;
 
   /// Flattened slot index of (campaign, region-index).
   std::size_t slot_of(std::size_t campaign, std::size_t region_index) const;
   /// Total completed runs across all slots.
   int completed_runs() const noexcept;
   /// Total shard-owned grid points (the denominator of completed_runs()).
+  /// Adaptive checkpoints have no a-priori denominator; there this is the
+  /// number of grid points the wave scheduler has committed so far (the
+  /// sum of owned cells' frontiers).
   int owned_runs() const;
-  /// Does the checkpoint cover every shard-owned grid point?
+  /// Does the checkpoint cover every shard-owned grid point? An adaptive
+  /// checkpoint is complete when every owned cell is stopped and has
+  /// executed its whole frontier.
   bool complete() const;
 };
 
@@ -129,6 +150,12 @@ class CheckpointSink : public CampaignObserver {
   /// after the grid drains, so a finished shard leaves a complete
   /// checkpoint behind).
   void flush();
+
+  /// Record a cell's wave state in the checkpoint image (adaptive
+  /// campaigns; picked up by the next write). The scheduler advances a
+  /// cell's frontier *before* executing the wave, so any snapshot's done
+  /// set is always a subset of [0, frontier).
+  void update_cell(std::size_t slot, int frontier, bool stopped);
 
   const Checkpoint& state() const noexcept { return checkpoint_; }
 

@@ -65,6 +65,12 @@ void write_campaign(util::JsonWriter& w, const CampaignResult& result) {
       w.key("estimation_error_95pct")
           .value(estimation_error(0.05,
                                   static_cast<std::uint64_t>(rr.executions)));
+      // Measured-rate Wilson half-width (docs/STATISTICS.md): unlike the
+      // worst-case a-priori bound above, this narrows as p̂ leaves 0.5.
+      w.key("error_ci95")
+          .value(wilson_half_width(
+              0.05, static_cast<std::uint64_t>(rr.errors()),
+              static_cast<std::uint64_t>(rr.executions)));
     }
     w.key("manifestations").begin_object();
     for (unsigned m = 0; m < kNumManifestations; ++m) {
@@ -126,7 +132,8 @@ void csv_header(std::ostringstream& os) {
   os << "app,region,executions,errors,error_rate";
   for (unsigned m = 0; m < kNumManifestations; ++m)
     os << ',' << manifestation_name(static_cast<Manifestation>(m));
-  os << ",pruned,act_live,act_dead\n";
+  // New columns only ever append here: downstream scripts key on prefixes.
+  os << ",pruned,act_live,act_dead,error_ci95\n";
 }
 
 void csv_rows(std::ostringstream& os, const CampaignResult& result) {
@@ -136,7 +143,10 @@ void csv_rows(std::ostringstream& os, const CampaignResult& result) {
     for (unsigned m = 0; m < kNumManifestations; ++m)
       os << ',' << rr.counts[m];
     os << ',' << rr.pruned << ',' << rr.act_executions[0] << ','
-       << rr.act_executions[1] << '\n';
+       << rr.act_executions[1] << ','
+       << wilson_half_width(0.05, static_cast<std::uint64_t>(rr.errors()),
+                            static_cast<std::uint64_t>(rr.executions))
+       << '\n';
   }
 }
 
@@ -420,7 +430,8 @@ CampaignResult read_campaign(const util::JsonValue& v) {
 
 }  // namespace
 
-std::string batch_json(const BatchResult& result) {
+std::string batch_json(const BatchResult& result,
+                       const std::function<void(util::JsonWriter&)>& annex) {
   util::JsonWriter w;
   w.begin_object();
   w.key("format").value(kBatchFormatV2);
@@ -458,6 +469,7 @@ std::string batch_json(const BatchResult& result) {
     }
     w.end_array();
   }
+  if (annex) annex(w);
   w.end_object();
   return w.str();
 }

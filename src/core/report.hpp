@@ -3,6 +3,7 @@
 // `fsim batch --spec` reads batch descriptions.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -53,7 +54,14 @@ std::uint64_t outcome_digest(const BatchResult& result);
 /// parse_batch_json inverts it exactly (Golden::baseline, a raw output
 /// stream, is deliberately not serialized; merged results keep the golden
 /// statistics, which all shards agree on).
-std::string batch_json(const BatchResult& result);
+///
+/// `annex`, when given, is invoked with the writer positioned inside the
+/// top-level object just before it closes — producers add extra top-level
+/// keys (e.g. the adaptive scheduler's "adaptive" block) without forking
+/// the schema; parse_batch_json ignores keys it does not know.
+std::string batch_json(
+    const BatchResult& result,
+    const std::function<void(util::JsonWriter&)>& annex = {});
 
 /// Parse a batch_json document. Throws SetupError on malformed input.
 BatchResult parse_batch_json(const std::string& text);

@@ -1,5 +1,6 @@
 #include "core/sampling.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/status.hpp"
@@ -68,6 +69,43 @@ double estimation_error(double alpha, std::uint64_t n) {
 std::uint64_t injection_space(std::uint64_t bits, std::uint64_t processes,
                               std::uint64_t times) {
   return bits * processes * times;
+}
+
+Interval wilson_interval(double alpha, std::uint64_t successes,
+                         std::uint64_t n) {
+  FSIM_CHECK(successes <= n);
+  if (n == 0) return Interval{};  // vacuous [0, 1]
+  const double z = z_alpha_half(alpha);
+  const double z2 = z * z;
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nn;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (p + z2 / (2.0 * nn)) / denom;
+  const double hw =
+      z / denom * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+  Interval ci;
+  ci.lo = std::max(0.0, center - hw);
+  ci.hi = std::min(1.0, center + hw);
+  return ci;
+}
+
+double wilson_half_width(double alpha, std::uint64_t successes,
+                         std::uint64_t n) {
+  FSIM_CHECK(successes <= n);
+  if (n == 0) return 1.0;
+  const double z = z_alpha_half(alpha);
+  const double z2 = z * z;
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(successes) / nn;
+  return z / (1.0 + z2 / nn) *
+         std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+}
+
+bool ci_target_met(double alpha, std::uint64_t successes, std::uint64_t n,
+                   double d, std::uint64_t min_n) {
+  FSIM_CHECK(d > 0.0 && d < 1.0);
+  if (n < min_n) return false;
+  return wilson_half_width(alpha, successes, n) <= d;
 }
 
 }  // namespace fsim::core

@@ -37,4 +37,45 @@ double estimation_error(double alpha, std::uint64_t n);
 std::uint64_t injection_space(std::uint64_t bits, std::uint64_t processes,
                               std::uint64_t times);
 
+// --- Wilson score intervals (the adaptive campaign's stopping statistic) --
+//
+// Cochran's treatment above sizes a sample *before* looking at data. Once
+// runs have been observed the Wilson score interval bounds the true
+// proportion from the observed one:
+//     center = (p^ + z^2/2n) / (1 + z^2/n)
+//     half-width = z / (1 + z^2/n) * sqrt(p^(1-p^)/n + z^2/4n^2)
+// Unlike the Wald interval it never collapses to zero width at p^ = 0 or 1
+// — exactly the cells adaptive sampling prunes hardest (ladder-pruned
+// strata observe no errors at all), so the stopping rule stays honest
+// there. See docs/STATISTICS.md for the derivation and worked examples.
+
+/// Two-sided confidence interval for a binomial proportion. n = 0 yields
+/// the vacuous interval [0, 1].
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  double half_width() const noexcept { return 0.5 * (hi - lo); }
+};
+
+/// Wilson score interval for `successes` out of `n` trials at confidence
+/// 1-alpha.
+Interval wilson_interval(double alpha, std::uint64_t successes,
+                         std::uint64_t n);
+
+/// Half-width of wilson_interval (1.0 when n = 0): the "d" an observed
+/// cell has actually achieved, comparable to Cochran's a-priori d.
+double wilson_half_width(double alpha, std::uint64_t successes,
+                         std::uint64_t n);
+
+/// Normal-approximation validity floor: below this many observations a
+/// cell is never considered resolved, however narrow its interval looks
+/// (the small-sample clamp of the adaptive stopping rule).
+inline constexpr std::uint64_t kSmallSampleMin = 30;
+
+/// Sequential stopping rule for one cell: true once the Wilson half-width
+/// of `successes`/`n` is <= d at confidence 1-alpha AND n >= min_n.
+bool ci_target_met(double alpha, std::uint64_t successes, std::uint64_t n,
+                   double d, std::uint64_t min_n = kSmallSampleMin);
+
 }  // namespace fsim::core

@@ -5,8 +5,11 @@
 //                  [--seed=S] [--json] [--csv]
 //   fsim batch     --apps=wavetoy,minimd,atmo | --spec=FILE
 //                  [--shard=i/N] [--out=FILE] [--checkpoint=FILE]
-//                  (several campaigns, one pool)
-//   fsim resume    ckpt.json [--jobs=N]  (continue a half-finished shard)
+//                  [--ci=D [--wave=N] [--max-runs=N]]
+//                  (several campaigns, one pool; --ci switches to the
+//                  adaptive CI-targeted scheduler, docs/STATISTICS.md)
+//   fsim resume    ckpt.json [--jobs=N]  (continue a half-finished shard;
+//                  adaptive checkpoints resume the wave scheduler)
 //   fsim merge     shard0.json ckpt1.json ... (fold shards + checkpoints)
 //   fsim profile   [--app=NAME]            (Table 1 per-process profiles)
 //   fsim trace     --app=atmo [--rank=1]   (working-set curves, Tables 5-7)
@@ -21,6 +24,7 @@
 #include <string>
 
 #include "apps/app.hpp"
+#include "core/adaptive.hpp"
 #include "core/analyze.hpp"
 #include "core/campaign.hpp"
 #include "core/checkpoint.hpp"
@@ -52,9 +56,11 @@ int print_usage() {
       "            [--seed=N] [--jobs=N] [--prune=off|regs|full] [--shard=i/N]\n"
       "            [--checkpoint=FILE] [--checkpoint-every=N]\n"
       "            [--engine=interp|threaded]\n"
+      "            [--ci=D] [--confidence=P] [--wave=N] [--max-runs=N]\n"
       "            [--out=FILE] [--json] [--csv] [--activation] [--quiet]\n"
       "  resume    CKPT.json [--jobs=N] [--checkpoint=FILE]\n"
       "            [--checkpoint-every=N] [--engine=interp|threaded]\n"
+      "            [--ci=D] [--confidence=P] [--wave=N] [--max-runs=N]\n"
       "            [--out=FILE] [--json] [--csv]\n"
       "            [--activation] [--quiet]\n"
       "  merge     FILE... [--partial-report] [--out=FILE] [--json] [--csv]\n"
@@ -261,6 +267,64 @@ void write_batch_output(const util::Cli& cli, const core::BatchResult& res) {
     write_output(cli, render_batch(cli, res));
 }
 
+/// Adaptive (--ci) knobs shared by `fsim batch` and `fsim resume`.
+/// `policy` arrives with the defaults (or, on resume, the checkpoint's
+/// recorded policy) and only explicitly given flags override it.
+core::AdaptivePolicy parse_adaptive_policy(const util::Cli& cli,
+                                           core::AdaptivePolicy policy) {
+  policy.ci = cli.real("ci", policy.ci);
+  if (cli.has("confidence"))
+    policy.alpha = 1.0 - cli.real("confidence", 1.0 - policy.alpha);
+  policy.wave = static_cast<int>(cli.num("wave", policy.wave));
+  return policy;
+}
+
+/// Per-cell cap in --ci mode: --max-runs overrides every campaign;
+/// otherwise an explicit --runs (or a spec file's runs) stands, and a bare
+/// `fsim batch --ci=...` raises the cap to 2000 so the default 200 does
+/// not silently truncate cells that need the full Cochran budget (385 at
+/// d=5%, 95%).
+void apply_max_runs(const util::Cli& cli, bool explicit_runs,
+                    std::vector<core::CampaignSpec>& specs) {
+  int cap = 0;
+  if (cli.has("max-runs"))
+    cap = static_cast<int>(cli.num("max-runs", 0));
+  else if (!explicit_runs)
+    cap = 2000;
+  if (cap <= 0) {
+    if (cli.has("max-runs"))
+      throw util::SetupError("option --max-runs must be positive");
+    return;
+  }
+  for (auto& spec : specs) spec.runs_per_region = cap;
+}
+
+/// `render_batch` for adaptive results: the same three surfaces, with the
+/// per-cell stopping table appended to the human-readable report.
+void write_adaptive_output(const util::Cli& cli,
+                           const core::AdaptiveResult& res) {
+  if (cli.flag("json") ||
+      (res.batch.shard.count > 1 && !cli.flag("csv"))) {
+    write_output(cli, core::adaptive_json(res) + "\n");
+    return;
+  }
+  if (cli.flag("csv")) {
+    write_output(cli, core::batch_csv(res.batch));
+    return;
+  }
+  std::string out = core::format_batch(res.batch);
+  out += "\n" + core::format_adaptive(res);
+  if (cli.flag("activation")) {
+    for (const auto& campaign : res.batch.campaigns) {
+      const std::string act = core::format_activation(campaign);
+      if (!act.empty()) out += "\n" + act;
+    }
+    const std::string combined = core::format_batch_activation(res.batch);
+    if (!combined.empty()) out += "\n" + combined;
+  }
+  write_output(cli, out);
+}
+
 int cmd_batch(const util::Cli& cli) {
   // Campaign list: an explicit spec file, or inline flags applied to every
   // app in --apps (default: the paper's three-application suite).
@@ -292,6 +356,10 @@ int cmd_batch(const util::Cli& cli) {
     }
   }
 
+  const bool adaptive = cli.has("ci");
+  if (adaptive)
+    apply_max_runs(cli, cli.has("spec") || cli.has("runs"), specs);
+
   std::vector<core::BatchEntry> entries = batch_entries(specs);
 
   core::BatchConfig bc;
@@ -309,12 +377,32 @@ int cmd_batch(const util::Cli& cli) {
     bc.shard.count = std::atoi(s.substr(slash + 1).c_str());
   }
   BatchProgress progress;
-  if (!cli.flag("quiet")) {
-    bc.observer = &progress;
+  if (!cli.flag("quiet")) bc.observer = &progress;
+
+  if (adaptive) {
+    core::AdaptiveConfig ac;
+    ac.policy = parse_adaptive_policy(cli, core::AdaptivePolicy{});
+    ac.jobs = bc.jobs;
+    ac.shard = bc.shard;
+    ac.observer = bc.observer;
+    ac.checkpoint_path = bc.checkpoint_path;
+    ac.checkpoint_every = bc.checkpoint_every;
+    if (!cli.flag("quiet"))
+      std::fprintf(stderr,
+                   "batch: %zu campaigns, %d jobs, shard %d/%d, adaptive "
+                   "ci %.3g at %.3g%% (wave %d)\n",
+                   entries.size(), ac.jobs, ac.shard.index, ac.shard.count,
+                   ac.policy.ci, 100.0 * (1.0 - ac.policy.alpha),
+                   ac.policy.wave);
+    const core::AdaptiveResult res = core::run_adaptive(entries, ac);
+    write_adaptive_output(cli, res);
+    return 0;
+  }
+
+  if (!cli.flag("quiet"))
     std::fprintf(stderr,
                  "batch: %zu campaigns, %d jobs, shard %d/%d\n",
                  entries.size(), bc.jobs, bc.shard.index, bc.shard.count);
-  }
 
   const core::BatchResult res = core::run_batch(entries, bc);
   write_batch_output(cli, res);
@@ -337,6 +425,14 @@ int cmd_resume(const util::Cli& cli) {
   if (!parse_engine(cli, engine)) return 1;
   if (cli.has("engine"))
     for (auto& spec : ck.specs) spec.engine = engine;
+  // Adaptive resumes accept a new cap: it rewrites the specs (the cap is
+  // spec identity) before the entries are built, exactly as a fresh
+  // `batch --ci --max-runs` would have.
+  if (ck.adaptive && cli.has("max-runs")) {
+    const int cap = static_cast<int>(cli.num("max-runs", 0));
+    if (cap <= 0) throw util::SetupError("option --max-runs must be positive");
+    for (auto& spec : ck.specs) spec.runs_per_region = cap;
+  }
 
   std::vector<core::BatchEntry> entries = batch_entries(ck.specs);
 
@@ -358,6 +454,25 @@ int cmd_resume(const util::Cli& cli) {
                  "checkpointed, %d jobs\n",
                  entries.size(), bc.shard.index, bc.shard.count,
                  ck.completed_runs(), ck.owned_runs(), bc.jobs);
+  }
+
+  // An adaptive checkpoint resumes the wave scheduler with its recorded
+  // policy; --ci/--confidence/--wave/--max-runs override it (equivalent to
+  // a fresh run with the new policy when --wave is unchanged). run_adaptive
+  // itself rejects --ci against a fixed-n checkpoint with a clear message.
+  if (ck.adaptive || cli.has("ci")) {
+    core::AdaptiveConfig ac;
+    ac.policy = parse_adaptive_policy(
+        cli, ck.adaptive ? *ck.adaptive : core::AdaptivePolicy{});
+    ac.jobs = bc.jobs;
+    ac.shard = bc.shard;
+    ac.observer = bc.observer;
+    ac.checkpoint_path = bc.checkpoint_path;
+    ac.checkpoint_every = bc.checkpoint_every;
+    ac.resume = &ck;
+    const core::AdaptiveResult res = core::run_adaptive(entries, ac);
+    write_adaptive_output(cli, res);
+    return 0;
   }
 
   const core::BatchResult res = core::run_batch(entries, bc);

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Adaptive (--ci) campaign determinism gate: the CI-targeted wave scheduler
+# must produce a byte-identical result document at --jobs=1 and --jobs=8,
+# across a SIGKILL + resume (even at a different job count), and across
+# cell-sharded execution folded back with `fsim merge`.
+#
+# usage: adaptive_test.sh /path/to/fsim
+set -euo pipefail
+
+FSIM=${1:?usage: adaptive_test.sh /path/to/fsim}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+cd "$work"
+
+cat > spec.json <<'EOF'
+{"format": "fsim-batch-v2", "runs": 120, "seed": 99,
+ "regions": ["regular", "fp", "stack", "message"],
+ "campaigns": [{"app": "wavetoy", "ranks": 4, "steps": 8},
+               {"app": "minimd", "ranks": 4, "steps": 4}]}
+EOF
+CI="--ci=0.06 --wave=15"
+
+echo "== adaptive reference (jobs=4)"
+"$FSIM" batch --spec=spec.json $CI --jobs=4 --quiet --json --out=mono.json
+grep -q '"adaptive"' mono.json || {
+  echo "FAIL: result document carries no adaptive annex"; exit 1; }
+
+echo "== jobs=1 vs jobs=8 must be byte-identical"
+for jobs in 1 8; do
+  "$FSIM" batch --spec=spec.json $CI --jobs="$jobs" --quiet --json \
+      --out="jobs$jobs.json"
+  diff -q mono.json "jobs$jobs.json" > /dev/null || {
+    echo "FAIL: adaptive result differs at jobs=$jobs"; exit 1; }
+done
+echo "   identical"
+
+echo "== SIGKILL mid-campaign, resume at a different job count"
+rm -f ck.json
+"$FSIM" batch --spec=spec.json $CI --jobs=2 --quiet \
+    --checkpoint=ck.json --checkpoint-every=1 --json --out=never.json &
+pid=$!
+for _ in $(seq 1 200); do
+  [ -f ck.json ] && break
+  sleep 0.05
+done
+[ -f ck.json ] || { echo "FAIL: checkpoint never appeared"; exit 1; }
+kill -KILL "$pid" 2>/dev/null || true
+wait "$pid" || true
+"$FSIM" resume ck.json --jobs=8 --quiet --json --out=resumed.json
+diff -q mono.json resumed.json > /dev/null || {
+  echo "FAIL: kill + resume diverged from the uninterrupted run"; exit 1; }
+echo "   identical after kill + resume"
+
+echo "== cell shards 0/2 + 1/2 merge back to the unsharded counts"
+"$FSIM" batch --spec=spec.json $CI --shard=0/2 --jobs=4 --quiet --out=s0.json
+"$FSIM" batch --spec=spec.json $CI --shard=1/2 --jobs=4 --quiet --out=s1.json
+"$FSIM" merge s0.json s1.json --json --out=merged.json
+mono_digest=$(grep -o '"digest":[0-9]*' mono.json | head -1)
+merged_digest=$(grep -o '"digest":[0-9]*' merged.json | head -1)
+[ -n "$mono_digest" ] || { echo "FAIL: no digest in mono.json"; exit 1; }
+[ "$mono_digest" = "$merged_digest" ] || {
+  echo "FAIL: merged shard digest $merged_digest != $mono_digest"; exit 1; }
+echo "   merged digest matches ($mono_digest)"
+
+echo "PASS"

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # One-shot CI gate: configure and build the tree with warnings-as-errors,
 # run the full test suite, the lint gate (warnings fatal), the docs drift
-# check, the multi-process kill/resume crash-tolerance gate, the checkpoint
+# check, the multi-process kill/resume crash-tolerance gate, the adaptive
+# (--ci) sampling gates (byte-determinism across jobs/kill-resume/shard, a
+# recorded reference digest, and the >=2x run-savings bench), the checkpoint
 # determinism/overhead gate, the execution-engine A/B digest gate (interp
 # and threaded must agree bit-for-bit at every job count and prune level)
 # the prune x engine outcome-digest matrix (off|full x interp|threaded x
@@ -51,6 +53,20 @@ run_gate() {
   bash "$root/tests/docs_check.sh" "$dir/src/tools/fsim" "$root"
   echo "=== ci: crash tolerance (kill + resume + merge) ==="
   bash "$root/tests/kill_resume_test.sh" "$dir/src/tools/fsim"
+  echo "=== ci: adaptive sampling determinism (jobs/kill-resume/shard) ==="
+  bash "$root/tests/adaptive_test.sh" "$dir/src/tools/fsim"
+  echo "=== ci: adaptive reference-digest gate ==="
+  adaptive_ref=16230814981418824493
+  adaptive_digest="$("$dir/src/tools/fsim" batch --apps=wavetoy --runs=120 \
+                       --ci=0.05 --wave=25 --jobs="$jobs" --json --quiet \
+                       | grep -o '"digest": *[0-9]*' | grep -o '[0-9]*')"
+  echo "  --ci=0.05 wavetoy digest -> $adaptive_digest"
+  if [ "$adaptive_digest" != "$adaptive_ref" ]; then
+    echo "ci.sh: adaptive digest $adaptive_digest != recorded $adaptive_ref" >&2
+    exit 1
+  fi
+  echo "=== ci: adaptive savings gate (>=2x fewer runs at equal CI) ==="
+  "$dir/bench/bench_adaptive_savings" --runs=200 --jobs="$jobs" > /dev/null
   echo "=== ci: checkpoint determinism/overhead gate ==="
   "$dir/bench/bench_checkpoint_overhead" --runs=40 --quiet
   echo "=== ci: execution-engine A/B digest gate ==="

@@ -93,5 +93,92 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{0.05, 0.02}, std::pair{0.01, 0.05},
                       std::pair{0.1, 0.03}));
 
+TEST(Wilson, ZeroSamplesIsVacuous) {
+  const Interval ci = wilson_interval(0.05, 0, 0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 1.0);
+  EXPECT_EQ(wilson_half_width(0.05, 0, 0), 1.0);
+}
+
+TEST(Wilson, DegenerateProportionsHaveNonzeroWidth) {
+  // The Wald interval collapses to width 0 at p-hat = 0 or 1; Wilson must
+  // not (closed form at p-hat = 0: hw = (z^2 / 2n) / (1 + z^2 / n)).
+  const double z = z_alpha_half(0.05);
+  for (std::uint64_t n : {1ull, 10ull, 50ull, 385ull, 10000ull}) {
+    const double expect =
+        (z * z / (2.0 * static_cast<double>(n))) /
+        (1.0 + z * z / static_cast<double>(n));
+    EXPECT_NEAR(wilson_half_width(0.05, 0, n), expect, 1e-12) << n;
+    EXPECT_NEAR(wilson_half_width(0.05, n, n), expect, 1e-12) << n;
+    EXPECT_GT(wilson_half_width(0.05, 0, n), 0.0) << n;
+  }
+}
+
+TEST(Wilson, IntervalContainsPointEstimate) {
+  for (std::uint64_t n : {5ull, 30ull, 385ull}) {
+    for (std::uint64_t k = 0; k <= n; k += (n > 30 ? 77 : 1)) {
+      const Interval ci = wilson_interval(0.05, k, n);
+      const double p = static_cast<double>(k) / static_cast<double>(n);
+      EXPECT_LE(ci.lo, p + 1e-12);
+      EXPECT_GE(ci.hi, p - 1e-12);
+      EXPECT_GE(ci.lo, 0.0);
+      EXPECT_LE(ci.hi, 1.0);
+    }
+  }
+}
+
+TEST(Wilson, HalfWidthShrinksMonotonicallyInN) {
+  // At a fixed proportion, more samples never widen the interval — the
+  // property the adaptive stopping rule's "once met, stays met at the same
+  // p-hat" intuition rests on.
+  double prev = wilson_half_width(0.05, 1, 2);
+  for (std::uint64_t n = 4; n <= 4096; n *= 2) {
+    const double hw = wilson_half_width(0.05, n / 2, n);
+    EXPECT_LT(hw, prev) << n;
+    prev = hw;
+  }
+}
+
+TEST(Wilson, NarrowerThanWorstCaseCochranBoundAwayFromHalf) {
+  // The a-priori Cochran d assumes p = 0.5; the measured-rate Wilson
+  // interval is tighter whenever p-hat is away from 0.5, which is where
+  // the adaptive savings come from.
+  const std::uint64_t n = 385;  // Cochran n for d = 5% at 95%
+  EXPECT_LE(wilson_half_width(0.05, n / 2, n), estimation_error(0.05, n));
+  EXPECT_LT(wilson_half_width(0.05, 4, n), 0.6 * estimation_error(0.05, n));
+}
+
+TEST(Wilson, TargetMetHonoursSmallSampleClamp) {
+  // 0 errors in 10 runs has hw ~ 0.26 -- but even a tiny hw below n = min
+  // must not stop a cell.
+  EXPECT_FALSE(ci_target_met(0.05, 0, 10, 0.3));
+  EXPECT_FALSE(ci_target_met(0.05, 0, kSmallSampleMin - 1, 0.99 - 1e-9, 30));
+  // At the clamp, the rule is exactly hw <= d.
+  const double hw = wilson_half_width(0.05, 0, kSmallSampleMin);
+  EXPECT_TRUE(ci_target_met(0.05, 0, kSmallSampleMin, hw + 1e-12));
+  EXPECT_FALSE(ci_target_met(0.05, 0, kSmallSampleMin, hw - 1e-6));
+  // Custom clamp: n below it always fails, at it the width decides.
+  EXPECT_FALSE(ci_target_met(0.05, 0, 49, 0.5, 50));
+  EXPECT_TRUE(ci_target_met(0.05, 0, 50, 0.5, 50));
+}
+
+TEST(Wilson, CoverageAtDegenerateTruth) {
+  // p = 0.02, n = 100: Wald intervals under-cover badly here; Wilson's
+  // actual coverage should stay near nominal.
+  util::Rng rng(99);
+  const double true_p = 0.02;
+  const std::uint64_t n = 100;
+  int covered = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < n; ++i)
+      if (rng.uniform() < true_p) ++hits;
+    const Interval ci = wilson_interval(0.05, hits, n);
+    if (ci.lo <= true_p && true_p <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, static_cast<int>(trials * 0.92));
+}
+
 }  // namespace
 }  // namespace fsim::core
