@@ -1,6 +1,7 @@
 // Pre-injection pruning speedup: injected runs per second at --prune=off,
 // --prune=regs and --prune=full on a wavetoy campaign covering every region
-// the static analysis can prune (registers, FP stack, text, data, BSS),
+// the static analysis can prune (registers, FP stack, text, data, BSS,
+// stack frames, heap chunks),
 // emitted as JSON. Pruning classifies statically dead flips Correct without
 // resuming the run, so all three configurations must produce bit-identical
 // aggregates; the JSON records a digest over every prune-invariant field
@@ -36,7 +37,8 @@ apps::App small_wavetoy() {
 
 const std::vector<core::Region> kRegions = {
     core::Region::kRegularReg, core::Region::kFpReg, core::Region::kText,
-    core::Region::kData,       core::Region::kBss,
+    core::Region::kData,       core::Region::kBss,   core::Region::kStack,
+    core::Region::kHeap,
 };
 
 struct Measured {
@@ -161,7 +163,9 @@ int main(int argc, char** argv) {
                         full.rung(core::PruneRung::kBase) > 0 &&
                         full.rung(core::PruneRung::kFpCtx) > 0 &&
                         full.rung(core::PruneRung::kTimeWindow) > 0 &&
-                        full.rung(core::PruneRung::kValueRange) > 0;
+                        full.rung(core::PruneRung::kValueRange) > 0 &&
+                        full.rung(core::PruneRung::kHeap) > 0 &&
+                        full.rung(core::PruneRung::kFrame) > 0;
 
   util::JsonWriter w;
   w.begin_object();

@@ -270,6 +270,9 @@ gres: .space 8
   App app;
   app.name = "jacobi";
   app.user_asm = os.str();
+  // `myrank` is stored for debuggability but only ever consulted from
+  // registers (write-only-symbol by design).
+  app.lint_suppress = {"myrank"};
   app.world.nranks = cfg.ranks;
   app.world.quantum = 192;
   app.baseline = BaselineStream::kOutputFile;

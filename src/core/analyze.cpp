@@ -94,6 +94,14 @@ AnalyzeResult analyze_app(const apps::App& app, const AnalyzeConfig& config) {
   out.bss_segment = analysis.memliveness().segment(svm::Segment::kBss);
   out.stack_frames = static_cast<int>(analysis.memliveness().frames().size());
   out.dead_stack_slots = analysis.memliveness().dead_stack_slots();
+  out.heap_scan_tracked = analysis.heapliveness().tracked();
+  for (const auto& [site, info] : analysis.heapliveness().sites()) {
+    ++out.heap_sites;
+    if (analysis.heap_site_dead(site)) ++out.heap_dead_sites;
+  }
+  out.stack_rung_enabled = analysis.stackwindow().enabled();
+  for (const auto& f : analysis.stackwindow().frames())
+    if (f.eligible) ++out.eligible_frames;
 
   auto predicted = [&](Region r) -> double {
     switch (r) {
@@ -108,7 +116,11 @@ AnalyzeResult analyze_app(const apps::App& app, const AnalyzeConfig& config) {
       case Region::kBss:
         return dict_dead_fraction(dicts[2].get());
       default:
-        return 0.0;  // stack/heap/message: no static proof covers them
+        // stack/heap: the sampled population is dynamic (live chunks and
+        // frames at the injection instant), so no static fraction is
+        // claimed — the heap/frame rungs' bite shows in the pruned
+        // columns instead. message: no static proof covers it.
+        return 0.0;
     }
   };
 
@@ -192,24 +204,38 @@ std::string format_analyze(const AnalyzeResult& r) {
                 " across %d analyzed frames\n",
                 r.dead_stack_slots, r.stack_frames);
   os << line;
+  std::snprintf(line, sizeof line,
+                "  heap sites:        %d of %d allocation sites read-free"
+                " (scan %s)\n",
+                r.heap_dead_sites, r.heap_sites,
+                r.heap_scan_tracked ? "complete" : "incomplete");
+  os << line;
+  std::snprintf(line, sizeof line,
+                "  frame rung:        %s, %d of %d frames eligible\n",
+                r.stack_rung_enabled ? "enabled" : "disabled",
+                r.eligible_frames, r.stack_frames);
+  os << line;
 
   os << "\n";
   if (r.runs > 0) {
     std::snprintf(line, sizeof line,
-                  "%-16s %16s  %16s %7s  %7s  %6s %6s %7s %7s  %s\n", "region",
-                  "predicted-masked", "measured Correct", "ci95", "pruned",
-                  "base", "fp-ctx", "timewin", "valrng", "act live/dead");
+                  "%-16s %16s  %16s %7s  %7s  %6s %6s %7s %7s %6s %6s  %s\n",
+                  "region", "predicted-masked", "measured Correct", "ci95",
+                  "pruned", "base", "fp-ctx", "timewin", "valrng", "heap",
+                  "frame", "act live/dead");
     os << line;
     for (const auto& ra : r.regions) {
       std::snprintf(line, sizeof line,
-                    "%-16s %16s  %16s %6.1fpt  %7d  %6d %6d %7d %7d  %8d/%d\n",
+                    "%-16s %16s  %16s %6.1fpt  %7d  %6d %6d %7d %7d %6d %6d"
+                    "  %8d/%d\n",
                     region_name(ra.region),
                     percent(ra.predicted_masked).c_str(),
                     percent(ra.measured_correct()).c_str(),
                     ci95_pts(ra.correct, ra.executions), ra.pruned,
                     ra.rung(PruneRung::kBase), ra.rung(PruneRung::kFpCtx),
                     ra.rung(PruneRung::kTimeWindow),
-                    ra.rung(PruneRung::kValueRange), ra.act_live, ra.act_dead);
+                    ra.rung(PruneRung::kValueRange), ra.rung(PruneRung::kHeap),
+                    ra.rung(PruneRung::kFrame), ra.act_live, ra.act_dead);
       os << line;
     }
     os << "\npredicted-masked is a sound lower bound: every statically "
@@ -252,6 +278,11 @@ std::string analyze_json(const AnalyzeResult& r) {
   w.key("bss_total_bytes").value(r.bss_segment.total_bytes);
   w.key("dead_stack_slots").value(r.dead_stack_slots);
   w.key("stack_frames").value(r.stack_frames);
+  w.key("heap_sites").value(r.heap_sites);
+  w.key("heap_dead_sites").value(r.heap_dead_sites);
+  w.key("heap_scan_tracked").value(r.heap_scan_tracked);
+  w.key("stack_rung_enabled").value(r.stack_rung_enabled);
+  w.key("eligible_frames").value(r.eligible_frames);
   w.end_object();
   w.key("regions");
   w.begin_array();
@@ -272,6 +303,8 @@ std::string analyze_json(const AnalyzeResult& r) {
       w.key("pruned_fp_ctx").value(ra.rung(PruneRung::kFpCtx));
       w.key("pruned_time_window").value(ra.rung(PruneRung::kTimeWindow));
       w.key("pruned_value_range").value(ra.rung(PruneRung::kValueRange));
+      w.key("pruned_heap").value(ra.rung(PruneRung::kHeap));
+      w.key("pruned_frame").value(ra.rung(PruneRung::kFrame));
       w.key("act_live").value(ra.act_live);
       w.key("act_dead").value(ra.act_dead);
     }
@@ -287,11 +320,12 @@ std::string analyze_csv(const AnalyzeResult& r) {
   // New columns only ever append at the end (prefix-keyed consumers).
   os << "app,region,predicted_masked,executions,correct,measured_correct,"
         "pruned,pruned_base,pruned_fp_ctx,pruned_time_window,"
-        "pruned_value_range,act_live,act_dead,correct_ci95\n";
+        "pruned_value_range,act_live,act_dead,correct_ci95,"
+        "pruned_heap,pruned_frame\n";
   char line[240];
   for (const auto& ra : r.regions) {
     std::snprintf(line, sizeof line,
-                  "%s,%s,%.6f,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%.6f\n",
+                  "%s,%s,%.6f,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d\n",
                   r.app.c_str(), region_token(ra.region), ra.predicted_masked,
                   ra.executions, ra.correct, ra.measured_correct(), ra.pruned,
                   ra.rung(PruneRung::kBase), ra.rung(PruneRung::kFpCtx),
@@ -299,7 +333,8 @@ std::string analyze_csv(const AnalyzeResult& r) {
                   ra.rung(PruneRung::kValueRange), ra.act_live, ra.act_dead,
                   wilson_half_width(0.05,
                                     static_cast<std::uint64_t>(ra.correct),
-                                    static_cast<std::uint64_t>(ra.executions)));
+                                    static_cast<std::uint64_t>(ra.executions)),
+                  ra.rung(PruneRung::kHeap), ra.rung(PruneRung::kFrame));
     os << line;
   }
   return os.str();

@@ -12,7 +12,11 @@
 //              the 688-bit FPU state vector;
 //   text/data/bss — dead-tagged entries of the same seed-derived fault
 //              dictionary the campaign draws targets from;
-//   stack/heap/message — 0 (no static proof covers them).
+//   stack/heap — 0: the sampled population (live chunks and frames at the
+//              injection instant) is dynamic, so no static *fraction* is
+//              claimed even though the heap/frame ladder rungs do prune
+//              individual faults (their bite shows in the pruned columns);
+//   message  — 0 (no static proof covers it).
 #pragma once
 
 #include <array>
@@ -79,6 +83,11 @@ struct AnalyzeResult {
   svm::analysis::SegmentLiveness bss_segment;
   int stack_frames = 0;
   int dead_stack_slots = 0;          // write-only locals across all frames
+  int heap_sites = 0;                // allocation sites found by the scan
+  int heap_dead_sites = 0;           // write-only / entombed sites
+  bool heap_scan_tracked = false;    // interprocedural scan completed
+  bool stack_rung_enabled = false;   // frame discipline verified globally
+  int eligible_frames = 0;           // frames the stack rung may prune in
 
   std::vector<RegionAnalysis> regions;
 };

@@ -184,6 +184,22 @@ std::optional<AppliedFault> Injector::inject_into_rank(simmpi::World& world,
         return std::nullopt;
       what << "heap chunk at " << hexaddr(hit->payload) << " (" << hit->size
            << " B) byte " << off << " bit " << bit;
+      // Allocation-site liveness: every byte of a chunk whose site is
+      // write-only (or entombed) is provably never read; otherwise the
+      // site's read window may still have closed at the paused pc. Chunks
+      // without a tracked site (realloc-grown clones) stay kLive.
+      if (analysis_ != nullptr) {
+        if (hit->site != 0 && analysis_->heap_site_dead(hit->site)) {
+          fault.activation = Activation::kDead;
+          fault.rung = PruneRung::kHeap;
+        } else if (hit->site != 0 && analysis_->covers(m.regs().pc) &&
+                   analysis_->heap_site_dead_at(hit->site, m.regs().pc)) {
+          fault.activation = Activation::kDead;
+          fault.rung = PruneRung::kHeap;
+        } else {
+          fault.activation = Activation::kLive;
+        }
+      }
       break;
     }
     case Region::kStack: {
@@ -194,10 +210,12 @@ std::optional<AppliedFault> Injector::inject_into_rank(simmpi::World& world,
       if (total == 0) return std::nullopt;
       std::uint64_t off = rng.below(total);
       svm::Addr addr = 0;
+      const svm::Frame* owner = nullptr;
       for (const auto& f : frames) {
         const std::uint64_t span = f.hi - f.lo;
         if (off < span) {
           addr = f.lo + static_cast<svm::Addr>(off);
+          owner = &f;
           break;
         }
         off -= span;
@@ -205,6 +223,17 @@ std::optional<AppliedFault> Injector::inject_into_rank(simmpi::World& world,
       const unsigned bit = static_cast<unsigned>(rng.below(8));
       if (!m.memory().flip_bit(addr, bit)) return std::nullopt;
       what << "stack at " << hexaddr(addr) << " bit " << bit;
+      // Activation-windowed frame liveness: attribute the byte to the
+      // sampled frame via its fp and the walker's owner pc, then ask the
+      // stack rung whether that activation can ever read the slot again.
+      if (analysis_ != nullptr && owner != nullptr) {
+        const auto slot = static_cast<std::int32_t>(addr - owner->fp);
+        fault.activation = analysis_->stack_slot_dead(owner->owner_pc, slot)
+                               ? Activation::kDead
+                               : Activation::kLive;
+        if (fault.activation == Activation::kDead)
+          fault.rung = PruneRung::kFrame;
+      }
       break;
     }
     case Region::kMessage:

@@ -144,6 +144,9 @@ enum class PruneRung : std::uint8_t {
   kFpCtx,        // context-sensitive FP-stack depth (summary-composed)
   kTimeWindow,   // time-windowed memory liveness (dead from this pc on)
   kValueRange,   // value-range refined reachability
+  kHeap,         // allocation-site chunk liveness (write-only / read-free
+                 // window over `sys 8` result flows)
+  kFrame,        // activation-windowed stack-frame slot liveness
   kCount,
 };
 
@@ -151,7 +154,7 @@ inline constexpr unsigned kNumPruneRungs =
     static_cast<unsigned>(PruneRung::kCount);
 
 /// Stable token for reports/JSON ("base", "fp-ctx", "time-window",
-/// "value-range"; "none" for unpruned runs).
+/// "value-range", "heap", "frame"; "none" for unpruned runs).
 constexpr const char* prune_rung_token(PruneRung r) noexcept {
   switch (r) {
     case PruneRung::kNone: return "none";
@@ -159,6 +162,8 @@ constexpr const char* prune_rung_token(PruneRung r) noexcept {
     case PruneRung::kFpCtx: return "fp-ctx";
     case PruneRung::kTimeWindow: return "time-window";
     case PruneRung::kValueRange: return "value-range";
+    case PruneRung::kHeap: return "heap";
+    case PruneRung::kFrame: return "frame";
     case PruneRung::kCount: break;
   }
   return "?";

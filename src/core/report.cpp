@@ -361,10 +361,17 @@ void read_region_counts(const util::JsonValue& v, RegionResult& rr) {
   }
   rr.pruned = static_cast<int>(v.at("pruned").as_int());
   // Absent in checkpoints written before the precision ladder: all zero.
+  // The ladder only ever appends rungs, so a shorter array from an older
+  // checkpoint is the prefix of today's: missing tail rungs stay zero.
   if (const util::JsonValue* rungs = v.find("pruned_rungs")) {
-    const auto* items = fixed(*rungs, kNumPruneRungs, "prune-rung");
-    for (unsigned r = 0; r < kNumPruneRungs; ++r)
-      rr.pruned_rungs[r] = static_cast<int>((*items)[r].as_int());
+    const auto& items = rungs->items();
+    if (items.size() > kNumPruneRungs)
+      throw util::SetupError("json: expected at most " +
+                             std::to_string(kNumPruneRungs) +
+                             " prune-rung counts, got " +
+                             std::to_string(items.size()));
+    for (unsigned r = 0; r < items.size(); ++r)
+      rr.pruned_rungs[r] = static_cast<int>(items[r].as_int());
   }
   {
     const auto* items = fixed(v.at("act_executions"), 2, "activation");

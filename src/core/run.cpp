@@ -169,10 +169,10 @@ RunOutcome run_injected(const apps::App& app, const svm::Program& program,
         // proof that the flipped bit is never observed (register
         // overwritten before any read on every path, FP slot provably
         // empty behind its tag, text never fetched, data/BSS symbol never
-        // read) — resuming would replay the golden run to completion.
-        // Classify Correct now and skip the simulation, for the regions
-        // the configured level covers. Stack/heap activation classes stay
-        // reporting-only at every level.
+        // read, heap chunk whose allocation site is read-free, stack slot
+        // its activation never reads again) — resuming would replay the
+        // golden run to completion. Classify Correct now and skip the
+        // simulation, for the regions the configured level covers.
         if (prune_allows(ctx.prune, region) &&
             fault->activation == Activation::kDead) {
           outcome.pruned = true;

@@ -65,7 +65,8 @@ RunOutcome run_injected(const apps::App& app, const svm::Program& program,
 enum class PruneLevel : std::uint8_t {
   kOff,   // never prune
   kRegs,  // integer register faults only (the PR-2 scope)
-  kFull,  // + provably empty FP slots, unreachable text, dead data/BSS
+  kFull,  // + provably empty FP slots, unreachable text, dead data/BSS,
+          //   dead heap allocation sites, dead stack-frame slots
 };
 
 /// "off" | "regs" | "full".
@@ -76,7 +77,7 @@ const char* prune_level_name(PruneLevel level) noexcept;
 std::optional<PruneLevel> parse_prune_level(std::string_view text) noexcept;
 
 /// Does `level` allow pruning a statically-dead fault in `region`?
-/// (Stack/heap/message faults carry no static proof at any level.)
+/// (Message faults carry no static proof at any level.)
 constexpr bool prune_allows(PruneLevel level, Region region) noexcept {
   switch (level) {
     case PruneLevel::kOff:
@@ -86,7 +87,8 @@ constexpr bool prune_allows(PruneLevel level, Region region) noexcept {
     case PruneLevel::kFull:
       return region == Region::kRegularReg || region == Region::kFpReg ||
              region == Region::kText || region == Region::kData ||
-             region == Region::kBss;
+             region == Region::kBss || region == Region::kHeap ||
+             region == Region::kStack;
   }
   return false;
 }
@@ -100,8 +102,9 @@ struct RunContext {
   /// region the level covers is classified Correct immediately, without
   /// resuming the run — sound because the flip is provably never observed
   /// (register overwritten before any read, FP slot behind an empty tag,
-  /// text never fetched, data/BSS symbol never read), so the full run
-  /// would replay the golden execution.
+  /// text never fetched, data/BSS symbol never read, heap chunk whose
+  /// allocation site is write-only, stack-frame slot never read by its
+  /// activation), so the full run would replay the golden execution.
   PruneLevel prune = PruneLevel::kOff;
   /// Execution engine for every machine of the run. Both engines are
   /// bit-identical at quantum boundaries, so this never changes outcomes —

@@ -7,9 +7,11 @@
 #include "svm/analysis/cfg.hpp"
 #include "svm/analysis/fpdepth.hpp"
 #include "svm/analysis/fpdepth_ctx.hpp"
+#include "svm/analysis/heapliveness.hpp"
 #include "svm/analysis/lint.hpp"
 #include "svm/analysis/liveness.hpp"
 #include "svm/analysis/memliveness.hpp"
+#include "svm/analysis/stackwindow.hpp"
 #include "svm/analysis/timewindow.hpp"
 #include "svm/analysis/valuerange.hpp"
 
@@ -20,12 +22,14 @@ class ProgramAnalysis {
   explicit ProgramAnalysis(const Program& program)
       : cfg_(program),
         liveness_(cfg_, DefUseModel::kSound),
-        symbol_access_(scan_symbol_access(cfg_)),
+        symbol_access_(scan_symbol_access(cfg_, &liveness_)),
         fpdepth_(cfg_),
         fpdepth_ctx_(cfg_),
         memliveness_(cfg_, symbol_access_),
         timewindow_(cfg_, symbol_access_, memliveness_),
-        valuerange_(cfg_, symbol_access_) {}
+        valuerange_(cfg_, symbol_access_),
+        heapliveness_(cfg_, symbol_access_, memliveness_, liveness_),
+        stackwindow_(cfg_, memliveness_) {}
 
   const Cfg& cfg() const noexcept { return cfg_; }
   const Liveness& liveness() const noexcept { return liveness_; }
@@ -34,6 +38,8 @@ class ProgramAnalysis {
   const MemLiveness& memliveness() const noexcept { return memliveness_; }
   const TimeWindow& timewindow() const noexcept { return timewindow_; }
   const ValueRange& valuerange() const noexcept { return valuerange_; }
+  const HeapLiveness& heapliveness() const noexcept { return heapliveness_; }
+  const StackWindow& stackwindow() const noexcept { return stackwindow_; }
 
   /// True if `gpr` is provably overwritten before any read on every path
   /// from `pc` — the pruning proof. Never true outside the code ranges.
@@ -91,6 +97,22 @@ class ProgramAnalysis {
     return it->second.referenced();
   }
 
+  /// True if every byte of the heap chunk allocated at site `site` (the pc
+  /// of its `sys malloc` word) is provably never read: a write-only or
+  /// entombed allocation. Timing-independent.
+  bool heap_site_dead(Addr site) const noexcept;
+
+  /// Windowed variant: the chunk from `site` may be read somewhere, but no
+  /// read is reachable from `pc` — a flip applied while paused at `pc` is
+  /// never observed through any alias of the chunk.
+  bool heap_site_dead_at(Addr site, Addr pc) const noexcept;
+
+  /// Activation-windowed stack proof: the byte at fp-relative offset `off`
+  /// of the frame whose activation is paused at `owner_pc` (per the stack
+  /// walker) is never read again. False whenever the frame discipline
+  /// could not be verified.
+  bool stack_slot_dead(Addr owner_pc, std::int32_t off) const noexcept;
+
   const std::map<Addr, SymbolAccess>& symbol_access() const noexcept {
     return symbol_access_;
   }
@@ -104,6 +126,8 @@ class ProgramAnalysis {
   MemLiveness memliveness_;
   TimeWindow timewindow_;
   ValueRange valuerange_;
+  HeapLiveness heapliveness_;
+  StackWindow stackwindow_;
 };
 
 }  // namespace fsim::svm::analysis

@@ -1,0 +1,100 @@
+#include "svm/analysis/execgraph.hpp"
+
+#include <deque>
+
+#include "svm/syscall.hpp"
+
+namespace fsim::svm::analysis {
+
+bool aborting_sys(const Instr& in) noexcept {
+  return in.op == Op::kSys &&
+         (in.imm == static_cast<std::uint16_t>(Sys::kExit) ||
+          in.imm == static_cast<std::uint16_t>(Sys::kAssertFail));
+}
+
+ExecGraph::ExecGraph(const Cfg& cfg) {
+  const auto& blocks = cfg.blocks();
+  succ_.resize(blocks.size());
+  rev_.resize(blocks.size());
+  unbounded_.assign(blocks.size(), false);
+  if (blocks.empty()) return;
+
+  std::vector<std::uint32_t> taken;
+  for (Addr a : cfg.materialized()) {
+    const std::uint32_t id = cfg.block_index_of(a);
+    if (id != Cfg::kNoBlock) taken.push_back(id);
+  }
+  for (std::uint32_t id = 0; id < blocks.size(); ++id) {
+    const Block& b = blocks[id];
+    if (b.falls_off_end) unbounded_[id] = true;
+    switch (b.term) {
+      case FlowKind::kCall:
+        if (b.call_target >= 0 && !b.call_outside && !b.bad_target) {
+          // Execution enters the callee; the return site is reached only
+          // through the callee's rets (the precision over succ edges).
+          succ_[id].push_back(static_cast<std::uint32_t>(b.call_target));
+        } else {
+          unbounded_[id] = true;  // unknown callee: could do anything
+        }
+        break;
+      case FlowKind::kIndirectCall:
+        for (std::uint32_t t : taken) succ_[id].push_back(t);
+        // The continuation is not registered as a return site of any
+        // particular function; keep it reachable directly.
+        for (std::uint32_t t : b.succ) succ_[id].push_back(t);
+        break;
+      case FlowKind::kIndirectJump:
+        for (std::uint32_t t : taken) succ_[id].push_back(t);
+        break;
+      case FlowKind::kRet:
+        for (std::uint32_t fn_id : cfg.functions_of(id))
+          for (std::uint32_t t : cfg.functions()[fn_id].return_sites)
+            succ_[id].push_back(t);
+        break;
+      case FlowKind::kIllegal:  // traps; nothing executes afterwards
+        break;
+      default:
+        // An aborting syscall terminates the rank; any other terminator
+        // (branch, jump, fallthrough, non-aborting sys) follows succ.
+        if (!aborting_sys(decode(cfg.word_at(b.end - 4))))
+          for (std::uint32_t t : b.succ) succ_[id].push_back(t);
+        break;
+    }
+  }
+  for (std::uint32_t p = 0; p < blocks.size(); ++p)
+    for (std::uint32_t s : succ_[p]) rev_[s].push_back(p);
+}
+
+std::vector<bool> ExecGraph::reach_backward(const std::vector<bool>& seeds,
+                                            std::vector<bool>& live_out) const {
+  const std::size_t n = succ_.size();
+  live_out.assign(n, false);
+  std::vector<bool> live_in(n, false);
+  std::deque<std::uint32_t> work;
+  auto seed = [&](std::uint32_t id) {
+    if (!live_in[id]) {
+      live_in[id] = true;
+      work.push_back(id);
+    }
+  };
+  for (std::uint32_t id = 0; id < n; ++id) {
+    if (seeds[id]) seed(id);
+    if (unbounded_[id]) {
+      live_out[id] = true;
+      seed(id);
+    }
+  }
+  while (!work.empty()) {
+    const std::uint32_t s = work.front();
+    work.pop_front();
+    for (std::uint32_t p : rev_[s]) {
+      if (!live_out[p]) {
+        live_out[p] = true;
+        seed(p);
+      }
+    }
+  }
+  return live_in;
+}
+
+}  // namespace fsim::svm::analysis

@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "svm/analysis/fpdepth.hpp"
+#include "svm/analysis/heapliveness.hpp"
+#include "svm/analysis/memliveness.hpp"
 #include "svm/analysis/valuerange.hpp"
 #include "svm/syscall.hpp"
 #include "util/json.hpp"
@@ -210,7 +212,13 @@ void check_fp_and_frames(const Cfg& cfg, std::vector<Diagnostic>& diags) {
 // anything fancier escapes, which conservatively counts as read+written.
 // ---------------------------------------------------------------------------
 
-std::map<Addr, SymbolAccess> scan_symbol_access(const Cfg& cfg) {
+std::map<Addr, SymbolAccess> scan_symbol_access(const Cfg& cfg,
+                                                const Liveness* live) {
+  std::optional<Liveness> own_live;
+  if (live == nullptr) {
+    own_live.emplace(cfg, DefUseModel::kSound);
+    live = &*own_live;
+  }
   const Program& prog = cfg.program();
   struct Range {
     Addr lo, hi;
@@ -309,10 +317,20 @@ std::map<Addr, SymbolAccess> scan_symbol_access(const Cfg& cfg) {
           continue;
         case Op::kSys:
         case Op::kCall:
-        case Op::kCallr:
-          // Callee / handler may dereference any argument pointer.
-          for (unsigned r = 0; r < kNumGpr; ++r) escape_reg(r);
+        case Op::kCallr: {
+          // Callee / handler may dereference any argument pointer — but
+          // only through a register that is still live here. A dead
+          // register is overwritten before any read on every path, so the
+          // address copy it holds can never become a load or store base.
+          const std::uint16_t live_mask = live->live_in(pc);
+          for (unsigned r = 0; r < kNumGpr; ++r) {
+            if ((live_mask & reg_bit(r)) != 0)
+              escape_reg(r);
+            else
+              known[r].reset();
+          }
           continue;
+        }
         default: {
           const RegEffect e = instr_effect(encode(in.op, in.a, in.b, in.imm),
                                            DefUseModel::kSound);
@@ -329,13 +347,15 @@ std::map<Addr, SymbolAccess> scan_symbol_access(const Cfg& cfg) {
       }
     }
     // Addresses still tracked at the block boundary may be used by a
-    // successor we don't track into: escape them. After a ret only r1
-    // (the result register) can carry a pointer back to the caller; the
-    // other registers hold dead values under the calling convention.
-    if (b.term == FlowKind::kRet) {
-      escape_reg(1);
-    } else {
-      for (unsigned r = 0; r < kNumGpr; ++r) escape_reg(r);
+    // successor we don't track into: escape the ones the liveness
+    // analysis cannot prove dead across the edge (block_live_out resolves
+    // call, ret and fall-through flow kinds alike).
+    const std::uint16_t out_mask = live->block_live_out(id);
+    for (unsigned r = 0; r < kNumGpr; ++r) {
+      if ((out_mask & reg_bit(r)) != 0)
+        escape_reg(r);
+      else
+        known[r].reset();
     }
   }
   return access;
@@ -451,8 +471,10 @@ LintResult run_lint(const Cfg& cfg, const Liveness& lint_liveness,
     }
   }
 
-  // Data/BSS symbol access smells.
-  res.symbol_access = scan_symbol_access(cfg);
+  // Data/BSS symbol access smells. The sound liveness also backs the heap
+  // scan below; build it once.
+  const Liveness sound_live(cfg, DefUseModel::kSound);
+  res.symbol_access = scan_symbol_access(cfg, &sound_live);
 
   // Value-range findings: conditional branches the interval analysis
   // decides statically (one arm dead) and stores whose address interval
@@ -479,6 +501,32 @@ LintResult run_lint(const Cfg& cfg, const Liveness& lint_liveness,
     if (s.segment == Segment::kBss && sa.read && !sa.written) {
       warn("bss-read-never-written", s.address, s.name,
            "BSS symbol is read but never written (always zero)");
+    }
+  }
+
+  // Heap and frame liveness smells (informational): user allocation sites
+  // whose chunks are provably never read, and local frame slots written but
+  // never read. Both reuse the pruning rungs' analyses, so what lint flags
+  // is exactly what --prune=full skips.
+  {
+    const MemLiveness mem(cfg, res.symbol_access);
+    const HeapLiveness heap(cfg, res.symbol_access, mem, sound_live);
+    for (const auto& [site, info] : heap.sites()) {
+      if (!info.user) continue;  // library-internal allocations are noise
+      if (heap.site_dead(site)) {
+        warn("heap-write-only", site, info.symbol,
+             "heap chunks allocated here are " +
+                 std::string(info.written ? "written but never read"
+                                          : "never accessed"));
+      }
+    }
+    for (const StackFrameAccess& fa : mem.frames()) {
+      const int dead = fa.dead_slots();
+      if (dead > 0) {
+        warn("frame-dead-slot", fa.entry, fa.symbol,
+             std::to_string(dead) + " local frame byte" +
+                 (dead == 1 ? "" : "s") + " written but never read");
+      }
     }
   }
 

@@ -51,7 +51,13 @@ struct SymbolAccess {
 
 /// Scan reachable blocks for direct loads/stores through `la`-materialised
 /// addresses. Keyed by symbol address; only user kData/kBss symbols appear.
-std::map<Addr, SymbolAccess> scan_symbol_access(const Cfg& cfg);
+/// `live` must be a DefUseModel::kSound liveness over the same CFG (one is
+/// built internally when null): its dead-register proofs let the scan drop
+/// a materialised address at a call or block boundary without escaping the
+/// symbol — a dead register is overwritten before any read on every path,
+/// so its address copy can never be dereferenced.
+std::map<Addr, SymbolAccess> scan_symbol_access(const Cfg& cfg,
+                                                const Liveness* live = nullptr);
 
 struct LintOptions {
   /// Symbol-name prefixes whose warnings are suppressed (e.g. "wt_" for

@@ -40,11 +40,16 @@ class Liveness {
     return block_in_[block];
   }
 
+  /// GPR bitmask live out of block `id`, resolved through its flow kind:
+  /// callee live-in for calls, the union over return sites for rets,
+  /// successor live-ins otherwise. A register absent from this mask is
+  /// overwritten before any read on every path leaving the block.
+  std::uint16_t block_live_out(std::uint32_t id) const;
+
   const Cfg& cfg() const noexcept { return *cfg_; }
   DefUseModel model() const noexcept { return model_; }
 
  private:
-  std::uint16_t block_live_out(std::uint32_t id) const;
 
   const Cfg* cfg_;
   DefUseModel model_;

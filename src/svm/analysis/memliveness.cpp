@@ -73,6 +73,12 @@ void MemLiveness::scan_frames() {
     auto touch = [&](std::set<std::int32_t>& set, std::int32_t off, int n) {
       for (int i = 0; i < n; ++i) set.insert(off + i);
     };
+    auto touch_read = [&](std::int32_t off, int n, Addr pc) {
+      for (int i = 0; i < n; ++i) {
+        fa.read_offsets.insert(off + i);
+        fa.read_pcs[off + i].push_back(pc);
+      }
+    };
     for (std::uint32_t bid : fn.blocks) {
       const Block& b = cfg.block(bid);
       for (Addr pc = b.begin; pc < b.end; pc += 4) {
@@ -82,12 +88,12 @@ void MemLiveness::scan_frames() {
           case Op::kLdw:
           case Op::kLdb:
             if (in.b == kFp) {
-              touch(fa.read_offsets, in.simm(), in.op == Op::kLdw ? 4 : 1);
+              touch_read(in.simm(), in.op == Op::kLdw ? 4 : 1, pc);
             }
             if (in.a == kFp) fa.escaped = true;  // fp reloaded mid-function
             continue;
           case Op::kFld:
-            if (in.b == kFp) touch(fa.read_offsets, in.simm(), 8);
+            if (in.b == kFp) touch_read(in.simm(), 8, pc);
             continue;
           case Op::kStw:
           case Op::kStb:

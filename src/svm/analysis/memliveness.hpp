@@ -15,11 +15,13 @@
 // symbol escapes even though no reachable `la` names it.
 //
 // Stack: per function, frame-pointer-relative slot offsets are classified
-// into read/written sets, with the whole frame escaping when the frame
-// pointer flows anywhere but a load/store base. Write-only local slots in
-// non-escaping frames are *reported* (fsim analyze) but not pruned — a
-// dynamic stack byte cannot be soundly mapped to a static slot without
-// knowing which function owns the sampled frame at injection time.
+// into read/written sets (with per-byte read pcs), with the whole frame
+// escaping when the frame pointer flows anywhere but a load/store base.
+// This summary alone cannot prune — a dynamic stack byte must first be
+// mapped to the function owning the sampled frame. stackwindow.hpp lifts
+// it to a pruning proof by resolving frame ownership through the stack
+// walker's per-frame owner pc and gating the cases where fp-relative
+// attribution would be ambiguous.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +42,9 @@ struct StackFrameAccess {
   bool escaped = false;       // fp flowed beyond load/store bases
   std::set<std::int32_t> read_offsets;   // fp-relative bytes read
   std::set<std::int32_t> write_offsets;  // fp-relative bytes written
+  /// Read sites per fp-relative byte (the anchors of the activation
+  /// window the stack rung computes); keys mirror read_offsets.
+  std::map<std::int32_t, std::vector<Addr>> read_pcs;
 
   /// Local slots (negative offsets) written but never read; 0 if escaped.
   int dead_slots() const noexcept;

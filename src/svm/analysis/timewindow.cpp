@@ -1,21 +1,10 @@
 #include "svm/analysis/timewindow.hpp"
 
 #include <algorithm>
-#include <deque>
 
-#include "svm/syscall.hpp"
+#include "svm/analysis/execgraph.hpp"
 
 namespace fsim::svm::analysis {
-
-namespace {
-
-bool aborting_sys(const Instr& in) noexcept {
-  return in.op == Op::kSys &&
-         (in.imm == static_cast<std::uint16_t>(Sys::kExit) ||
-          in.imm == static_cast<std::uint16_t>(Sys::kAssertFail));
-}
-
-}  // namespace
 
 TimeWindow::TimeWindow(const Cfg& cfg,
                        const std::map<Addr, SymbolAccess>& access,
@@ -24,93 +13,25 @@ TimeWindow::TimeWindow(const Cfg& cfg,
   const auto& blocks = cfg.blocks();
   if (blocks.empty()) return;
 
-  // Execution-successor graph: where can control actually flow next, as
-  // opposed to the Cfg's intraprocedural succ edges (which step over calls).
-  std::vector<std::uint32_t> taken;
-  for (Addr a : cfg.materialized()) {
-    const std::uint32_t id = cfg.block_index_of(a);
-    if (id != Cfg::kNoBlock) taken.push_back(id);
-  }
-  std::vector<std::vector<std::uint32_t>> succ(blocks.size());
-  std::vector<bool> unbounded(blocks.size(), false);
-  for (std::uint32_t id = 0; id < blocks.size(); ++id) {
-    const Block& b = blocks[id];
-    if (b.falls_off_end) unbounded[id] = true;
-    switch (b.term) {
-      case FlowKind::kCall:
-        if (b.call_target >= 0 && !b.call_outside && !b.bad_target) {
-          // Execution enters the callee; the return site is reached only
-          // through the callee's rets (the precision over succ edges).
-          succ[id].push_back(static_cast<std::uint32_t>(b.call_target));
-        } else {
-          unbounded[id] = true;  // unknown callee: could read anything
-        }
-        break;
-      case FlowKind::kIndirectCall:
-        for (std::uint32_t t : taken) succ[id].push_back(t);
-        // The continuation is not registered as a return site of any
-        // particular function; keep it reachable directly.
-        for (std::uint32_t t : b.succ) succ[id].push_back(t);
-        break;
-      case FlowKind::kIndirectJump:
-        for (std::uint32_t t : taken) succ[id].push_back(t);
-        break;
-      case FlowKind::kRet:
-        for (std::uint32_t fn_id : cfg.functions_of(id))
-          for (std::uint32_t t : cfg.functions()[fn_id].return_sites)
-            succ[id].push_back(t);
-        break;
-      case FlowKind::kIllegal:  // traps; nothing executes afterwards
-        break;
-      default:
-        // An aborting syscall terminates the rank; any other terminator
-        // (branch, jump, fallthrough, non-aborting sys) follows succ.
-        if (!aborting_sys(decode(cfg.word_at(b.end - 4))))
-          for (std::uint32_t t : b.succ) succ[id].push_back(t);
-        break;
-    }
-  }
-  std::vector<std::vector<std::uint32_t>> rev(blocks.size());
-  for (std::uint32_t p = 0; p < blocks.size(); ++p)
-    for (std::uint32_t s : succ[p]) rev[s].push_back(p);
+  // Where can control actually flow next (calls enter callees, rets return
+  // to call continuations) — shared with the heap rung via ExecGraph.
+  const ExecGraph graph(cfg);
 
   // One backward reachability per tracked symbol with recorded read sites.
   for (const auto& [key, sa] : access) {
     if (sa.escaped || mem.pointer_published(key)) continue;
     if (!sa.read || sa.read_pcs.empty()) continue;
     SymWindow w;
-    w.live_out.assign(blocks.size(), false);
+    std::vector<bool> seeds(blocks.size(), false);
     for (Addr rpc : sa.read_pcs) {
       const std::uint32_t id = cfg.block_index_of(rpc);
-      if (id != Cfg::kNoBlock) w.reads[id].push_back(rpc);
+      if (id != Cfg::kNoBlock) {
+        w.reads[id].push_back(rpc);
+        seeds[id] = true;
+      }
     }
     for (auto& [id, pcs] : w.reads) std::sort(pcs.begin(), pcs.end());
-
-    std::vector<bool> live_in(blocks.size(), false);
-    std::deque<std::uint32_t> work;
-    auto seed = [&](std::uint32_t id) {
-      if (!live_in[id]) {
-        live_in[id] = true;
-        work.push_back(id);
-      }
-    };
-    for (const auto& [id, pcs] : w.reads) seed(id);
-    for (std::uint32_t id = 0; id < blocks.size(); ++id) {
-      if (unbounded[id]) {
-        w.live_out[id] = true;
-        seed(id);
-      }
-    }
-    while (!work.empty()) {
-      const std::uint32_t s = work.front();
-      work.pop_front();
-      for (std::uint32_t p : rev[s]) {
-        if (!w.live_out[p]) {
-          w.live_out[p] = true;
-          seed(p);
-        }
-      }
-    }
+    graph.reach_backward(seeds, w.live_out);
     windows_.emplace(key, std::move(w));
   }
 

@@ -109,7 +109,9 @@ SysResult BasicEnv::on_syscall(Machine& m, std::uint16_t number) {
     }
 
     case Sys::kMalloc: {
-      const Addr p = heap_.malloc(m.arg(0));
+      // The pc still names the SYS word here (both engines advance it only
+      // after the handler returns), so it is a stable allocation-site key.
+      const Addr p = heap_.malloc(m.arg(0), m.regs().pc);
       if (p == 0) {
         m.raise(Trap::kHeapExhausted, 0);
         return SysResult::kTrap;

@@ -17,7 +17,7 @@ void Heap::write_header(Addr header_addr, AllocTag tag, std::uint32_t size) {
   FSIM_CHECK(mem_->poke32(header_addr + 4, size));
 }
 
-Addr Heap::malloc(std::uint32_t size) {
+Addr Heap::malloc(std::uint32_t size, Addr site) {
   if (size == 0) size = 1;
   const std::uint32_t need =
       (size + kHeaderBytes + kAlign - 1) & ~(kAlign - 1);
@@ -36,7 +36,7 @@ Addr Heap::malloc(std::uint32_t size) {
     const AllocTag tag = mpi_context_ ? AllocTag::kMpi : AllocTag::kUser;
     write_header(base_ + off, tag, size);
     const Addr payload = base_ + off + kHeaderBytes;
-    live_[payload] = Chunk{payload, size, tag};
+    live_[payload] = Chunk{payload, size, tag, site};
     return payload;
   }
 
@@ -48,7 +48,7 @@ Addr Heap::malloc(std::uint32_t size) {
   const AllocTag tag = mpi_context_ ? AllocTag::kMpi : AllocTag::kUser;
   write_header(base_ + off, tag, size);
   const Addr payload = base_ + off + kHeaderBytes;
-  live_[payload] = Chunk{payload, size, tag};
+  live_[payload] = Chunk{payload, size, tag, site};
   return payload;
 }
 

@@ -30,8 +30,11 @@ class Heap {
   explicit Heap(Memory& mem);
 
   /// Allocate `size` payload bytes tagged with the current owner flag.
-  /// Returns the payload address, or 0 when the arena is exhausted.
-  Addr malloc(std::uint32_t size);
+  /// `site` is the static allocation site (the pc of the `sys 8` word, the
+  /// same value under both execution engines); 0 marks host-side or
+  /// otherwise untracked allocations. Returns the payload address, or 0
+  /// when the arena is exhausted.
+  Addr malloc(std::uint32_t size, Addr site = 0);
 
   /// Free a chunk by payload address. Unknown addresses are ignored (a
   /// corrupted program may pass garbage; glibc would corrupt itself — we
@@ -55,6 +58,9 @@ class Heap {
     Addr payload = 0;
     std::uint32_t size = 0;
     AllocTag tag = AllocTag::kUser;
+    /// Static allocation site (pc of the allocating `sys 8`), 0 if
+    /// untracked — the key the heap-liveness prune rung classifies by.
+    Addr site = 0;
   };
 
   /// Live chunks in address order (the injector's scan list).

@@ -41,6 +41,7 @@ std::vector<Frame> walk_stack(const Machine& m) {
     f.ret_addr = ret;
     f.lo = inner_lo;
     f.hi = fp + 8;  // include the saved-FP and return-address slots
+    f.owner_pc = owner_pc;
     // A frame is user context when the code that owns it is user text. For
     // the innermost frame that is the current PC; for outer frames it is the
     // return address recorded by their callee (paper §3.2's rule).

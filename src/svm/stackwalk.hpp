@@ -27,6 +27,10 @@ struct Frame {
   Addr lo = 0;        // lowest address of the frame's locals/args (inclusive)
   Addr hi = 0;        // one past the frame's highest byte (ret addr slot end)
   bool user = false;  // does this frame belong to user-application code?
+  /// Where this frame's activation is right now: the machine pc for the
+  /// innermost frame, the recorded return site for outer frames. The key
+  /// the activation-windowed stack prune rung resolves frame ownership by.
+  Addr owner_pc = 0;
 };
 
 /// Walk the frame chain of a (typically paused) machine. Returns frames from

@@ -48,7 +48,7 @@ int print_usage() {
   std::printf(
       "usage: fsim <command> [options]\n"
       "  run       --app=NAME --region=REGION [--seed=N]\n"
-      "            [--engine=interp|threaded]\n"
+      "            [--prune=off|regs|full] [--engine=interp|threaded]\n"
       "  campaign  --app=NAME [--runs=N] [--regions=a,b,...] [--seed=N]\n"
       "            [--jobs=N] [--prune=off|regs|full] [--activation]\n"
       "            [--engine=interp|threaded] [--json] [--csv] [--quiet]\n"
@@ -159,6 +159,8 @@ int cmd_run(const util::Cli& cli) {
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.num("seed", 1));
   svm::exec::EngineKind engine = svm::exec::EngineKind::kThreaded;
   if (!parse_engine(cli, engine)) return 1;
+  core::PruneLevel prune = core::PruneLevel::kOff;
+  if (!parse_prune(cli, prune)) return 1;
 
   // Link once; the golden run, the dictionary and the injected run all
   // read the same image (the assembler is deterministic anyway).
@@ -172,6 +174,12 @@ int cmd_run(const util::Cli& cli) {
   }
   core::RunContext ctx;
   ctx.engine = engine;
+  ctx.prune = prune;
+  std::unique_ptr<svm::analysis::ProgramAnalysis> analysis;
+  if (prune != core::PruneLevel::kOff) {
+    analysis = std::make_unique<svm::analysis::ProgramAnalysis>(program);
+    ctx.analysis = analysis.get();
+  }
   const core::RunOutcome out =
       core::run_injected(app, program, golden, region, dict.get(), seed, ctx);
   std::printf("app:     %s\nregion:  %s\nseed:    %llu\nfault:   %s\n",
@@ -179,6 +187,11 @@ int cmd_run(const util::Cli& cli) {
               static_cast<unsigned long long>(seed),
               out.fault_applied ? out.fault_description.c_str()
                                 : "(no viable target)");
+  if (ctx.analysis != nullptr)
+    std::printf("static:  activation %s%s%s\n",
+                core::activation_name(out.activation),
+                out.pruned ? ", pruned by rung " : "",
+                out.pruned ? core::prune_rung_token(out.prune_rung) : "");
   std::printf("outcome: %s%s%s\n",
               core::manifestation_name(out.manifestation),
               out.failure_detail.empty() ? "" : " — ",

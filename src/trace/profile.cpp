@@ -1,10 +1,12 @@
 #include "trace/profile.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 
 #include "simmpi/stubs.hpp"
 #include "simmpi/world.hpp"
+#include "svm/analysis/heapliveness.hpp"
 #include "svm/analysis/lint.hpp"
 #include "svm/layout.hpp"
 #include "util/status.hpp"
@@ -18,9 +20,30 @@ namespace {
 /// writes each symbol, with library (MPI) symbols tagged — the profile-side
 /// view of the fault-dictionary's user/MPI split.
 std::vector<ProcessProfile::SymbolTouch> scan_symbol_touches(
-    const svm::Program& program) {
+    const svm::Program& program,
+    std::vector<ProcessProfile::HeapSiteCensus>& heap_sites) {
   const svm::analysis::Cfg cfg(program);
-  const auto access = svm::analysis::scan_symbol_access(cfg);
+  const svm::analysis::Liveness live(cfg, svm::analysis::DefUseModel::kSound);
+  const auto access = svm::analysis::scan_symbol_access(cfg, &live);
+
+  // Allocation-site census from the heap rung's interprocedural scan: the
+  // profile-side answer to "which mallocs could a heap flip ever reach?".
+  const svm::analysis::MemLiveness mem(cfg, access);
+  const svm::analysis::HeapLiveness heap(cfg, access, mem, live);
+  if (heap.tracked()) {
+    for (const auto& [pc, site] : heap.sites()) {
+      ProcessProfile::HeapSiteCensus c;
+      c.pc = pc;
+      c.function = site.symbol;
+      c.mpi = !site.user;
+      c.read_sites = static_cast<int>(site.read_pcs.size());
+      c.written = site.written;
+      c.klass = heap.site_dead(pc)  ? "write-only"
+                : site.escaped      ? "escaped"
+                                    : "windowed";
+      heap_sites.push_back(std::move(c));
+    }
+  }
 
   std::set<std::string> library_names;
   for (const auto& name : simmpi::stub_symbol_names())
@@ -102,7 +125,7 @@ ProcessProfile profile_app(const apps::App& app) {
   }
   p.bytes_per_rank =
       p.traffic.total_bytes() / static_cast<std::uint64_t>(world.size());
-  p.symbol_access = scan_symbol_touches(program);
+  p.symbol_access = scan_symbol_touches(program, p.heap_sites);
   return p;
 }
 
@@ -163,6 +186,22 @@ std::string format_profiles(const std::vector<ProcessProfile>& profiles) {
     for (const auto& s : p.symbol_access) any_escaped |= s.escaped;
     if (any_escaped)
       out += "(* address escapes local tracking; counts are a lower bound)\n";
+  }
+
+  // Allocation-site census, one table per app that allocates: where each
+  // chunk is born and the heap rung's classification of its readability.
+  for (const auto& p : profiles) {
+    if (p.heap_sites.empty()) continue;
+    util::Table ht("Heap allocation sites — " + p.app);
+    ht.header({"Site", "Function", "Tag", "Reads", "Written", "Class"});
+    for (const auto& s : p.heap_sites) {
+      char pc[16];
+      std::snprintf(pc, sizeof pc, "0x%08x", s.pc);
+      ht.row({pc, s.function, s.mpi ? "mpi" : "user",
+              std::to_string(s.read_sites), s.written ? "yes" : "no",
+              s.klass});
+    }
+    out += "\n" + ht.ascii();
   }
   return out;
 }

@@ -48,6 +48,22 @@ struct ProcessProfile {
   };
   /// Sorted by total touch count, most-touched first.
   std::vector<SymbolTouch> symbol_access;
+
+  /// One static allocation site (`sys 8`), from the same interprocedural
+  /// heap scan the allocation-site prune rung consumes: where the chunk is
+  /// born, who allocates it (user vs MPI-library text) and whether any
+  /// reachable load can observe its payload.
+  struct HeapSiteCensus {
+    svm::Addr pc = 0;
+    std::string function;  // covering function symbol
+    bool mpi = false;      // allocated from MPI-library text
+    int read_sites = 0;    // distinct load pcs reading the chunk
+    bool written = false;
+    /// "write-only" | "windowed" | "escaped" — the rung's classification.
+    std::string klass;
+  };
+  /// Sorted by site pc; empty when the heap scan disabled itself.
+  std::vector<HeapSiteCensus> heap_sites;
 };
 
 /// Run the application fault-free and measure its profile. The run must

@@ -8,10 +8,13 @@
 # and threaded must agree bit-for-bit at every job count and prune level)
 # the prune x engine outcome-digest matrix (off|full x interp|threaded x
 # jobs 1|8 must agree byte-for-byte on the prune-invariant digest), the
-# prune-speedup bench (nonzero exit if any precision-ladder rung stops
-# pruning) and the batch-throughput bench (which itself exits nonzero on
-# digest divergence between modes or engines) — optionally repeating the
-# whole cycle under AddressSanitizer.
+# heap/stack rung inventory gate (every app must keep at least one provably
+# read-free allocation site and an enabled frame rung), the prune-speedup
+# bench (nonzero exit if any precision-ladder rung stops pruning) and the
+# batch-throughput bench (which itself exits nonzero on digest divergence
+# between modes or engines) — optionally repeating the whole cycle under
+# AddressSanitizer. Without --asan, a focused ASan pass still builds the
+# CLI and drives the heap/stack scans (analyze + lint) on every app.
 #
 #   tests/ci.sh [--asan] [--build-dir=DIR] [--jobs=N]
 #
@@ -56,10 +59,11 @@ run_gate() {
   echo "=== ci: adaptive sampling determinism (jobs/kill-resume/shard) ==="
   bash "$root/tests/adaptive_test.sh" "$dir/src/tools/fsim"
   echo "=== ci: adaptive reference-digest gate ==="
-  adaptive_ref=16230814981418824493
+  adaptive_ref=2694787265147498570
   adaptive_digest="$("$dir/src/tools/fsim" batch --apps=wavetoy --runs=120 \
                        --ci=0.05 --wave=25 --jobs="$jobs" --json --quiet \
-                       | grep -o '"digest": *[0-9]*' | grep -o '[0-9]*')"
+                       | grep -o '"digest": *[0-9]*' | head -1 \
+                       | grep -o '[0-9]*')"
   echo "  --ci=0.05 wavetoy digest -> $adaptive_digest"
   if [ "$adaptive_digest" != "$adaptive_ref" ]; then
     echo "ci.sh: adaptive digest $adaptive_digest != recorded $adaptive_ref" >&2
@@ -90,6 +94,19 @@ run_gate() {
   done
   echo "=== ci: prune x engine outcome-digest matrix ==="
   bash "$root/tests/prune_matrix_test.sh" "$fsim"
+  echo "=== ci: heap/stack rung inventory gate ==="
+  for app in wavetoy minimd atmo; do
+    inv="$("$fsim" analyze --app="$app" --runs=0 --quiet)"
+    echo "$inv" | grep -E "heap sites|frame rung" | sed 's/^/  '"$app"':/'
+    echo "$inv" | grep -Eq "heap sites: *[1-9][0-9]* of" || {
+      echo "ci.sh: $app has no provably read-free allocation site" >&2
+      exit 1
+    }
+    echo "$inv" | grep -q "frame rung: *enabled" || {
+      echo "ci.sh: $app stack-frame rung disabled" >&2
+      exit 1
+    }
+  done
   echo "=== ci: prune speedup + ladder coverage gate ==="
   "$dir/bench/bench_prune_speedup" --runs=60 --jobs="$jobs" > /dev/null
   echo "=== ci: batch throughput + engine speedup gate ==="
@@ -100,6 +117,22 @@ run_gate "$build"
 
 if [ "$asan" -eq 1 ]; then
   run_gate "$build-asan" -DFSIM_SANITIZE=address
+else
+  # Focused ASan pass: the interprocedural heap scan and the frame-window
+  # builder are the pointer-heaviest analyses in the tree; drive them (via
+  # analyze/lint, which construct both on every app) under
+  # AddressSanitizer even when the full --asan cycle was not requested.
+  echo "=== ci: ASan heap/stack scan gate ==="
+  scan_dir="$build-scan-asan"
+  cmake -B "$scan_dir" -S "$root" -DFSIM_WERROR=ON \
+        -DFSIM_SANITIZE=address > /dev/null
+  cmake --build "$scan_dir" -j "$jobs" --target fsim_cli > /dev/null
+  for app in wavetoy minimd atmo jacobi; do
+    "$scan_dir/src/tools/fsim" analyze --app="$app" --runs=0 --quiet \
+      > /dev/null
+  done
+  "$scan_dir/src/tools/fsim" lint --app=all > /dev/null
+  echo "  analyze+lint clean under AddressSanitizer"
 fi
 
 echo "=== ci: all gates passed ==="

@@ -37,3 +37,22 @@ for prune in off full; do
   done
 done
 echo "prune_matrix: all 8 cells agree (outcome_digest $ref)"
+
+# Rung bite gate: at --prune=full every app must retire at least one heap
+# fault through the allocation-site rung and one stack fault through the
+# activation-window rung — digest equality alone cannot tell "pruned
+# correctly" apart from "stopped pruning".
+for app in wavetoy minimd atmo; do
+  out="$("$fsim" campaign --app="$app" --runs="$runs" --regions=heap,stack \
+           --prune=full --json --quiet | grep '^{')"
+  for rung in heap frame; do
+    count="$(printf '%s' "$out" |
+             grep -o "\"$rung\":[0-9]*" | head -1 | grep -o '[0-9]*$')"
+    if [ -z "$count" ] || [ "$count" -eq 0 ]; then
+      echo "prune_matrix: $app pruned no faults through the $rung rung" >&2
+      exit 1
+    fi
+    echo "  $app rung=$rung pruned=$count"
+  done
+done
+echo "prune_matrix: heap and frame rungs bite on every app"
