@@ -52,6 +52,10 @@ AdaptiveResult run_adaptive(const std::vector<BatchEntry>& entries,
                            std::to_string(config.shard.count));
   }
   validate_policy(config.policy);
+  if (config.selection)
+    throw util::SetupError(
+        "adaptive: explicit grid selections are not supported (waves are "
+        "data-dependent)");
   const AdaptivePolicy& policy = config.policy;
 
   BatchSession session(entries, config.jobs);
@@ -147,7 +151,8 @@ AdaptiveResult run_adaptive(const std::vector<BatchEntry>& entries,
     sink = std::make_unique<CheckpointSink>(config.checkpoint_path,
                                             config.checkpoint_every,
                                             std::move(initial),
-                                            config.observer);
+                                            config.observer,
+                                            config.checkpoint_encoding);
   }
 
   // Per-run fan-in (serialized by the session). on_region_done is *not*

@@ -45,26 +45,18 @@ struct CellStatus {
   double half_width = 1.0;  // achieved Wilson half-width of the error rate
 };
 
-struct AdaptiveConfig {
+/// Adaptive execution = the shared ExecPolicy plus the stopping policy.
+/// Differences from fixed-n batches: the shard is cell-level
+/// (shard_owns_cell — each (campaign, region) cell is wholly owned by one
+/// shard, so stopping decisions are local and `fsim merge` over all shards
+/// reproduces the unsharded run bit for bit); on_region_done fires when a
+/// cell *stops*; checkpoints additionally record the policy and each
+/// cell's wave frontier; `resume` must be an adaptive checkpoint for this
+/// exact batch whose recorded policy equals `policy` (callers reuse the
+/// checkpoint's policy unless the user explicitly overrides it); and
+/// `selection` is not supported (waves are data-dependent).
+struct AdaptiveConfig : ExecPolicy {
   AdaptivePolicy policy;
-  /// Worker threads shared by every wave (1 = serial).
-  int jobs = 1;
-  /// Cell-level shard (shard_owns_cell): each (campaign, region) cell is
-  /// wholly owned by one shard, so stopping decisions are local and
-  /// `fsim merge` over all shards reproduces the unsharded run bit for
-  /// bit.
-  ShardSpec shard;
-  /// Optional callback surface (borrowed). on_region_done fires when a
-  /// cell *stops*, with the cell's final execution count.
-  CampaignObserver* observer = nullptr;
-  /// Checkpoint sidecar (see BatchConfig); adaptive checkpoints
-  /// additionally record the policy and each cell's wave frontier.
-  std::string checkpoint_path;
-  int checkpoint_every = 64;
-  /// Resume baseline (borrowed): must be an adaptive checkpoint for this
-  /// exact batch. The recorded policy must equal `policy` — callers reuse
-  /// the checkpoint's policy unless the user explicitly overrides it.
-  const Checkpoint* resume = nullptr;
 };
 
 struct AdaptiveResult {

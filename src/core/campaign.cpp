@@ -152,6 +152,25 @@ CampaignSpec spec_of(const std::string& app_name,
   return spec;
 }
 
+std::vector<BatchEntry> entries_for_specs(
+    const std::vector<CampaignSpec>& specs) {
+  std::vector<BatchEntry> entries;
+  entries.reserve(specs.size());
+  for (const auto& spec : specs) {
+    BatchEntry e;
+    e.app = apps::make_app(spec.app, spec.params);
+    e.params = spec.params;
+    e.config.runs_per_region = spec.runs_per_region;
+    e.config.seed = spec.seed;
+    e.config.regions = spec.regions;
+    e.config.dictionary_entries = spec.dictionary_entries;
+    e.config.prune = spec.prune;
+    e.config.engine = spec.engine;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
 // --- BatchSession ---
 
 struct BatchSession::Impl {
@@ -382,9 +401,19 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
     }
   }
 
+  // Explicit grid selection (service workers): restrict the invocation to
+  // the selected run indices. Progress denominators then cover only the
+  // selection, and the checkpoint sidecar records exactly its completions.
+  const GridSelection* sel = config.selection;
+  if (sel && sel->slots.size() != nslots)
+    throw util::SetupError(
+        "selection: slot layout does not match the batch (" +
+        std::to_string(sel->slots.size()) + " slots vs " +
+        std::to_string(nslots) + ")");
+
   // This shard's grid-point count per slot (progress denominators) and the
-  // work list itself: every shard-owned grid point not already covered by
-  // the resume baseline, in enumeration order.
+  // work list itself: every shard-owned (and selected) grid point not
+  // already covered by the resume baseline, in enumeration order.
   std::vector<int> owned(nslots, 0);
   std::vector<BatchSession::Point> points;
   {
@@ -395,6 +424,7 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
         const std::size_t slot = session.slot_of(c, ri);
         for (int i = 0; i < cc.runs_per_region; ++i, ++g) {
           if (!shard_owns(g, config.shard)) continue;
+          if (sel && !sel->slots[slot].contains(i)) continue;
           ++owned[slot];
           if (resume && resume->slots[slot].done.contains(i)) continue;
           points.push_back(BatchSession::Point{c, ri, i, g});
@@ -425,7 +455,8 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
     sink = std::make_unique<CheckpointSink>(config.checkpoint_path,
                                             config.checkpoint_every,
                                             std::move(initial),
-                                            config.observer);
+                                            config.observer,
+                                            config.checkpoint_encoding);
   }
 
   // Observer fan-in: caller observer, then checkpoint sink — the session
@@ -464,8 +495,7 @@ BatchResult run_batch(const std::vector<BatchEntry>& entries,
 CampaignResult run_campaign(const apps::App& app,
                             const CampaignConfig& config) {
   BatchConfig bc;
-  bc.jobs = config.jobs;
-  bc.observer = config.observer;
+  bc.exec() = config.exec();
   std::vector<BatchEntry> entries;
   entries.push_back(BatchEntry{app, config, apps::AppParams{}});
   BatchResult batch = run_batch(entries, bc);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "apps/app.hpp"
+#include "core/execpolicy.hpp"
 #include "core/outcome.hpp"
 #include "core/run.hpp"
 
@@ -57,7 +58,11 @@ class CampaignObserver {
   }
 };
 
-struct CampaignConfig {
+/// How the campaign executes (jobs/shard/observer/checkpoint/selection) is
+/// the inherited ExecPolicy; the fields here define *what* runs and are
+/// part of the campaign's spec identity (except `engine`). run_campaign
+/// honours the whole policy — it is a single-entry run_batch.
+struct CampaignConfig : ExecPolicy {
   int runs_per_region = 400;  // paper: 400-500 injections per region (§4.3)
   std::uint64_t seed = 0xfau;
   std::vector<Region> regions = {
@@ -65,12 +70,6 @@ struct CampaignConfig {
       Region::kStack,      Region::kText,  Region::kHeap,  Region::kMessage,
   };
   std::size_t dictionary_entries = 4096;
-  /// Worker threads for the injected runs. 1 (the default) preserves the
-  /// exact legacy serial execution order; N > 1 fans the (region, run)
-  /// grid out over a util::ThreadPool. Aggregates are bit-identical either
-  /// way: every run's seed depends only on (campaign seed, region, index),
-  /// and per-worker partial counts are merged in a fixed order.
-  int jobs = 1;
   /// Pre-injection pruning level: classify faults whose target is
   /// statically dead as Correct without resuming the run. Sound at every
   /// level (the flip is provably never observed), so aggregates are
@@ -84,9 +83,6 @@ struct CampaignConfig {
   /// on this — it is a pure throughput knob and excluded from the
   /// campaign's spec identity.
   svm::exec::EngineKind engine = svm::exec::EngineKind::kThreaded;
-  /// Optional callback surface (borrowed, not owned); receives the same
-  /// serialized dispatch as the batch executor's observers.
-  CampaignObserver* observer = nullptr;
 };
 
 struct RegionResult {
@@ -189,41 +185,6 @@ struct CampaignSpec {
 /// The spec a (app name, config) pair induces.
 CampaignSpec spec_of(const std::string& app_name, const CampaignConfig& config);
 
-/// Deterministic shard of the combined batch grid: this invocation executes
-/// only the grid points it owns; N hosts running shards 0/N .. N-1/N cover
-/// the grid exactly once between them (see shard_owns).
-struct ShardSpec {
-  int index = 0;
-  int count = 1;
-
-  bool operator==(const ShardSpec&) const = default;
-};
-
-/// Shard ownership is a pure function of the grid point's index in the
-/// fixed enumeration order (campaign-major, then region, then run):
-/// round-robin `g mod count == index`. Every grid point therefore belongs
-/// to exactly one of the N shards, independent of scheduling, job count or
-/// host — the partition is total and disjoint by construction.
-constexpr bool shard_owns(std::uint64_t grid_index,
-                          const ShardSpec& shard) noexcept {
-  return shard.count <= 1 ||
-         grid_index % static_cast<std::uint64_t>(shard.count) ==
-             static_cast<std::uint64_t>(shard.index);
-}
-
-/// Adaptive (--ci) campaigns shard whole (campaign, region) cells rather
-/// than individual grid points: cell `slot` belongs to shard
-/// `slot mod count`, round-robin like shard_owns. Keeping every run of a
-/// cell on one host makes the per-cell stopping decisions local — each
-/// shard reaches exactly the decisions the unsharded run would, so
-/// `fsim merge` over cell shards reproduces it bit for bit.
-constexpr bool shard_owns_cell(std::size_t slot,
-                               const ShardSpec& shard) noexcept {
-  return shard.count <= 1 ||
-         slot % static_cast<std::size_t>(shard.count) ==
-             static_cast<std::size_t>(shard.index);
-}
-
 /// Stopping policy of an adaptive (CI-targeted) campaign, driven by
 /// core/adaptive.hpp: each (campaign, region) cell runs in waves of `wave`
 /// grid points until the Wilson half-width of its error rate reaches `ci`
@@ -241,8 +202,8 @@ struct AdaptivePolicy {
 };
 
 /// One campaign in a batch. The entry's config supplies runs/seed/regions/
-/// dictionary_entries/prune/engine; its jobs and observer fields are
-/// ignored — the batch-level pool and observer drive execution.
+/// dictionary_entries/prune/engine; its inherited ExecPolicy is ignored —
+/// the batch-level policy drives execution.
 struct BatchEntry {
   apps::App app;
   CampaignConfig config;
@@ -251,33 +212,17 @@ struct BatchEntry {
   apps::AppParams params;
 };
 
-struct BatchConfig {
-  /// Workers shared by every campaign in the batch (1 = serial grid walk).
-  int jobs = 1;
-  /// Grid shard this invocation executes (default: the whole grid).
-  ShardSpec shard;
-  /// Optional callback surface (borrowed, not owned). All hooks are
-  /// dispatched under one batch-wide mutex, before the internal
-  /// checkpoint sink.
-  CampaignObserver* observer = nullptr;
+/// Batch execution is configured entirely by the shared ExecPolicy
+/// (jobs/shard/observer/checkpoint/resume/selection — see execpolicy.hpp);
+/// the alias keeps the historical name at every call site.
+struct BatchConfig : ExecPolicy {};
 
-  // --- Crash tolerance ---
-  /// When non-empty, stream an incremental checkpoint of this shard to the
-  /// given sidecar file: partial per-slot counts plus the exact set of
-  /// completed (seed, region, index) grid points, rewritten atomically
-  /// (write-to-temp + rename) every `checkpoint_every` completed runs and
-  /// once more on completion (the final file parses as a *complete*
-  /// checkpoint). Resuming from any intermediate file yields aggregates
-  /// byte-identical to an uninterrupted run, at any job count.
-  std::string checkpoint_path;
-  /// Completed runs between checkpoint writes (>= 1).
-  int checkpoint_every = 64;
-  /// Resume baseline (borrowed): skip every grid point the checkpoint
-  /// already counted and fold its partial counts into the totals. The
-  /// checkpoint's shard, spec list and golden identities must match this
-  /// batch exactly; any mismatch is refused with a SetupError.
-  const Checkpoint* resume = nullptr;
-};
+/// Build the batch entry list a spec list describes: one app linked per
+/// campaign with its params applied, the spec's runs/seed/regions/
+/// dictionary/prune/engine copied into the entry config. The inverse of
+/// spec_of over a whole batch; the CLI and the service worker share it.
+std::vector<BatchEntry> entries_for_specs(
+    const std::vector<CampaignSpec>& specs);
 
 struct BatchResult {
   std::vector<CampaignSpec> specs;        // spec order, parallel to campaigns

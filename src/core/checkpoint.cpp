@@ -5,11 +5,24 @@
 #include <utility>
 
 #include "core/report.hpp"
+#include "util/codec.hpp"
 #include "util/file.hpp"
 #include "util/json.hpp"
 #include "util/status.hpp"
+#include "util/table.hpp"
 
 namespace fsim::core {
+
+const char* checkpoint_encoding_name(CheckpointEncoding encoding) noexcept {
+  return encoding == CheckpointEncoding::kBinary ? "bin" : "json";
+}
+
+std::optional<CheckpointEncoding> parse_checkpoint_encoding(
+    std::string_view text) noexcept {
+  if (text == "json") return CheckpointEncoding::kJson;
+  if (text == "bin") return CheckpointEncoding::kBinary;
+  return std::nullopt;
+}
 
 // --- RunSet ---
 
@@ -187,6 +200,8 @@ std::uint64_t slot_record_digest(std::size_t campaign,
   return region_counts_digest(slot.counts, h);
 }
 
+}  // namespace
+
 /// Whole-document digest: shard coordinates, cursor, every spec, every
 /// golden identity, every slot record and (when present) the adaptive
 /// stopping policy.
@@ -218,6 +233,8 @@ std::uint64_t checkpoint_digest(const Checkpoint& ck) {
   return h;
 }
 
+namespace {
+
 /// Campaign index of a flattened slot (inverse of Checkpoint::slot_of).
 std::size_t campaign_of_slot(const Checkpoint& ck, std::size_t slot) {
   std::size_t base = 0;
@@ -226,6 +243,186 @@ std::size_t campaign_of_slot(const Checkpoint& ck, std::size_t slot) {
     if (slot < base) return c;
   }
   throw util::SetupError("checkpoint: slot index out of range");
+}
+
+// --- fnv-bin-v1: the whole snapshot as one varint-packed blob ---
+//
+// The wrapper document stays JSON (format/kind/encoding/digest plus the
+// base64 blob), so kind-sniffing consumers — parse_merge_input, status —
+// keep working on either encoding. Integrity comes from recomputing the
+// whole-document FNV digest over the *decoded* checkpoint and comparing
+// it to the wrapper's: any torn, truncated or bit-flipped blob is refused
+// exactly like a hand-edited JSON sidecar.
+
+void encode_counts(util::ByteWriter& w, const RegionResult& rr) {
+  w.u64(static_cast<std::uint64_t>(rr.executions));
+  w.u64(static_cast<std::uint64_t>(rr.skipped));
+  for (unsigned m = 0; m < kNumManifestations; ++m)
+    w.u64(static_cast<std::uint64_t>(rr.counts[m]));
+  for (unsigned k = 0; k < kNumCrashKinds; ++k)
+    w.u64(static_cast<std::uint64_t>(rr.crash_kinds[k]));
+  w.u64(static_cast<std::uint64_t>(rr.pruned));
+  for (unsigned r = 0; r < kNumPruneRungs; ++r)
+    w.u64(static_cast<std::uint64_t>(rr.pruned_rungs[r]));
+  for (unsigned a = 0; a < 2; ++a) {
+    w.u64(static_cast<std::uint64_t>(rr.act_executions[a]));
+    for (unsigned m = 0; m < kNumManifestations; ++m)
+      w.u64(static_cast<std::uint64_t>(rr.act_counts[a][m]));
+  }
+}
+
+void decode_counts(util::ByteReader& r, RegionResult& rr) {
+  rr.executions = static_cast<int>(r.u64());
+  rr.skipped = static_cast<int>(r.u64());
+  for (unsigned m = 0; m < kNumManifestations; ++m)
+    rr.counts[m] = static_cast<int>(r.u64());
+  for (unsigned k = 0; k < kNumCrashKinds; ++k)
+    rr.crash_kinds[k] = static_cast<int>(r.u64());
+  rr.pruned = static_cast<int>(r.u64());
+  for (unsigned rg = 0; rg < kNumPruneRungs; ++rg)
+    rr.pruned_rungs[rg] = static_cast<int>(r.u64());
+  for (unsigned a = 0; a < 2; ++a) {
+    rr.act_executions[a] = static_cast<int>(r.u64());
+    for (unsigned m = 0; m < kNumManifestations; ++m)
+      rr.act_counts[a][m] = static_cast<int>(r.u64());
+  }
+}
+
+std::string checkpoint_blob(const Checkpoint& ck) {
+  util::ByteWriter w;
+  w.u64(1);  // blob layout version
+  w.u64(static_cast<std::uint64_t>(ck.shard.index));
+  w.u64(static_cast<std::uint64_t>(ck.shard.count));
+  w.u64(ck.cursor);
+  w.u64(ck.adaptive ? 1 : 0);
+  if (ck.adaptive) {
+    w.f64(ck.adaptive->ci);
+    w.f64(ck.adaptive->alpha);
+    w.u64(static_cast<std::uint64_t>(ck.adaptive->wave));
+    w.u64(static_cast<std::uint64_t>(ck.adaptive->min_runs));
+  }
+  w.u64(ck.specs.size());
+  for (const CampaignSpec& spec : ck.specs) {
+    w.str(spec.app);
+    w.u64(static_cast<std::uint64_t>(spec.runs_per_region));
+    w.u64(spec.seed);
+    w.u64(spec.regions.size());
+    for (Region r : spec.regions) w.u64(static_cast<std::uint64_t>(r));
+    w.u64(static_cast<std::uint64_t>(spec.dictionary_entries));
+    w.u64(static_cast<std::uint64_t>(spec.prune));
+    w.u64(static_cast<std::uint64_t>(spec.params.ranks));
+    w.u64(static_cast<std::uint64_t>(spec.params.steps));
+    w.u64(static_cast<std::uint64_t>(spec.engine));
+  }
+  w.u64(ck.goldens.size());
+  for (const Golden& g : ck.goldens) {
+    w.u64(g.instructions);
+    w.u64(g.hang_budget);
+    w.u64(g.rx_bytes.size());
+    for (std::uint64_t b : g.rx_bytes) w.u64(b);
+  }
+  w.u64(ck.slots.size());
+  for (const CheckpointSlot& cs : ck.slots) {
+    w.u64(static_cast<std::uint64_t>(cs.counts.region));
+    w.u64(cs.done.ranges().size());
+    for (const auto& [first, last] : cs.done.ranges()) {
+      w.u64(static_cast<std::uint64_t>(first));
+      w.u64(static_cast<std::uint64_t>(last));
+    }
+    encode_counts(w, cs.counts);
+    if (ck.adaptive) {
+      w.u64(static_cast<std::uint64_t>(cs.frontier));
+      w.u64(cs.stopped ? 1 : 0);
+    }
+  }
+  return w.take();
+}
+
+Region decode_region(std::uint64_t v) {
+  if (v >= kNumRegions)
+    throw util::SetupError("checkpoint: blob names an unknown region");
+  return static_cast<Region>(v);
+}
+
+Checkpoint parse_checkpoint_blob(const std::string& blob,
+                                 std::uint64_t expected_digest) {
+  util::ByteReader r(blob);
+  if (r.u64() != 1)
+    throw util::SetupError("checkpoint: unknown fnv-bin-v1 blob version");
+  Checkpoint ck;
+  ck.shard.index = static_cast<int>(r.u64());
+  ck.shard.count = static_cast<int>(r.u64());
+  ck.cursor = r.u64();
+  if (r.u64() != 0) {
+    AdaptivePolicy policy;
+    policy.ci = r.f64();
+    policy.alpha = r.f64();
+    policy.wave = static_cast<int>(r.u64());
+    policy.min_runs = static_cast<int>(r.u64());
+    ck.adaptive = policy;
+  }
+  const std::uint64_t nspecs = r.u64();
+  for (std::uint64_t c = 0; c < nspecs; ++c) {
+    CampaignSpec spec;
+    spec.app = r.str();
+    spec.runs_per_region = static_cast<int>(r.u64());
+    spec.seed = r.u64();
+    const std::uint64_t nregions = r.u64();
+    for (std::uint64_t i = 0; i < nregions; ++i)
+      spec.regions.push_back(decode_region(r.u64()));
+    spec.dictionary_entries = static_cast<std::size_t>(r.u64());
+    const std::uint64_t prune = r.u64();
+    if (prune > static_cast<std::uint64_t>(PruneLevel::kFull))
+      throw util::SetupError("checkpoint: blob names an unknown prune level");
+    spec.prune = static_cast<PruneLevel>(prune);
+    spec.params.ranks = static_cast<int>(r.u64());
+    spec.params.steps = static_cast<int>(r.u64());
+    const std::uint64_t engine = r.u64();
+    if (engine > static_cast<std::uint64_t>(svm::exec::EngineKind::kThreaded))
+      throw util::SetupError("checkpoint: blob names an unknown engine");
+    spec.engine = static_cast<svm::exec::EngineKind>(engine);
+    ck.specs.push_back(std::move(spec));
+  }
+  const std::uint64_t ngoldens = r.u64();
+  for (std::uint64_t c = 0; c < ngoldens; ++c) {
+    Golden g;
+    g.instructions = r.u64();
+    g.hang_budget = r.u64();
+    const std::uint64_t nranks = r.u64();
+    for (std::uint64_t i = 0; i < nranks; ++i) g.rx_bytes.push_back(r.u64());
+    ck.goldens.push_back(std::move(g));
+  }
+  const std::uint64_t nslots = r.u64();
+  std::size_t expect_slots = 0;
+  for (const auto& spec : ck.specs) expect_slots += spec.regions.size();
+  if (nslots != expect_slots || ck.goldens.size() != ck.specs.size())
+    throw util::SetupError("checkpoint: blob slot layout is corrupted");
+  for (std::uint64_t s = 0; s < nslots; ++s) {
+    CheckpointSlot cs;
+    cs.counts.region = decode_region(r.u64());
+    const std::uint64_t nranges = r.u64();
+    for (std::uint64_t i = 0; i < nranges; ++i) {
+      const int first = static_cast<int>(r.u64());
+      const int last = static_cast<int>(r.u64());
+      cs.done.append_range(first, last);
+    }
+    decode_counts(r, cs.counts);
+    if (ck.adaptive) {
+      cs.frontier = static_cast<int>(r.u64());
+      cs.stopped = r.u64() != 0;
+    }
+    if (cs.counts.executions != cs.done.size())
+      throw util::SetupError(
+          "checkpoint: slot counts disagree with its completed-run set");
+    ck.slots.push_back(std::move(cs));
+  }
+  if (!r.done())
+    throw util::SetupError("checkpoint: trailing bytes after the blob");
+  if (checkpoint_digest(ck) != expected_digest)
+    throw util::SetupError(
+        "checkpoint: document digest mismatch (file corrupted or "
+        "hand-edited)");
+  return ck;
 }
 
 Checkpoint parse_checkpoint(const util::JsonValue& doc) {
@@ -238,6 +435,15 @@ Checkpoint parse_checkpoint(const util::JsonValue& doc) {
     throw util::SetupError(
         "fsim-batch-v2 document is not a checkpoint (kind: " +
         (k ? k->as_string() : std::string("<missing>")) + ")");
+  // Compact encoding: the entire snapshot lives in the digested blob.
+  if (const util::JsonValue* enc = doc.find("encoding")) {
+    if (enc->as_string() != "fnv-bin-v1")
+      throw util::SetupError("checkpoint: unknown encoding '" +
+                             enc->as_string() + "'");
+    return parse_checkpoint_blob(
+        util::base64_decode(doc.at("data").as_string()),
+        doc.at("digest").as_u64());
+  }
 
   Checkpoint ck;
   const util::JsonValue& shard = doc.at("shard");
@@ -404,6 +610,167 @@ Checkpoint parse_checkpoint_json(const std::string& text) {
   return parse_checkpoint(util::parse_json(text));
 }
 
+std::string checkpoint_serialize(const Checkpoint& checkpoint,
+                                 CheckpointEncoding encoding) {
+  if (encoding == CheckpointEncoding::kJson)
+    return checkpoint_json(checkpoint);
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("format").value(kBatchFormatV2);
+  w.key("kind").value("checkpoint");
+  w.key("encoding").value("fnv-bin-v1");
+  w.key("completed_runs").value(checkpoint.completed_runs());
+  w.key("data").value(util::base64_encode(checkpoint_blob(checkpoint)));
+  w.key("digest").value(checkpoint_digest(checkpoint));
+  w.end_object();
+  return w.str();
+}
+
+// --- GridSelection ---
+
+std::uint64_t GridSelection::total() const noexcept {
+  std::uint64_t n = 0;
+  for (const RunSet& s : slots) n += static_cast<std::uint64_t>(s.size());
+  return n;
+}
+
+// --- Status ---
+
+CheckpointStatus checkpoint_status(const Checkpoint& ck) {
+  CheckpointStatus st;
+  st.shard = ck.shard;
+  st.adaptive = ck.adaptive.has_value();
+  st.complete = ck.complete();
+  st.done = ck.completed_runs();
+  st.owned = ck.owned_runs();
+  st.cursor = ck.cursor;
+  st.digest = checkpoint_digest(ck);
+
+  // Per-slot shard-owned denominators: the grid walk shard_owns defines.
+  // Adaptive cells have no a-priori denominator; their owned count is the
+  // committed frontier (0 for cells other shards own).
+  std::vector<int> owned(ck.slots.size(), 0);
+  if (!st.adaptive) {
+    std::uint64_t g = 0;
+    std::size_t slot = 0;
+    for (const auto& spec : ck.specs) {
+      for (std::size_t ri = 0; ri < spec.regions.size(); ++ri, ++slot)
+        for (int i = 0; i < spec.runs_per_region; ++i, ++g)
+          if (shard_owns(g, ck.shard)) ++owned[slot];
+    }
+  }
+  std::size_t slot = 0;
+  for (const auto& spec : ck.specs) {
+    for (std::size_t ri = 0; ri < spec.regions.size(); ++ri, ++slot) {
+      CheckpointStatus::Row row;
+      row.app = spec.app;
+      row.region = spec.regions[ri];
+      row.done = ck.slots[slot].done.size();
+      row.frontier = ck.slots[slot].frontier;
+      row.stopped = ck.slots[slot].stopped;
+      row.owned = st.adaptive
+                      ? (shard_owns_cell(slot, ck.shard) ? row.frontier : 0)
+                      : owned[slot];
+      st.rows.push_back(std::move(row));
+    }
+  }
+  return st;
+}
+
+std::string format_checkpoint_status(const CheckpointStatus& st) {
+  util::Table t(std::string("Campaign Status (shard ") +
+                std::to_string(st.shard.index) + "/" +
+                std::to_string(st.shard.count) +
+                (st.adaptive ? ", adaptive)" : ")"));
+  std::vector<std::string> head = {"App", "Region", "Done", "Owned",
+                                   "Remaining"};
+  if (st.adaptive) {
+    head.push_back("Frontier");
+    head.push_back("Stopped");
+  }
+  t.header(std::move(head));
+  for (const auto& row : st.rows) {
+    std::vector<std::string> cells = {
+        row.app,
+        region_name(row.region),
+        std::to_string(row.done),
+        std::to_string(row.owned),
+        std::to_string(row.owned > row.done ? row.owned - row.done : 0),
+    };
+    if (st.adaptive) {
+      cells.push_back(std::to_string(row.frontier));
+      cells.push_back(row.stopped ? "yes" : "no");
+    }
+    t.row(std::move(cells));
+  }
+  std::string out = t.ascii();
+  out += "done " + std::to_string(st.done) + " of " + std::to_string(st.owned);
+  out += st.complete ? " (complete)" : " (in progress)";
+  out += ", digest " + std::to_string(st.digest) + "\n";
+  return out;
+}
+
+std::string status_json(const CheckpointStatus& st) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("format").value(kBatchFormatV2);
+  w.key("kind").value("status");
+  w.key("shard").begin_object();
+  w.key("index").value(st.shard.index);
+  w.key("count").value(st.shard.count);
+  w.end_object();
+  w.key("adaptive").value(st.adaptive);
+  w.key("complete").value(st.complete);
+  w.key("done").value(st.done);
+  w.key("owned").value(st.owned);
+  w.key("cursor").value(st.cursor);
+  w.key("digest").value(st.digest);
+  w.key("rows").begin_array();
+  for (const auto& row : st.rows) {
+    w.begin_object();
+    w.key("app").value(row.app);
+    w.key("region").value(region_token(row.region));
+    w.key("done").value(row.done);
+    w.key("owned").value(row.owned);
+    w.key("frontier").value(row.frontier);
+    w.key("stopped").value(row.stopped);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+CheckpointStatus parse_status_json(const std::string& text) {
+  const util::JsonValue doc = util::parse_json(text);
+  const util::JsonValue* f = doc.find("format");
+  const util::JsonValue* k = doc.find("kind");
+  if (!f || f->as_string() != kBatchFormatV2 || !k ||
+      k->as_string() != "status")
+    throw util::SetupError("not an fsim status document");
+  CheckpointStatus st;
+  const util::JsonValue& shard = doc.at("shard");
+  st.shard.index = static_cast<int>(shard.at("index").as_int());
+  st.shard.count = static_cast<int>(shard.at("count").as_int());
+  st.adaptive = doc.at("adaptive").as_bool();
+  st.complete = doc.at("complete").as_bool();
+  st.done = static_cast<int>(doc.at("done").as_int());
+  st.owned = static_cast<int>(doc.at("owned").as_int());
+  st.cursor = doc.at("cursor").as_u64();
+  st.digest = doc.at("digest").as_u64();
+  for (const auto& rv : doc.at("rows").items()) {
+    CheckpointStatus::Row row;
+    row.app = rv.at("app").as_string();
+    row.region = parse_region(rv.at("region").as_string());
+    row.done = static_cast<int>(rv.at("done").as_int());
+    row.owned = static_cast<int>(rv.at("owned").as_int());
+    row.frontier = static_cast<int>(rv.at("frontier").as_int());
+    row.stopped = rv.at("stopped").as_bool();
+    st.rows.push_back(std::move(row));
+  }
+  return st;
+}
+
 BatchResult checkpoint_to_batch(const Checkpoint& checkpoint) {
   BatchResult result;
   result.shard = checkpoint.shard;
@@ -448,11 +815,13 @@ MergeInput parse_merge_input(const std::string& text) {
 // --- CheckpointSink ---
 
 CheckpointSink::CheckpointSink(std::string path, int every,
-                               Checkpoint initial, CampaignObserver* notify)
+                               Checkpoint initial, CampaignObserver* notify,
+                               CheckpointEncoding encoding)
     : path_(std::move(path)),
       every_(every),
       checkpoint_(std::move(initial)),
-      notify_(notify) {
+      notify_(notify),
+      encoding_(encoding) {
   if (every_ < 1)
     throw util::SetupError("checkpoint interval must be >= 1, got " +
                            std::to_string(every_));
@@ -477,7 +846,8 @@ void CheckpointSink::update_cell(std::size_t slot, int frontier,
 }
 
 void CheckpointSink::write() {
-  util::write_file_atomic(path_, checkpoint_json(checkpoint_) + "\n");
+  util::write_file_atomic(path_,
+                          checkpoint_serialize(checkpoint_, encoding_) + "\n");
   pending_ = 0;
   if (notify_) notify_->on_checkpoint(path_, checkpoint_.completed_runs());
 }

@@ -53,6 +53,21 @@ class RunSet {
   std::vector<std::pair<int, int>> ranges_;
 };
 
+/// Explicit subset of a batch grid: one RunSet of run indices per
+/// (campaign, region) slot, in the checkpoint/batch slot order. run_batch
+/// executes exactly the selected points (ExecPolicy::selection); the
+/// service scheduler re-shards a campaign's *remaining* grid into disjoint
+/// selections, one per worker assignment (core/reshard.hpp).
+struct GridSelection {
+  std::vector<RunSet> slots;
+
+  /// Total selected grid points across all slots.
+  std::uint64_t total() const noexcept;
+  bool empty() const noexcept { return total() == 0; }
+
+  bool operator==(const GridSelection&) const = default;
+};
+
 /// Per-(campaign, region) checkpoint record: the partial counts and the
 /// run indices they cover. Invariant: counts.executions == done.size().
 ///
@@ -107,9 +122,60 @@ Checkpoint make_checkpoint(std::vector<CampaignSpec> specs,
 
 /// Serialize / parse the checkpoint document. parse verifies the per-slot
 /// and whole-document digests and throws SetupError on any mismatch or on
-/// a non-checkpoint document.
+/// a non-checkpoint document. It accepts either on-disk encoding: the
+/// plain JSON layout or the compact `"encoding": "fnv-bin-v1"` wrapper
+/// (the whole snapshot packed into one digested base64 blob) — both parse
+/// to the identical Checkpoint, so resume is byte-identical across
+/// encodings.
 std::string checkpoint_json(const Checkpoint& checkpoint);
 Checkpoint parse_checkpoint_json(const std::string& text);
+
+/// Serialize in the requested encoding (kJson == checkpoint_json).
+std::string checkpoint_serialize(const Checkpoint& checkpoint,
+                                 CheckpointEncoding encoding);
+
+/// Whole-document FNV-1a digest (the value serialized as "digest" and
+/// verified on parse) — the cheap identity token `fsim status` and the
+/// service protocol report.
+std::uint64_t checkpoint_digest(const Checkpoint& checkpoint);
+
+// --- Status (shared by `fsim status` and the service protocol) ---
+
+/// Progress summary of one checkpoint/campaign state: done/remaining runs
+/// per campaign, wave frontiers for adaptive documents, and the document
+/// digest. Computed by checkpoint_status, rendered by
+/// format_checkpoint_status, and round-tripped through status_json /
+/// parse_status_json so the daemon and the offline CLI share one
+/// formatter.
+struct CheckpointStatus {
+  struct Row {
+    std::string app;
+    Region region{};
+    int done = 0;
+    int owned = 0;     // this shard's grid points (selection-independent)
+    int frontier = 0;  // adaptive: committed wave frontier
+    bool stopped = false;
+  };
+  ShardSpec shard;
+  bool adaptive = false;
+  bool complete = false;
+  int done = 0;
+  int owned = 0;
+  std::uint64_t cursor = 0;
+  std::uint64_t digest = 0;
+  std::vector<Row> rows;  // slot order
+};
+
+CheckpointStatus checkpoint_status(const Checkpoint& checkpoint);
+
+/// Human-readable table: one line per (campaign, region) slot plus a
+/// summary footer.
+std::string format_checkpoint_status(const CheckpointStatus& status);
+
+/// Compact JSON for the service protocol; parse_status_json inverts it
+/// (throws SetupError on malformed input).
+std::string status_json(const CheckpointStatus& status);
+CheckpointStatus parse_status_json(const std::string& text);
 
 /// Project a checkpoint into a shard-partial BatchResult (the shape
 /// `fsim merge` folds). Counts cover exactly the checkpoint's completed
@@ -140,9 +206,11 @@ class CheckpointSink : public CampaignObserver {
  public:
   /// `initial` is the resume baseline (or an empty checkpoint). `notify`
   /// (borrowed, may be null) receives on_checkpoint after every file
-  /// write. Throws SetupError when every < 1.
+  /// write. `encoding` picks the sidecar layout (resume reads either).
+  /// Throws SetupError when every < 1.
   CheckpointSink(std::string path, int every, Checkpoint initial,
-                 CampaignObserver* notify = nullptr);
+                 CampaignObserver* notify = nullptr,
+                 CheckpointEncoding encoding = CheckpointEncoding::kJson);
 
   void on_run_done(const RunEvent& event) override;
 
@@ -167,6 +235,7 @@ class CheckpointSink : public CampaignObserver {
   int pending_ = 0;  // runs accumulated since the last write
   Checkpoint checkpoint_;
   CampaignObserver* notify_;
+  CheckpointEncoding encoding_;
 };
 
 }  // namespace fsim::core

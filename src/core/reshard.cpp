@@ -1,0 +1,114 @@
+#include "core/reshard.hpp"
+
+#include <string>
+
+#include "util/status.hpp"
+
+namespace fsim::core {
+
+GridSelection remaining_selection(const Checkpoint& ck) {
+  if (ck.adaptive)
+    throw util::SetupError(
+        "reshard: adaptive campaigns re-shard by cell, not by grid point");
+  GridSelection sel;
+  sel.slots.resize(ck.slots.size());
+  std::uint64_t g = 0;
+  std::size_t slot = 0;
+  for (const auto& spec : ck.specs) {
+    for (std::size_t ri = 0; ri < spec.regions.size(); ++ri, ++slot) {
+      const RunSet& done = ck.slots[slot].done;
+      for (int i = 0; i < spec.runs_per_region; ++i, ++g) {
+        if (!shard_owns(g, ck.shard)) continue;
+        if (done.contains(i)) continue;
+        sel.slots[slot].insert(i);
+      }
+    }
+  }
+  return sel;
+}
+
+GridSelection take_front(GridSelection& from, std::uint64_t n) {
+  GridSelection taken;
+  taken.slots.resize(from.slots.size());
+  for (std::size_t s = 0; s < from.slots.size() && n > 0; ++s) {
+    RunSet rest;
+    for (const auto& [first, last] : from.slots[s].ranges()) {
+      if (n == 0) {
+        rest.append_range(first, last);
+        continue;
+      }
+      const std::uint64_t len = static_cast<std::uint64_t>(last - first) + 1;
+      if (len <= n) {
+        taken.slots[s].append_range(first, last);
+        n -= len;
+      } else {
+        const int cut = first + static_cast<int>(n) - 1;
+        taken.slots[s].append_range(first, cut);
+        rest.append_range(cut + 1, last);
+        n = 0;
+      }
+    }
+    from.slots[s] = std::move(rest);
+  }
+  return taken;
+}
+
+void fold_checkpoint(Checkpoint& master, const Checkpoint& delta) {
+  if (master.adaptive || delta.adaptive)
+    throw util::SetupError("fold: adaptive checkpoints cannot be re-sharded");
+  if (!(master.shard == delta.shard))
+    throw util::SetupError(
+        "fold: checkpoint covers shard " + std::to_string(delta.shard.index) +
+        "/" + std::to_string(delta.shard.count) + ", master is shard " +
+        std::to_string(master.shard.index) + "/" +
+        std::to_string(master.shard.count));
+  if (master.specs != delta.specs)
+    throw util::SetupError(
+        "fold: checkpoint was produced by a different batch spec (apps, app "
+        "params, runs, seeds, regions, dictionary sizes and prune levels "
+        "must all match)");
+  if (master.slots.size() != delta.slots.size() ||
+      master.goldens.size() != master.specs.size() ||
+      delta.goldens.size() != delta.specs.size())
+    throw util::SetupError("fold: checkpoint slot layout is corrupted");
+
+  // The master never executes runs itself, so it starts with placeholder
+  // goldens and adopts the first worker's. Golden runs are deterministic
+  // per (app, params), so every later worker must agree exactly.
+  for (std::size_t c = 0; c < master.goldens.size(); ++c) {
+    Golden& mg = master.goldens[c];
+    const Golden& dg = delta.goldens[c];
+    if (mg.instructions == 0) {
+      mg = dg;
+      continue;
+    }
+    if (mg.instructions != dg.instructions ||
+        mg.hang_budget != dg.hang_budget || mg.rx_bytes != dg.rx_bytes)
+      throw util::SetupError(
+          "fold: golden run for campaign '" + master.specs[c].app +
+          "' disagrees with the master (the app or its config changed)");
+  }
+
+  // Disjointness check before any mutation: refusing the whole delta keeps
+  // fold atomic — a rejected sidecar leaves the master untouched.
+  for (std::size_t s = 0; s < master.slots.size(); ++s) {
+    for (const auto& [first, last] : delta.slots[s].done.ranges())
+      for (int i = first; i <= last; ++i)
+        if (master.slots[s].done.contains(i))
+          throw util::SetupError(
+              "fold: run " + std::to_string(i) + " of slot " +
+              std::to_string(s) +
+              " is already counted in the master (sidecar folded twice?)");
+  }
+  for (std::size_t s = 0; s < master.slots.size(); ++s) {
+    CheckpointSlot& ms = master.slots[s];
+    const CheckpointSlot& ds = delta.slots[s];
+    for (const auto& [first, last] : ds.done.ranges())
+      for (int i = first; i <= last; ++i) ms.done.insert(i);
+    merge_region_counts(ms.counts, ds.counts);
+    ms.counts.region = ds.counts.region;
+  }
+  if (delta.cursor > master.cursor) master.cursor = delta.cursor;
+}
+
+}  // namespace fsim::core

@@ -1,0 +1,42 @@
+// Checkpoint-aware elastic re-sharding (the service scheduler's planner).
+//
+// A campaign's master checkpoint records exactly which grid points are
+// done; everything else is the *remaining grid*. The scheduler carves that
+// remainder into disjoint GridSelections — one per worker assignment — and
+// folds each worker's checkpoint sidecar back into the master as it
+// arrives. Because every aggregate field is an integer sum over grid
+// points and run seeds are pure functions of (campaign seed, region,
+// index), any disjoint cover of the grid folds to the same master, bit for
+// bit: workers may join, die and be replaced mid-campaign without
+// perturbing the final counts (docs/SERVICE.md).
+#pragma once
+
+#include <cstdint>
+
+#include "core/checkpoint.hpp"
+
+namespace fsim::core {
+
+/// Every shard-owned grid point the checkpoint has NOT completed, as a
+/// per-slot selection in enumeration order. Empty selection == complete
+/// shard. Throws SetupError on an adaptive checkpoint (adaptive campaigns
+/// re-shard by cell, not by grid point).
+GridSelection remaining_selection(const Checkpoint& checkpoint);
+
+/// Split off the first `n` grid points of `from` (slot-major enumeration
+/// order) into a new selection, removing them from `from`. Returns fewer
+/// than `n` when the selection runs dry. The two selections are disjoint
+/// and their union is the original — repeated take_front calls therefore
+/// produce a disjoint cover, the invariant elastic re-sharding rests on.
+GridSelection take_front(GridSelection& from, std::uint64_t n);
+
+/// Fold a worker's (possibly partial) checkpoint into the master: verify
+/// the two describe the same batch (shard, specs; golden identities when
+/// the master already has them — a fresh master adopts the delta's),
+/// require their done-sets to be disjoint, then union the done-sets and
+/// sum the per-slot counts. Throws SetupError on any identity mismatch or
+/// overlap — folding the same sidecar twice is always refused, so a crash
+/// between "fold" and "persist" cannot double-count.
+void fold_checkpoint(Checkpoint& master, const Checkpoint& delta);
+
+}  // namespace fsim::core

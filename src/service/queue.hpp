@@ -1,0 +1,78 @@
+// Durable on-disk job queue for the fsim service daemon.
+//
+// Layout (docs/SERVICE.md):
+//   <state>/jobs/<id>/spec.json    submitted fsim-batch-v2 spec (verbatim)
+//   <state>/jobs/<id>/meta.json    {"id", "tenant"}
+//   <state>/jobs/<id>/master.json  master checkpoint (fold target)
+//   <state>/jobs/<id>/result.json  final batch document (presence == done)
+//   <state>/jobs/<id>/tasks/t<N>.json  worker checkpoint sidecars
+//
+// Every file is written atomically (write-to-temp + rename), so a daemon
+// crash leaves each job either before or after a fold — never torn. On
+// restart the store reloads every job, folds any task sidecars that are
+// not yet in the master (crash between a worker's final write and the
+// daemon's persist), and re-derives the remaining grid from the master;
+// work in flight at the crash is simply re-queued.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+
+namespace fsim::service {
+
+/// One submitted campaign batch and its execution state. `pending` is the
+/// not-yet-assigned remainder of the grid; the scheduler carves
+/// assignments off it with take_front and folds finished sidecars back
+/// into `master`.
+struct Job {
+  std::string id;
+  std::string tenant;
+  std::string spec_text;  // verbatim spec document (sent to workers)
+  core::Checkpoint master;
+  core::GridSelection pending;
+  std::uint64_t outstanding = 0;  // grid points currently assigned
+  int next_task = 0;              // task-number allocator
+  bool done = false;
+};
+
+class JobStore {
+ public:
+  /// Opens (creating if necessary) the state directory and loads every
+  /// existing job. Throws SetupError on an unusable directory or a
+  /// corrupted job (a bad sidecar is skipped, a bad master is fatal).
+  explicit JobStore(std::string state_dir);
+
+  /// Create, persist and enqueue a job. Throws SetupError on a malformed
+  /// spec document.
+  Job& create(const std::string& tenant, const std::string& spec_text);
+
+  Job* find(const std::string& id);
+  /// All jobs in creation order.
+  const std::vector<std::unique_ptr<Job>>& jobs() const noexcept {
+    return jobs_;
+  }
+
+  /// Atomically rewrite the job's master checkpoint.
+  void persist_master(const Job& job) const;
+  /// Write result.json from the (complete) master and mark the job done.
+  void finalize(Job& job) const;
+  /// Contents of result.json (throws if the job is not done).
+  std::string result_text(const Job& job) const;
+  /// Sidecar path task `task` of `job` checkpoints into.
+  std::string sidecar_path(const Job& job, int task) const;
+
+ private:
+  std::string job_dir(const std::string& id) const;
+  void load();
+  void load_job(const std::string& id);
+
+  std::string state_dir_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  int next_id_ = 1;
+};
+
+}  // namespace fsim::service

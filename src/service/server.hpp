@@ -1,0 +1,25 @@
+// The fsim service daemon: accept loop, connection handling, dispatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/checkpoint.hpp"
+
+namespace fsim::service {
+
+struct ServeOptions {
+  std::string socket_path;  // Unix-domain socket to listen on
+  std::string state_dir;    // durable queue root (docs/SERVICE.md)
+  /// Grid points per assignment; 0 = auto (see Scheduler).
+  std::uint64_t chunk = 0;
+  /// Sidecar encoding workers checkpoint with.
+  core::CheckpointEncoding encoding = core::CheckpointEncoding::kJson;
+};
+
+/// Run the daemon until a client sends {"op": "shutdown"}. Returns the
+/// process exit code. Throws SetupError when the socket or state
+/// directory cannot be set up.
+int serve(const ServeOptions& options);
+
+}  // namespace fsim::service

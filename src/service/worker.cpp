@@ -1,0 +1,64 @@
+#include "service/worker.hpp"
+
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "service/protocol.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
+#include "util/status.hpp"
+
+namespace fsim::service {
+
+int run_worker(const WorkerOptions& options) {
+  util::UnixSocket sock = util::UnixSocket::connect(options.socket_path);
+  {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("op").value("worker");
+    w.key("name").value(options.name);
+    w.end_object();
+    sock.write_line(w.str());
+  }
+  std::fprintf(stderr, "fsim worker %s: connected to %s\n",
+               options.name.c_str(), options.socket_path.c_str());
+
+  std::string line;
+  while (sock.read_line(line)) {
+    const util::JsonValue msg = util::parse_json(line);
+    const std::string op = msg.at("op").as_string();
+    if (op == "exit") break;
+    if (op != "assign")
+      throw util::SetupError("worker: unexpected op '" + op + "'");
+
+    const Assignment a = parse_assign(msg);
+    std::fprintf(stderr, "fsim worker %s: job=%s task=%d runs=%llu\n",
+                 options.name.c_str(), a.job.c_str(), a.task,
+                 static_cast<unsigned long long>(a.selection.total()));
+
+    const std::vector<core::CampaignSpec> specs =
+        core::parse_batch_spec(a.spec);
+    const std::vector<core::BatchEntry> entries =
+        core::entries_for_specs(specs);
+    core::BatchConfig bc;
+    bc.jobs = options.jobs;
+    bc.selection = &a.selection;
+    bc.checkpoint_path = a.sidecar;
+    bc.checkpoint_every = options.checkpoint_every;
+    bc.checkpoint_encoding = a.encoding;
+    core::run_batch(entries, bc);
+
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("op").value("task_done");
+    w.key("job").value(a.job);
+    w.key("task").value(static_cast<std::int64_t>(a.task));
+    w.end_object();
+    sock.write_line(w.str());
+  }
+  std::fprintf(stderr, "fsim worker %s: exiting\n", options.name.c_str());
+  return 0;
+}
+
+}  // namespace fsim::service

@@ -16,8 +16,16 @@
 //   fsim mix       --app=wavetoy [--rank=1]  (instruction mix / hot spots)
 //   fsim lint      [--app=NAME|all] [--json] [--werror] [--suppress=p1,p2]
 //                  (static diagnostics; nonzero exit on errors)
+//   fsim serve     --socket=PATH --state=DIR   (campaign service daemon)
+//   fsim worker    --socket=PATH [--name=ID]   (execution worker process)
+//   fsim submit    --socket=PATH --tenant=T --spec=FILE
+//   fsim status    --socket=PATH [--job=ID] | CKPT-or-SPEC-file
+//   fsim fetch     --socket=PATH --job=ID [--out=FILE]
+//   fsim shutdown  --socket=PATH             (orderly daemon stop)
 //
 // Every command is deterministic given its --seed.
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -30,6 +38,8 @@
 #include "core/checkpoint.hpp"
 #include "core/report.hpp"
 #include "core/sampling.hpp"
+#include "service/server.hpp"
+#include "service/worker.hpp"
 #include "simmpi/world.hpp"
 #include "svm/analysis/analysis.hpp"
 #include "trace/mix.hpp"
@@ -37,6 +47,8 @@
 #include "trace/working_set.hpp"
 #include "util/cli.hpp"
 #include "util/file.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
@@ -55,11 +67,12 @@ int print_usage() {
       "  batch     --apps=a,b,... | --spec=FILE [--runs=N] [--regions=...]\n"
       "            [--seed=N] [--jobs=N] [--prune=off|regs|full] [--shard=i/N]\n"
       "            [--checkpoint=FILE] [--checkpoint-every=N]\n"
-      "            [--engine=interp|threaded]\n"
+      "            [--ckpt-encoding=json|bin] [--engine=interp|threaded]\n"
       "            [--ci=D] [--confidence=P] [--wave=N] [--max-runs=N]\n"
       "            [--out=FILE] [--json] [--csv] [--activation] [--quiet]\n"
       "  resume    CKPT.json [--jobs=N] [--checkpoint=FILE]\n"
-      "            [--checkpoint-every=N] [--engine=interp|threaded]\n"
+      "            [--checkpoint-every=N] [--ckpt-encoding=json|bin]\n"
+      "            [--engine=interp|threaded]\n"
       "            [--ci=D] [--confidence=P] [--wave=N] [--max-runs=N]\n"
       "            [--out=FILE] [--json] [--csv]\n"
       "            [--activation] [--quiet]\n"
@@ -71,6 +84,14 @@ int print_usage() {
       "  trace     --app=NAME [--rank=K] [--points=N]\n"
       "  mix       --app=NAME [--rank=K]\n"
       "  lint      [--app=NAME|all] [--json] [--werror] [--suppress=p1,p2]\n"
+      "  serve     --socket=PATH --state=DIR [--chunk=N]\n"
+      "            [--ckpt-encoding=json|bin]  (campaign service daemon)\n"
+      "  worker    --socket=PATH [--name=ID] [--jobs=N]\n"
+      "            [--checkpoint-every=N]  (pulls work from a daemon)\n"
+      "  submit    --socket=PATH --tenant=NAME --spec=FILE\n"
+      "  status    --socket=PATH [--job=ID] | CKPT-or-SPEC-file\n"
+      "  fetch     --socket=PATH --job=ID [--out=FILE]\n"
+      "  shutdown  --socket=PATH  (orderly daemon stop)\n"
       "  help      (this text; also --help)\n"
       "apps: wavetoy | minimd | atmo | jacobi\n"
       "regions: regular | fp | bss | data | stack | text | heap | message\n");
@@ -251,24 +272,19 @@ std::string render_batch(const util::Cli& cli, const core::BatchResult& res) {
   return out;
 }
 
-/// Build the batch entry list a spec list describes (one linked app per
-/// campaign, params applied to the app config).
-std::vector<core::BatchEntry> batch_entries(
-    const std::vector<core::CampaignSpec>& specs) {
-  std::vector<core::BatchEntry> entries;
-  for (const auto& spec : specs) {
-    core::BatchEntry e;
-    e.app = apps::make_app(spec.app, spec.params);
-    e.params = spec.params;
-    e.config.runs_per_region = spec.runs_per_region;
-    e.config.seed = spec.seed;
-    e.config.regions = spec.regions;
-    e.config.dictionary_entries = spec.dictionary_entries;
-    e.config.prune = spec.prune;
-    e.config.engine = spec.engine;
-    entries.push_back(std::move(e));
+/// --ckpt-encoding=json|bin (sidecar wire format, docs/SERVICE.md).
+bool parse_ckpt_encoding(const util::Cli& cli,
+                         core::CheckpointEncoding& encoding) {
+  if (!cli.has("ckpt-encoding")) return true;
+  const std::string v = cli.str("ckpt-encoding", "json");
+  if (const auto e = core::parse_checkpoint_encoding(v)) {
+    encoding = *e;
+    return true;
   }
-  return entries;
+  std::fprintf(stderr,
+               "option --ckpt-encoding expects json|bin, got '%s'\n",
+               v.c_str());
+  return false;
 }
 
 /// Shard partials default to the JSON that `fsim merge` consumes; tables
@@ -373,7 +389,7 @@ int cmd_batch(const util::Cli& cli) {
   if (adaptive)
     apply_max_runs(cli, cli.has("spec") || cli.has("runs"), specs);
 
-  std::vector<core::BatchEntry> entries = batch_entries(specs);
+  std::vector<core::BatchEntry> entries = core::entries_for_specs(specs);
 
   core::BatchConfig bc;
   bc.jobs = static_cast<int>(cli.num(
@@ -381,6 +397,7 @@ int cmd_batch(const util::Cli& cli) {
       static_cast<std::int64_t>(util::ThreadPool::default_workers())));
   bc.checkpoint_path = cli.str("checkpoint", "");
   bc.checkpoint_every = static_cast<int>(cli.num("checkpoint-every", 64));
+  if (!parse_ckpt_encoding(cli, bc.checkpoint_encoding)) return 1;
   if (cli.has("shard")) {
     const std::string s = cli.str("shard", "0/1");
     const auto slash = s.find('/');
@@ -394,12 +411,8 @@ int cmd_batch(const util::Cli& cli) {
 
   if (adaptive) {
     core::AdaptiveConfig ac;
+    ac.exec() = bc.exec();  // same jobs/shard/observer/checkpoint policy
     ac.policy = parse_adaptive_policy(cli, core::AdaptivePolicy{});
-    ac.jobs = bc.jobs;
-    ac.shard = bc.shard;
-    ac.observer = bc.observer;
-    ac.checkpoint_path = bc.checkpoint_path;
-    ac.checkpoint_every = bc.checkpoint_every;
     if (!cli.flag("quiet"))
       std::fprintf(stderr,
                    "batch: %zu campaigns, %d jobs, shard %d/%d, adaptive "
@@ -447,7 +460,7 @@ int cmd_resume(const util::Cli& cli) {
     for (auto& spec : ck.specs) spec.runs_per_region = cap;
   }
 
-  std::vector<core::BatchEntry> entries = batch_entries(ck.specs);
+  std::vector<core::BatchEntry> entries = core::entries_for_specs(ck.specs);
 
   core::BatchConfig bc;
   bc.jobs = static_cast<int>(cli.num(
@@ -459,6 +472,7 @@ int cmd_resume(const util::Cli& cli) {
   // wherever this invocation got to) unless redirected with --checkpoint.
   bc.checkpoint_path = cli.str("checkpoint", files[0]);
   bc.checkpoint_every = static_cast<int>(cli.num("checkpoint-every", 64));
+  if (!parse_ckpt_encoding(cli, bc.checkpoint_encoding)) return 1;
   BatchProgress progress;
   if (!cli.flag("quiet")) {
     bc.observer = &progress;
@@ -475,14 +489,9 @@ int cmd_resume(const util::Cli& cli) {
   // itself rejects --ci against a fixed-n checkpoint with a clear message.
   if (ck.adaptive || cli.has("ci")) {
     core::AdaptiveConfig ac;
+    ac.exec() = bc.exec();  // carries jobs/shard/checkpoint policy + resume
     ac.policy = parse_adaptive_policy(
         cli, ck.adaptive ? *ck.adaptive : core::AdaptivePolicy{});
-    ac.jobs = bc.jobs;
-    ac.shard = bc.shard;
-    ac.observer = bc.observer;
-    ac.checkpoint_path = bc.checkpoint_path;
-    ac.checkpoint_every = bc.checkpoint_every;
-    ac.resume = &ck;
     const core::AdaptiveResult res = core::run_adaptive(entries, ac);
     write_adaptive_output(cli, res);
     return 0;
@@ -639,6 +648,135 @@ int cmd_mix(const util::Cli& cli) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Service client/daemon commands (docs/SERVICE.md).
+
+std::string require_socket(const util::Cli& cli) {
+  if (!cli.has("socket"))
+    throw util::SetupError("option --socket=PATH is required");
+  return cli.str("socket", "");
+}
+
+/// One request/reply round-trip with the daemon. Throws SetupError on a
+/// connection failure or an {"ok": false} reply.
+util::JsonValue service_request(const std::string& socket_path,
+                                const std::string& line) {
+  util::UnixSocket sock = util::UnixSocket::connect(socket_path);
+  sock.write_line(line);
+  std::string reply;
+  if (!sock.read_line(reply))
+    throw util::SetupError("daemon closed the connection without replying");
+  util::JsonValue doc = util::parse_json(reply);
+  if (!doc.at("ok").as_bool())
+    throw util::SetupError(doc.at("error").as_string());
+  return doc;
+}
+
+int cmd_serve(const util::Cli& cli) {
+  service::ServeOptions opts;
+  opts.socket_path = require_socket(cli);
+  if (!cli.has("state"))
+    throw util::SetupError("option --state=DIR is required");
+  opts.state_dir = cli.str("state", "");
+  opts.chunk = static_cast<std::uint64_t>(cli.num("chunk", 0));
+  if (!parse_ckpt_encoding(cli, opts.encoding)) return 1;
+  return service::serve(opts);
+}
+
+int cmd_worker(const util::Cli& cli) {
+  service::WorkerOptions opts;
+  opts.socket_path = require_socket(cli);
+  opts.name = cli.str("name", "w" + std::to_string(::getpid()));
+  opts.jobs = static_cast<int>(cli.num("jobs", 1));
+  opts.checkpoint_every =
+      static_cast<int>(cli.num("checkpoint-every", 16));
+  return service::run_worker(opts);
+}
+
+int cmd_submit(const util::Cli& cli) {
+  if (!cli.has("spec"))
+    throw util::SetupError("option --spec=FILE is required");
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("op").value("submit");
+  w.key("tenant").value(cli.str("tenant", "default"));
+  w.key("spec").value(util::read_file(cli.str("spec", "")));
+  w.end_object();
+  const util::JsonValue reply =
+      service_request(require_socket(cli), w.str());
+  std::printf("%s\n", reply.at("job").as_string().c_str());
+  return 0;
+}
+
+/// Offline status: a checkpoint file (either encoding), or a spec file
+/// (renders the not-yet-started grid). Shares its formatter with the
+/// daemon path, so both surfaces always agree.
+int status_of_file(const std::string& path) {
+  const std::string text = util::read_file(path);
+  core::Checkpoint ck;
+  try {
+    ck = core::parse_checkpoint_json(text);
+  } catch (const util::SetupError&) {
+    const std::vector<core::CampaignSpec> specs =
+        core::parse_batch_spec(text);
+    ck = core::make_checkpoint(
+        specs, std::vector<core::Golden>(specs.size()), core::ShardSpec{});
+  }
+  std::printf("%s", core::format_checkpoint_status(
+                        core::checkpoint_status(ck)).c_str());
+  return 0;
+}
+
+int cmd_status(const util::Cli& cli) {
+  if (!cli.positional().empty()) return status_of_file(cli.positional()[0]);
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("op").value("status");
+  if (cli.has("job")) w.key("job").value(cli.str("job", ""));
+  w.end_object();
+  const util::JsonValue reply =
+      service_request(require_socket(cli), w.str());
+  const auto& jobs = reply.at("jobs").items();
+  if (jobs.empty()) {
+    std::printf("no %s\n", cli.has("job") ? "such job" : "jobs");
+    return cli.has("job") ? 1 : 0;
+  }
+  for (const auto& job : jobs) {
+    std::printf("job %s  tenant=%s  state=%s\n",
+                job.at("id").as_string().c_str(),
+                job.at("tenant").as_string().c_str(),
+                job.at("state").as_string().c_str());
+    std::printf("%s", core::format_checkpoint_status(
+                          core::parse_status_json(
+                              job.at("status").as_string())).c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_fetch(const util::Cli& cli) {
+  if (!cli.has("job"))
+    throw util::SetupError("option --job=ID is required");
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("op").value("fetch");
+  w.key("job").value(cli.str("job", ""));
+  w.end_object();
+  const util::JsonValue reply =
+      service_request(require_socket(cli), w.str());
+  write_output(cli, reply.at("result").as_string());
+  return 0;
+}
+
+int cmd_shutdown(const util::Cli& cli) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("op").value("shutdown");
+  w.end_object();
+  (void)service_request(require_socket(cli), w.str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -656,6 +794,12 @@ int main(int argc, char** argv) {
     if (command == "trace") return cmd_trace(cli);
     if (command == "mix") return cmd_mix(cli);
     if (command == "lint") return cmd_lint(cli);
+    if (command == "serve") return cmd_serve(cli);
+    if (command == "worker") return cmd_worker(cli);
+    if (command == "submit") return cmd_submit(cli);
+    if (command == "status") return cmd_status(cli);
+    if (command == "fetch") return cmd_fetch(cli);
+    if (command == "shutdown") return cmd_shutdown(cli);
     if (command == "help" || command == "--help" || command == "-h")
       return print_usage();
     return usage();

@@ -1,0 +1,153 @@
+#include "util/codec.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/status.hpp"
+
+namespace fsim::util {
+
+void ByteWriter::u64(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>(0x80 | (v & 0x7f)));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::i64(std::int64_t v) {
+  // Zigzag: small magnitudes of either sign stay short.
+  u64((static_cast<std::uint64_t>(v) << 1) ^
+      static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+}
+
+void ByteWriter::str(std::string_view s) {
+  u64(s.size());
+  buf_.append(s);
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= bytes_.size())
+      throw SetupError("codec: truncated varint");
+    const unsigned char b = static_cast<unsigned char>(bytes_[pos_++]);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      // The final group of a maximal-length varint has only one usable bit.
+      if (shift == 63 && (b & 0x7e) != 0)
+        throw SetupError("codec: varint overflows 64 bits");
+      return v;
+    }
+  }
+  throw SetupError("codec: varint overflows 64 bits");
+}
+
+std::int64_t ByteReader::i64() {
+  const std::uint64_t z = u64();
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+double ByteReader::f64() {
+  if (remaining() < 8) throw SetupError("codec: truncated double");
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i)
+    bits |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(bytes_[pos_ + i]))
+            << (8 * i);
+  pos_ += 8;
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  if (n > remaining()) throw SetupError("codec: truncated string");
+  std::string s(bytes_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+namespace {
+constexpr char kB64[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+}  // namespace
+
+std::string base64_encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const unsigned v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                       (static_cast<unsigned char>(bytes[i + 1]) << 8) |
+                       static_cast<unsigned char>(bytes[i + 2]);
+    out.push_back(kB64[(v >> 18) & 63]);
+    out.push_back(kB64[(v >> 12) & 63]);
+    out.push_back(kB64[(v >> 6) & 63]);
+    out.push_back(kB64[v & 63]);
+  }
+  const std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    const unsigned v = static_cast<unsigned char>(bytes[i]) << 16;
+    out.push_back(kB64[(v >> 18) & 63]);
+    out.push_back(kB64[(v >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    const unsigned v = (static_cast<unsigned char>(bytes[i]) << 16) |
+                       (static_cast<unsigned char>(bytes[i + 1]) << 8);
+    out.push_back(kB64[(v >> 18) & 63]);
+    out.push_back(kB64[(v >> 12) & 63]);
+    out.push_back(kB64[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0)
+    throw SetupError("codec: base64 length is not a multiple of 4");
+  // Inverse alphabet built once; -1 marks characters outside it.
+  static const auto inv = [] {
+    std::array<signed char, 256> t{};
+    t.fill(-1);
+    for (int i = 0; i < 64; ++i)
+      t[static_cast<unsigned char>(kB64[i])] = static_cast<signed char>(i);
+    return t;
+  }();
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    unsigned v = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last one or two positions of the
+        // final group.
+        if (i + 4 != text.size() || j < 2)
+          throw SetupError("codec: stray base64 padding");
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0 || inv[static_cast<unsigned char>(c)] < 0)
+        throw SetupError("codec: invalid base64 character");
+      v = (v << 6) | static_cast<unsigned>(inv[static_cast<unsigned char>(c)]);
+    }
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<char>((v >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<char>(v & 0xff));
+  }
+  return out;
+}
+
+}  // namespace fsim::util

@@ -1,0 +1,57 @@
+// Compact binary serialization primitives: varint-packed byte streams and
+// base64 (for embedding a binary blob in a JSON document). Used by the
+// fnv-bin-v1 checkpoint encoding (core/checkpoint.hpp); the stream layer
+// is format-agnostic and deterministic — the same value sequence always
+// produces the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fsim::util {
+
+/// Append-only byte stream. Unsigned integers are LEB128 varints, signed
+/// ones zigzag-coded varints, doubles their 8 little-endian IEEE bytes
+/// (bit-exact round trip), strings length-prefixed.
+class ByteWriter {
+ public:
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void str(std::string_view s);
+  void raw(std::string_view bytes) { buf_.append(bytes); }
+
+  const std::string& bytes() const noexcept { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a ByteWriter stream. Every decode throws
+/// SetupError on truncation or malformed varints — a torn or corrupted
+/// blob is always refused, never misread.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+
+  bool done() const noexcept { return pos_ == bytes_.size(); }
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Standard base64 (RFC 4648, with padding). decode throws SetupError on
+/// any character outside the alphabet or a malformed tail.
+std::string base64_encode(std::string_view bytes);
+std::string base64_decode(std::string_view text);
+
+}  // namespace fsim::util

@@ -1,0 +1,148 @@
+#include "util/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace fsim::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SetupError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw SetupError("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+UnixSocket::~UnixSocket() { close(); }
+
+UnixSocket::UnixSocket(UnixSocket&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), buf_(std::move(o.buf_)) {}
+
+UnixSocket& UnixSocket::operator=(UnixSocket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = std::exchange(o.fd_, -1);
+    buf_ = std::move(o.buf_);
+  }
+  return *this;
+}
+
+void UnixSocket::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+UnixSocket UnixSocket::connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const sockaddr_un addr = make_addr(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("connect '" + path + "'");
+  }
+  return UnixSocket(fd);
+}
+
+bool UnixSocket::has_buffered_line() const noexcept {
+  return buf_.find('\n') != std::string::npos;
+}
+
+bool UnixSocket::read_line(std::string& line) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (!buf_.empty())
+        throw SetupError("socket: peer closed mid-line");
+      return false;
+    }
+    if (errno == EINTR) continue;
+    throw_errno("socket read");
+  }
+}
+
+void UnixSocket::write_line(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, not SIGPIPE — the
+    // daemon treats it like any other dead connection.
+    const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const sockaddr_un addr = make_addr(path);
+  ::unlink(path.c_str());  // a stale file from a dead daemon blocks bind
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int e = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = e;
+    throw_errno("bind '" + path + "'");
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int e = errno;
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path.c_str());
+    errno = e;
+    throw_errno("listen '" + path + "'");
+  }
+}
+
+UnixListener::~UnixListener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+UnixSocket UnixListener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return UnixSocket(fd);
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
+}
+
+}  // namespace fsim::util

@@ -1,0 +1,72 @@
+// Unix-domain stream sockets with line framing — the service transport.
+//
+// The fsim service protocol is line-delimited JSON: one complete JSON
+// document per '\n'-terminated line (docs/SERVICE.md). This layer owns the
+// fds and the read buffering; everything above it deals in whole lines.
+#pragma once
+
+#include <string>
+
+namespace fsim::util {
+
+/// One connected stream. Move-only; closes the fd on destruction. Reads
+/// are blocking; the daemon multiplexes many sockets with poll(2) on
+/// fd() and calls read_line only after readiness.
+class UnixSocket {
+ public:
+  UnixSocket() = default;
+  explicit UnixSocket(int fd) : fd_(fd) {}
+  ~UnixSocket();
+
+  UnixSocket(UnixSocket&& o) noexcept;
+  UnixSocket& operator=(UnixSocket&& o) noexcept;
+  UnixSocket(const UnixSocket&) = delete;
+  UnixSocket& operator=(const UnixSocket&) = delete;
+
+  /// Connect to a listening socket at `path`. Throws SetupError on
+  /// failure (no daemon, permission, path too long).
+  static UnixSocket connect(const std::string& path);
+
+  /// Read one '\n'-terminated line (the '\n' is stripped). Returns false
+  /// on clean EOF with no buffered partial line. Throws SetupError on a
+  /// read error or EOF mid-line.
+  bool read_line(std::string& line);
+
+  /// True when a complete buffered line is available without reading the
+  /// fd again (drain these before the next poll()).
+  bool has_buffered_line() const noexcept;
+
+  /// Write `line` plus a trailing '\n'. Throws SetupError on any error —
+  /// including EPIPE (the peer vanished); writes never raise SIGPIPE.
+  void write_line(const std::string& line);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // bytes read past the last returned line
+};
+
+/// Listening socket bound to a filesystem path. Removes a stale socket
+/// file on bind and unlinks its own on destruction.
+class UnixListener {
+ public:
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  /// Accept one pending connection (blocking; poll fd() first).
+  UnixSocket accept();
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace fsim::util

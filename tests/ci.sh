@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # One-shot CI gate: configure and build the tree with warnings-as-errors,
 # run the full test suite, the lint gate (warnings fatal), the docs drift
-# check, the multi-process kill/resume crash-tolerance gate, the adaptive
+# check, the multi-process kill/resume crash-tolerance gate, the service
+# gates (elastic re-sharding with a mid-run worker death and a mid-run
+# join, and the two-tenant fairness + daemon-restart e2e), the adaptive
 # (--ci) sampling gates (byte-determinism across jobs/kill-resume/shard, a
 # recorded reference digest, and the >=2x run-savings bench), the checkpoint
 # determinism/overhead gate, the execution-engine A/B digest gate (interp
@@ -56,6 +58,10 @@ run_gate() {
   bash "$root/tests/docs_check.sh" "$dir/src/tools/fsim" "$root"
   echo "=== ci: crash tolerance (kill + resume + merge) ==="
   bash "$root/tests/kill_resume_test.sh" "$dir/src/tools/fsim"
+  echo "=== ci: elastic re-sharding (daemon, worker death + join) ==="
+  bash "$root/tests/elastic_reshard_test.sh" "$dir/src/tools/fsim"
+  echo "=== ci: multi-tenant service e2e (fairness, daemon restart) ==="
+  bash "$root/tests/service_e2e_test.sh" "$dir/src/tools/fsim"
   echo "=== ci: adaptive sampling determinism (jobs/kill-resume/shard) ==="
   bash "$root/tests/adaptive_test.sh" "$dir/src/tools/fsim"
   echo "=== ci: adaptive reference-digest gate ==="

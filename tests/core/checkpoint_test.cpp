@@ -13,6 +13,7 @@
 #include "core/campaign.hpp"
 #include "core/checkpoint.hpp"
 #include "core/report.hpp"
+#include "core/reshard.hpp"
 #include "util/file.hpp"
 #include "util/status.hpp"
 
@@ -62,11 +63,14 @@ std::string scratch(const std::string& name) {
 /// Run the batch streaming a checkpoint, return the final sidecar state.
 Checkpoint run_with_checkpoint(const std::vector<BatchEntry>& entries,
                                const std::string& path, int jobs,
-                               int every = 1) {
+                               int every = 1,
+                               CheckpointEncoding enc =
+                                   CheckpointEncoding::kJson) {
   BatchConfig bc;
   bc.jobs = jobs;
   bc.checkpoint_path = path;
   bc.checkpoint_every = every;
+  bc.checkpoint_encoding = enc;
   (void)run_batch(entries, bc);
   return parse_checkpoint_json(util::read_file(path));
 }
@@ -397,6 +401,158 @@ TEST(Format, V2SpecFilesCarryAppParams) {
   EXPECT_EQ(apps::make_app("wavetoy", {4, 8}).world.nranks, 4);
   EXPECT_THROW(apps::make_app("wavetoy", {65, 0}), util::SetupError);
   EXPECT_THROW(apps::make_app("minimd", {0, -1}), util::SetupError);
+}
+
+TEST(Encoding, BinaryCheckpointRoundTripsByteIdentically) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  const std::string path = scratch("binenc");
+  const Checkpoint ck = run_with_checkpoint(entries, path, /*jobs=*/2);
+
+  const std::string bin =
+      checkpoint_serialize(ck, CheckpointEncoding::kBinary);
+  EXPECT_NE(bin.find("\"encoding\":\"fnv-bin-v1\""), std::string::npos);
+  EXPECT_LT(bin.size(), checkpoint_json(ck).size());  // it had better pay off
+
+  // Decode → JSON equals the straight JSON encoding; re-encode is stable.
+  const Checkpoint back = parse_checkpoint_json(bin);
+  EXPECT_EQ(checkpoint_json(back), checkpoint_json(ck));
+  EXPECT_EQ(checkpoint_serialize(back, CheckpointEncoding::kBinary), bin);
+
+  // Corrupting the payload (or its digest) is detected.
+  const auto data = bin.find("\"data\":\"");
+  ASSERT_NE(data, std::string::npos);
+  std::string tampered = bin;
+  const std::size_t flip = data + 12;
+  tampered[flip] = tampered[flip] == 'A' ? 'B' : 'A';
+  EXPECT_THROW(parse_checkpoint_json(tampered), util::SetupError);
+  std::remove(path.c_str());
+}
+
+TEST(Encoding, SinkWritesBinarySidecarsThatResumeIdentically) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  BatchConfig mono;
+  mono.jobs = 2;
+  const BatchResult whole = run_batch(entries, mono);
+
+  // A mid-flight checkpoint in both encodings (same completed prefix).
+  const std::string path = scratch("bin_resume");
+  Checkpoint partial = partial_checkpoint(entries, {6, 5}, path);
+  const std::string as_json =
+      checkpoint_serialize(partial, CheckpointEncoding::kJson);
+  const std::string as_bin =
+      checkpoint_serialize(partial, CheckpointEncoding::kBinary);
+
+  // Resuming from either encoding reproduces the monolithic bytes.
+  for (const std::string& text : {as_json, as_bin}) {
+    Checkpoint ck = parse_checkpoint_json(text);
+    BatchConfig bc;
+    bc.jobs = 2;
+    bc.resume = &ck;
+    EXPECT_EQ(batch_json(run_batch(entries, bc)), batch_json(whole));
+  }
+
+  // And the sink itself round-trips when asked to write binary: the final
+  // sidecar of a finished run parses back to the JSON-encoded state.
+  const std::string bpath = scratch("bin_sink");
+  const Checkpoint bin_ck =
+      run_with_checkpoint(entries, bpath, /*jobs=*/2, /*every=*/4,
+                          CheckpointEncoding::kBinary);
+  EXPECT_NE(util::read_file(bpath).find("fnv-bin-v1"), std::string::npos);
+  EXPECT_TRUE(bin_ck.complete());
+  EXPECT_EQ(checkpoint_json(bin_ck),
+            checkpoint_json(run_with_checkpoint(entries, path, 2)));
+  std::remove(path.c_str());
+  std::remove(bpath.c_str());
+}
+
+TEST(Reshard, TakeFrontCarvesDisjointCoversOfTheRemainder) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  const std::string path = scratch("carve");
+  const Checkpoint full = run_with_checkpoint(entries, path, /*jobs=*/2);
+
+  Checkpoint master = make_checkpoint(
+      full.specs, std::vector<Golden>(full.specs.size()), ShardSpec{});
+  GridSelection pending = remaining_selection(master);
+  EXPECT_EQ(pending.total(), 46u);  // 10*3 + 8*2
+
+  GridSelection a = take_front(pending, 20);
+  EXPECT_EQ(a.total(), 20u);
+  EXPECT_EQ(pending.total(), 26u);
+  GridSelection b = take_front(pending, 100);  // clamped to what is left
+  EXPECT_EQ(b.total(), 26u);
+  EXPECT_TRUE(pending.empty());
+  EXPECT_TRUE(take_front(pending, 5).empty());
+
+  // Disjoint: no run index appears in both selections.
+  for (std::size_t s = 0; s < a.slots.size(); ++s)
+    for (const auto& [first, last] : a.slots[s].ranges())
+      for (int i = first; i <= last; ++i)
+        EXPECT_FALSE(b.slots[s].contains(i)) << s << ":" << i;
+  std::remove(path.c_str());
+}
+
+TEST(Reshard, FoldedSelectionsReproduceTheMonolithicBatch) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  BatchConfig mono;
+  mono.jobs = 2;
+  const BatchResult whole = run_batch(entries, mono);
+
+  const std::string path = scratch("fold_specs");
+  const Checkpoint full = run_with_checkpoint(entries, path, /*jobs=*/2);
+  Checkpoint master = make_checkpoint(
+      full.specs, std::vector<Golden>(full.specs.size()), ShardSpec{});
+  GridSelection pending = remaining_selection(master);
+  const GridSelection first = take_front(pending, 19);
+
+  // Execute the two selections exactly as service workers would.
+  const std::string pa = scratch("fold_a");
+  const std::string pb = scratch("fold_b");
+  BatchConfig bc;
+  bc.jobs = 2;
+  bc.checkpoint_every = 16;
+  bc.selection = &first;
+  bc.checkpoint_path = pa;
+  (void)run_batch(entries, bc);
+  bc.selection = &pending;
+  bc.checkpoint_path = pb;
+  (void)run_batch(entries, bc);
+
+  const Checkpoint side_a = parse_checkpoint_json(util::read_file(pa));
+  const Checkpoint side_b = parse_checkpoint_json(util::read_file(pb));
+  fold_checkpoint(master, side_a);
+  EXPECT_FALSE(master.complete());
+  // Folding the same delta twice is refused atomically.
+  EXPECT_THROW(fold_checkpoint(master, side_a), util::SetupError);
+  fold_checkpoint(master, side_b);
+  EXPECT_TRUE(master.complete());
+  EXPECT_EQ(batch_json(checkpoint_to_batch(master)), batch_json(whole));
+  std::remove(path.c_str());
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+}
+
+TEST(Status, OneFormatterServesFilesAndTheWire) {
+  const std::vector<BatchEntry> entries = two_campaign_batch();
+  const std::string path = scratch("status");
+  const Checkpoint partial = partial_checkpoint(entries, {6, 5}, path);
+
+  const CheckpointStatus st = checkpoint_status(partial);
+  EXPECT_FALSE(st.complete);
+  EXPECT_EQ(st.done, 6 * 3 + 5 * 2);
+  EXPECT_EQ(st.owned, 10 * 3 + 8 * 2);
+  ASSERT_EQ(st.rows.size(), 5u);
+  EXPECT_EQ(st.rows[0].app, "wavetoy");
+  EXPECT_EQ(st.rows[0].done, 6);
+  EXPECT_EQ(st.rows[0].owned, 10);
+
+  // The wire form reproduces the exact same rendering after a round trip.
+  const CheckpointStatus back = parse_status_json(status_json(st));
+  EXPECT_EQ(format_checkpoint_status(back), format_checkpoint_status(st));
+  EXPECT_EQ(status_json(back), status_json(st));
+  EXPECT_NE(format_checkpoint_status(st).find("in progress"),
+            std::string::npos);
+  EXPECT_THROW(parse_status_json("{\"format\":\"nope\"}"), util::SetupError);
+  std::remove(path.c_str());
 }
 
 }  // namespace

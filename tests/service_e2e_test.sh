@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Service e2e gate (CI tier): a daemon serving two tenants concurrently
+# must interleave their assignments fairly (round-robin at chunk
+# granularity), survive a worker SIGKILL mid-campaign, and deliver each
+# tenant a result byte-identical to a monolithic run of its spec. Also
+# exercises daemon restart: the durable queue must carry unfinished work
+# across a stop/start of the daemon itself.
+#
+# usage: service_e2e_test.sh /path/to/fsim
+set -euo pipefail
+
+FSIM=${1:?usage: service_e2e_test.sh /path/to/fsim}
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+cd "$work"
+
+cat > alice.json <<'EOF'
+{"format": "fsim-batch-v2", "runs": 300, "seed": 11,
+ "regions": ["regular", "message"],
+ "campaigns": [{"app": "wavetoy", "ranks": 4, "steps": 8}]}
+EOF
+cat > bob.json <<'EOF'
+{"format": "fsim-batch-v2", "runs": 300, "seed": 22,
+ "regions": ["regular", "message"],
+ "campaigns": [{"app": "minimd", "ranks": 4, "steps": 4}]}
+EOF
+
+echo "== monolithic references"
+"$FSIM" batch --spec=alice.json --jobs=1 --quiet --json --out=alice_mono.json
+"$FSIM" batch --spec=bob.json --jobs=1 --quiet --json --out=bob_mono.json
+
+start_daemon() {
+  "$FSIM" serve --socket=fsim.sock --state=state --chunk=50 2>> serve.log &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S fsim.sock ] && break
+    sleep 0.05
+  done
+  [ -S fsim.sock ] || { echo "FAIL: daemon socket never appeared"; exit 1; }
+}
+
+echo "== daemon, two tenants, two workers"
+start_daemon
+"$FSIM" worker --socket=fsim.sock --name=w1 --checkpoint-every=1 2> w1.log &
+w1=$!
+"$FSIM" worker --socket=fsim.sock --name=w2 --checkpoint-every=1 2> w2.log &
+w2=$!
+
+ja=$("$FSIM" submit --socket=fsim.sock --tenant=alice --spec=alice.json)
+jb=$("$FSIM" submit --socket=fsim.sock --tenant=bob --spec=bob.json)
+echo "   submitted $ja (alice) and $jb (bob)"
+
+# Let both tenants make progress, then kill one worker mid-assignment.
+for _ in $(seq 1 400); do
+  [ "$(grep -c "^fsim serve: assign" serve.log)" -ge 4 ] && break
+  sleep 0.05
+done
+sleep 1
+kill -KILL "$w1" 2>/dev/null || true
+wait "$w1" 2>/dev/null || true
+echo "   killed w1"
+
+# Restart the daemon mid-campaign: the durable queue must resume.
+"$FSIM" shutdown --socket=fsim.sock
+wait "$daemon_pid" 2>/dev/null || true
+wait "$w2" 2>/dev/null || true
+echo "   daemon stopped with work outstanding; restarting"
+start_daemon
+"$FSIM" worker --socket=fsim.sock --name=w3 --checkpoint-every=1 2> w3.log &
+w3=$!
+
+done_jobs() {
+  "$FSIM" status --socket=fsim.sock | grep -c "state=done" || true
+}
+for _ in $(seq 1 3000); do
+  [ "$(done_jobs)" -eq 2 ] && break
+  sleep 0.2
+done
+[ "$(done_jobs)" -eq 2 ] || {
+  echo "FAIL: jobs never finished"; "$FSIM" status --socket=fsim.sock
+  exit 1; }
+
+# Fairness: with both tenants runnable, assignments must alternate — in the
+# first four assignments both tenants appear at least once.
+head4=$(grep "^fsim serve: assign" serve.log | head -4)
+echo "$head4" | grep -q "tenant=alice" || {
+  echo "FAIL: alice starved in the first assignments"; exit 1; }
+echo "$head4" | grep -q "tenant=bob" || {
+  echo "FAIL: bob starved in the first assignments"; exit 1; }
+
+"$FSIM" fetch --socket=fsim.sock --job="$ja" --out=alice_svc.json
+"$FSIM" fetch --socket=fsim.sock --job="$jb" --out=bob_svc.json
+cmp alice_mono.json alice_svc.json || {
+  echo "FAIL: alice's result differs from her monolithic run"; exit 1; }
+cmp bob_mono.json bob_svc.json || {
+  echo "FAIL: bob's result differs from his monolithic run"; exit 1; }
+
+"$FSIM" shutdown --socket=fsim.sock
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+wait "$w3" 2>/dev/null || true
+echo "PASS: multi-tenant service is fair, crash-safe and deterministic"
